@@ -1,0 +1,25 @@
+//! # hummingbird-baselines
+//!
+//! Implementations of the prior reservation systems the paper positions
+//! Hummingbird against (§2), to make the qualitative comparison table
+//! executable:
+//!
+//! * [`helia`] — a Helia-style fixed-slot flyover system (Wyss et al.,
+//!   CCS 2022): per-AS flyovers like Hummingbird, but with fixed time
+//!   slots, AS-computed bandwidth shares, no ahead-of-time reservations,
+//!   per-source-AS (gateway) authorization via DRKey, and no atomic path
+//!   guarantees.
+//! * [`drkey`] — the DRKey key-derivation hierarchy Helia (and Colibri)
+//!   depend on and Hummingbird eliminates.
+//!
+//! The `baseline_comparison` binary in `hummingbird-bench` runs both
+//! systems side by side on the dimensions the paper's §2 claims.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod drkey;
+pub mod helia;
+
+pub use drkey::DrKeySecret;
+pub use helia::{slot_of, HeliaError, HeliaGrant, HeliaService, SLOT_SECS};

@@ -1,0 +1,140 @@
+//! Criterion micro-benchmarks of the data-plane hot path and its
+//! cryptographic building blocks. Complements the table/figure binaries
+//! with statistically rigorous per-operation numbers.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use hummingbird_bench::{DataplaneFixture, EPOCH_MS, EPOCH_NS, EPOCH_S};
+use hummingbird_crypto::aes::Aes128;
+use hummingbird_crypto::cmac::Cmac;
+use hummingbird_crypto::sha256::Sha256;
+use hummingbird_crypto::{AuthKey, FlyoverMacInput, ResInfo, SecretValue};
+use hummingbird_dataplane::multicore::HotLoopPacket;
+use hummingbird_dataplane::policing::Policer;
+
+fn bench_crypto(c: &mut Criterion) {
+    let mut g = c.benchmark_group("crypto");
+    let aes = Aes128::new(&[7u8; 16]);
+    g.bench_function("aes128_block", |b| {
+        let mut block = [0u8; 16];
+        b.iter(|| {
+            aes.encrypt_block(&mut block);
+            std::hint::black_box(&block);
+        })
+    });
+    g.bench_function("aes128_key_expansion", |b| {
+        b.iter(|| std::hint::black_box(Aes128::new(&[9u8; 16])))
+    });
+    let cmac = Cmac::new(&[7u8; 16]);
+    g.bench_function("cmac_one_block", |b| {
+        b.iter(|| std::hint::black_box(cmac.mac(&[0u8; 16])))
+    });
+    g.bench_function("sha256_64B", |b| {
+        b.iter(|| std::hint::black_box(Sha256::digest(&[0u8; 64])))
+    });
+    g.finish();
+}
+
+fn bench_derivations(c: &mut Criterion) {
+    let mut g = c.benchmark_group("derivations");
+    let sv = SecretValue::new([0x61; 16]);
+    let info = ResInfo {
+        ingress: 0,
+        egress: 1,
+        res_id: 1,
+        bw_encoded: 1000,
+        res_start: EPOCH_S as u32,
+        duration: 600,
+    };
+    g.bench_function("derive_auth_key_Ak", |b| {
+        b.iter(|| std::hint::black_box(sv.derive_key(&info)))
+    });
+    let key = AuthKey::new([5u8; 16]);
+    let input = FlyoverMacInput {
+        dst_isd: 2,
+        dst_as: 0x20,
+        pkt_len: 600,
+        res_start_offset: 10,
+        millis_ts: 1,
+        counter: 2,
+    };
+    g.bench_function("flyover_mac", |b| {
+        b.iter(|| std::hint::black_box(key.flyover_mac(&input)))
+    });
+    g.finish();
+}
+
+fn bench_router(c: &mut Criterion) {
+    let mut g = c.benchmark_group("router");
+    for (label, flyover) in [("hummingbird", true), ("scion", false)] {
+        for payload in [100usize, 1500] {
+            let fx = DataplaneFixture::new(4);
+            let pkt = fx.packet(payload, flyover);
+            g.throughput(Throughput::Bytes(pkt.len() as u64));
+            g.bench_function(format!("process_{label}_{payload}B"), |b| {
+                let mut router = fx.router();
+                let mut hot = HotLoopPacket::new(pkt.clone());
+                b.iter(|| {
+                    let v = router.process(hot.bytes_mut(), EPOCH_NS);
+                    hot.reset();
+                    std::hint::black_box(v)
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_source(c: &mut Criterion) {
+    let mut g = c.benchmark_group("source");
+    for h in [1usize, 4, 16] {
+        let fx = DataplaneFixture::new(h);
+        g.bench_function(format!("generate_hummingbird_h{h}_500B"), |b| {
+            let mut generator = fx.generator(true);
+            let payload = vec![0u8; 500];
+            let mut i = 0u64;
+            b.iter(|| {
+                i += 1;
+                std::hint::black_box(generator.generate(&payload, EPOCH_MS + i / 1000).unwrap())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_policing(c: &mut Criterion) {
+    let mut g = c.benchmark_group("policing");
+    g.bench_function("token_bucket_check", |b| {
+        let mut p = Policer::paper_default();
+        let mut t = EPOCH_NS;
+        b.iter(|| {
+            t += 1000;
+            std::hint::black_box(p.check(42, 1_000_000, 600, t))
+        })
+    });
+    g.finish();
+}
+
+fn bench_wire(c: &mut Criterion) {
+    let mut g = c.benchmark_group("wire");
+    let fx = DataplaneFixture::new(4);
+    let pkt = fx.packet(500, true);
+    g.bench_function("packet_parse_full", |b| {
+        b.iter(|| std::hint::black_box(hummingbird_wire::Packet::parse(&pkt).unwrap()))
+    });
+    let parsed = hummingbird_wire::Packet::parse(&pkt).unwrap();
+    g.bench_function("packet_emit_full", |b| {
+        b.iter_batched(
+            || parsed.clone(),
+            |p| std::hint::black_box(p.to_bytes().unwrap()),
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(60);
+    targets = bench_crypto, bench_derivations, bench_router, bench_source, bench_policing, bench_wire
+);
+criterion_main!(benches);

@@ -1,0 +1,174 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! 1. Policing-array size vs per-check cost (§4.4 cache-sizing examples).
+//! 2. First-Fit vs Kierstead-Trotter vs offline-optimal ResID allocation
+//!    (competitive ratio in practice).
+//! 3. Duplicate suppression: router cost with the stage on vs off.
+//! 4. Aggregate MAC vs a separate tag field: header bytes saved.
+//!
+//! Run with: `cargo run --release -p hummingbird-bench --bin ablations`
+
+use hummingbird_bench::{row, DataplaneFixture, EPOCH_NS};
+use hummingbird_coloring::{color_optimal, max_overlap, FirstFit, Interval, KiersteadTrotter};
+use hummingbird_dataplane::multicore::HotLoopPacket;
+use hummingbird_dataplane::policing::Policer;
+use hummingbird_dataplane::{BorderRouter, RouterConfig};
+use hummingbird_wire::hopfield::{FLYOVER_FIELD_LEN, HOP_FIELD_LEN};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+use std::time::Instant;
+
+fn main() {
+    ablation_policing_array();
+    ablation_coloring();
+    ablation_dup_suppression();
+    ablation_agg_mac();
+}
+
+fn ablation_policing_array() {
+    println!("== Ablation 1: policing-array size vs per-check cost ==");
+    println!("(§4.4: 75k IDs = 600 kB fits L2; 3M IDs = 24 MB fits L3)\n");
+    let widths = [12usize, 12, 12];
+    println!("{}", row(&["ResIDmax".into(), "array".into(), "ns/check".into()], &widths));
+    let mut rng = StdRng::seed_from_u64(1);
+    for slots in [1_000u32, 75_000, 1_000_000, 3_000_000] {
+        let mut p = Policer::new(slots, 50_000_000);
+        // Random ResIDs to defeat the cache (the worst case for big arrays).
+        let ids: Vec<u32> = (0..4096).map(|_| rng.gen_range(0..slots)).collect();
+        let iters = 2_000_000u64;
+        let mut t = EPOCH_NS;
+        let start = Instant::now();
+        for i in 0..iters {
+            t += 100;
+            black_box(p.check(ids[(i % 4096) as usize], 1_000_000, 500, t));
+        }
+        let ns = start.elapsed().as_nanos() as f64 / iters as f64;
+        let mb = p.array_bytes() as f64 / 1e6;
+        println!(
+            "{}",
+            row(
+                &[format!("{slots}"), format!("{mb:.1} MB"), format!("{ns:.1}")],
+                &widths
+            )
+        );
+    }
+    println!();
+}
+
+fn ablation_coloring() {
+    println!("== Ablation 2: ResID allocation — First-Fit vs Kierstead-Trotter ==\n");
+    let widths = [10usize, 8, 8, 8, 10, 10];
+    println!(
+        "{}",
+        row(
+            &["intervals".into(), "omega".into(), "FF".into(), "KT".into(), "FF ratio".into(), "KT ratio".into()],
+            &widths
+        )
+    );
+    let mut rng = StdRng::seed_from_u64(2);
+    for n in [50usize, 200, 500] {
+        let intervals: Vec<Interval> = (0..n)
+            .map(|_| {
+                let s = rng.gen_range(0u64..10_000);
+                Interval::new(s, s + rng.gen_range(60..3600))
+            })
+            .collect();
+        let omega = max_overlap(&intervals);
+        let mut ff = FirstFit::new(u32::MAX);
+        let mut kt = KiersteadTrotter::new();
+        for iv in &intervals {
+            ff.assign(*iv).unwrap();
+            kt.assign(*iv);
+        }
+        let (_, opt) = color_optimal(&intervals);
+        assert_eq!(opt as usize, omega);
+        let ff_used = ff.high_water() + 1;
+        let kt_used = kt.high_water() + 1;
+        println!(
+            "{}",
+            row(
+                &[
+                    format!("{n}"),
+                    format!("{omega}"),
+                    format!("{ff_used}"),
+                    format!("{kt_used}"),
+                    format!("{:.2}", ff_used as f64 / omega as f64),
+                    format!("{:.2}", kt_used as f64 / omega as f64),
+                ],
+                &widths
+            )
+        );
+    }
+    println!("\n(First-Fit is near-optimal on random workloads — why the client app uses it;");
+    println!(" KT guarantees <= 3x worst-case, backing the paper's ResIDmax bound.)\n");
+}
+
+fn ablation_dup_suppression() {
+    println!("== Ablation 3: duplicate suppression cost at the router ==\n");
+    let fx = DataplaneFixture::new(4);
+    let iters = 200_000u64;
+    let mut results = Vec::new();
+    for dup in [false, true] {
+        let cfg = RouterConfig { duplicate_suppression: dup, ..Default::default() };
+        let mut router = BorderRouter::new(
+            // Recreate with the fixture secrets via a throwaway router :
+            // use the fixture router and rebuild config by hand.
+            fx_sv(&fx),
+            fx_hop_key(&fx),
+            cfg,
+        );
+        // Unique packets (the realistic stream) — regenerate timestamps.
+        let mut generator = fx.generator(true);
+        let mut pkts: Vec<HotLoopPacket> = (0..64)
+            .map(|i| {
+                HotLoopPacket::new(
+                    generator
+                        .generate(&[0u8; 500], hummingbird_bench::EPOCH_MS + i)
+                        .unwrap(),
+                )
+            })
+            .collect();
+        let start = Instant::now();
+        for i in 0..iters {
+            let p = &mut pkts[(i % 64) as usize];
+            black_box(router.process(p.bytes_mut(), EPOCH_NS));
+            p.reset();
+        }
+        let ns = start.elapsed().as_nanos() as f64 / iters as f64;
+        results.push((dup, ns));
+        println!("dup suppression {:>5}: {ns:.0} ns/pkt", dup);
+    }
+    println!(
+        "overhead: {:.0} ns ({:.1}%)\n",
+        results[1].1 - results[0].1,
+        (results[1].1 / results[0].1 - 1.0) * 100.0
+    );
+}
+
+// The fixture keeps its secrets private; recreate the hop-0 values the
+// same way the fixture does (kept in sync with hummingbird_bench).
+fn fx_sv(_fx: &DataplaneFixture) -> hummingbird_crypto::SecretValue {
+    hummingbird_crypto::SecretValue::new([0x61; 16])
+}
+fn fx_hop_key(_fx: &DataplaneFixture) -> hummingbird_wire::scion_mac::HopMacKey {
+    hummingbird_wire::scion_mac::HopMacKey::new([0x31; 16])
+}
+
+fn ablation_agg_mac() {
+    println!("== Ablation 4: aggregate MAC (XOR with hop-field MAC) vs separate tag ==\n");
+    // With aggregation, the flyover hop field reuses the 6 MAC bytes; a
+    // separate-tag design would add 6 bytes (padded to 8 for alignment).
+    let with_agg = FLYOVER_FIELD_LEN;
+    let separate = FLYOVER_FIELD_LEN + 8;
+    println!("flyover hop field with aggregate MAC:  {with_agg} B ({} B over plain hop)", with_agg - HOP_FIELD_LEN);
+    println!("flyover hop field with separate tag:   {separate} B ({} B over plain hop)", separate - HOP_FIELD_LEN);
+    for h in [4usize, 16] {
+        let per_pkt = (separate - with_agg) * h;
+        let at_100g = per_pkt as f64 * 8.0 * (100e9 / (8.0 * 600.0)) / 1e9;
+        println!(
+            "{h} reserved hops: {per_pkt} B/packet saved = {at_100g:.2} Gbps of header overhead avoided at 100 Gbps of 600 B packets"
+        );
+    }
+    println!("(matches the paper's 8 B/hop total overhead claim in §4.)");
+}

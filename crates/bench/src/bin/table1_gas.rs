@@ -1,0 +1,86 @@
+//! Table 1: gas and dollar cost of atomically buying and redeeming a full
+//! path, for 1-16 hops, with the paper's worst-case split on every asset
+//! (two time splits + one bandwidth split).
+//!
+//! Run with: `cargo run --release -p hummingbird-bench --bin table1_gas`
+
+use hummingbird::testbed::{Testbed, TestbedConfig};
+use hummingbird::PurchaseSpec;
+use hummingbird_bench::row;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    println!("Table 1: atomic buy-and-redeem cost per path length");
+    println!("(worst-case split per asset: 2x time, 1x bandwidth; reference prices:");
+    println!(" 7.5e-7 SUI/unit computation, 7.6e-6 SUI/byte storage, 1.221 USD/SUI)\n");
+    let widths = [5, 13, 11, 11, 9, 9];
+    println!(
+        "{}",
+        row(
+            &[
+                "Hops".into(),
+                "Computation".into(),
+                "Storage".into(),
+                "Rebate".into(),
+                "SUI".into(),
+                "USD".into(),
+            ],
+            &widths
+        )
+    );
+
+    for hops in [1usize, 2, 4, 8, 16] {
+        let mut tb = Testbed::build(TestbedConfig { n_ases: hops, ..Default::default() })
+            .expect("testbed");
+        let t0 = tb.cfg.start_unix_s;
+        // Large parent assets so the purchase needs the full worst-case
+        // split: buy an interior window with partial bandwidth.
+        tb.stock_market(100_000, t0 - 3600, t0 + 36_000, 60, 100).expect("stock");
+        let mut client = tb.new_client("bench", 100_000);
+        let listings = tb.control.listings(tb.market);
+        let spec = PurchaseSpec { start: t0, end: t0 + 600, bandwidth_kbps: 4_000 };
+        let hop_list: Vec<_> = (0..hops)
+            .map(|i| {
+                let (ing_if, eg_if) = hummingbird::LinearTopology::interfaces(hops, i);
+                let find = |interface: u16, dir: hummingbird::Direction| {
+                    listings
+                        .iter()
+                        .find(|(_, _, a)| {
+                            a.as_id == Testbed::as_id(i)
+                                && a.interface == interface
+                                && a.direction == dir
+                        })
+                        .expect("listing")
+                        .0
+                };
+                (
+                    find(ing_if, hummingbird::Direction::Ingress),
+                    find(eg_if, hummingbird::Direction::Egress),
+                    spec,
+                )
+            })
+            .collect();
+        let mut rng = StdRng::seed_from_u64(1);
+        let rx = client
+            .buy_and_redeem_path(&mut tb.control, tb.market, &hop_list, &mut rng)
+            .expect("atomic purchase");
+        let g = rx.gas;
+        println!(
+            "{}",
+            row(
+                &[
+                    format!("{hops}"),
+                    format!("{:.5}", g.computation_cost as f64 / 1e9),
+                    format!("{:.4}", g.storage_cost as f64 / 1e9),
+                    format!("{:.4}", g.storage_rebate as f64 / 1e9),
+                    format!("{:.4}", g.total_sui()),
+                    format!("{:.4}", g.total_usd(&tb.control.ledger.gas)),
+                ],
+                &widths
+            )
+        );
+    }
+    println!("\npaper (Table 1): 1 hop 0.031 SUI/0.038 USD ... 16 hops 0.49 SUI/0.60 USD,");
+    println!("computation buckets 0.00075 SUI (1-4 hops), 0.0015 (8), 0.0030 (16); linear in hops.");
+}

@@ -1,0 +1,159 @@
+//! Table 2: gas cost of every individual asset- and market-contract call.
+//!
+//! Run with: `cargo run --release -p hummingbird-bench --bin table2_gas`
+
+use hummingbird::control::{BandwidthAsset, Direction};
+use hummingbird::testbed::{Testbed, TestbedConfig};
+use hummingbird::PurchaseSpec;
+use hummingbird_bench::row;
+use hummingbird_ledger::GasSummary;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const HOUR: u64 = 3600;
+
+fn print_row(name: &str, g: &GasSummary, usd_per_sui: f64, widths: &[usize]) {
+    println!(
+        "{}",
+        row(
+            &[
+                name.to_string(),
+                format!("{:.5}", g.computation_cost as f64 / 1e9),
+                format!("{:.4}", g.storage_cost as f64 / 1e9),
+                format!("{:.4}", g.storage_rebate as f64 / 1e9),
+                format!("{:+.4}", g.total_sui()),
+                format!("{:+.4}", g.total_sui() * usd_per_sui),
+            ],
+            widths
+        )
+    );
+}
+
+fn main() {
+    let widths = [22usize, 12, 9, 9, 9, 9];
+    println!("Table 2: per-call gas cost (negative totals = net credit from rebates)\n");
+    println!(
+        "{}",
+        row(
+            &[
+                "Contract call".into(),
+                "Computation".into(),
+                "Storage".into(),
+                "Rebate".into(),
+                "SUI".into(),
+                "USD".into(),
+            ],
+            &widths
+        )
+    );
+
+    let mut tb =
+        Testbed::build(TestbedConfig { n_ases: 1, ..Default::default() }).expect("testbed");
+    let usd = tb.control.ledger.gas.usd_per_sui_micros as f64 / 1e6;
+    let t0 = tb.cfg.start_unix_s;
+    let account = tb.services[0].account;
+    let as_id = Testbed::as_id(0);
+    let mut rng = StdRng::seed_from_u64(2);
+
+    println!("-- asset functions --");
+    let template = |interface: u16, dir: Direction| BandwidthAsset {
+        as_id,
+        bandwidth_kbps: 100_000,
+        start_time: t0,
+        expiry_time: t0 + 10 * HOUR,
+        interface,
+        direction: dir,
+        time_granularity: 60,
+        min_bandwidth_kbps: 100,
+    };
+    let rx = tb.services[0]
+        .issue_asset(&mut tb.control, template(0, Direction::Ingress))
+        .unwrap();
+    print_row("issue", &rx.gas, usd, &widths);
+    let asset = rx.value;
+
+    let rx = tb.control.split_time(account, asset, t0 + 2 * HOUR).unwrap();
+    print_row("split_time", &rx.gas, usd, &widths);
+    let (head, tail) = rx.value;
+
+    let rx = tb.control.split_bandwidth(account, head, 40_000).unwrap();
+    print_row("split_bandwidth", &rx.gas, usd, &widths);
+    let (left, right) = rx.value;
+
+    let rx = tb.control.fuse_bandwidth(account, left, right).unwrap();
+    print_row("fuse_bandwidth", &rx.gas, usd, &widths);
+    let fused = rx.value;
+
+    let rx = tb.control.fuse_time(account, fused, tail).unwrap();
+    print_row("fuse_time", &rx.gas, usd, &widths);
+    let ingress_asset = rx.value;
+
+    // Redeem needs a matching egress asset.
+    let egress_asset = tb.services[0]
+        .issue_asset(&mut tb.control, template(0, Direction::Egress))
+        .unwrap()
+        .value;
+    let eph = hummingbird_crypto::sig::SecretKey::generate(&mut rng);
+    let rx = tb
+        .control
+        .redeem(account, ingress_asset, egress_asset, eph.public())
+        .unwrap();
+    print_row("redeem", &rx.gas, usd, &widths);
+    let request = rx.value;
+
+    let pending = tb.control.pending_requests(account);
+    let delivery = hummingbird_control::EncryptedReservation {
+        as_id,
+        sealed: hummingbird_crypto::sealed::seal(&pending[0].1.ephemeral_pk, &[0u8; 48], &mut rng),
+    };
+    let rx = tb.control.deliver_reservation(account, request, delivery).unwrap();
+    print_row("deliver_reservation", &rx.gas, usd, &widths);
+
+    println!("-- market functions --");
+    let rx = tb.control.create_marketplace(account).unwrap();
+    print_row("create_marketplace", &rx.gas, usd, &widths);
+    let market = rx.value;
+
+    let rx = tb.control.register_seller(account, market).unwrap();
+    print_row("register_seller", &rx.gas, usd, &widths);
+
+    // Four buy variants against four fresh listings.
+    let variants: [(&str, PurchaseSpec); 4] = [
+        (
+            "buy (full)",
+            PurchaseSpec { start: t0, end: t0 + 10 * HOUR, bandwidth_kbps: 100_000 },
+        ),
+        (
+            "buy (split bw)",
+            PurchaseSpec { start: t0, end: t0 + 10 * HOUR, bandwidth_kbps: 40_000 },
+        ),
+        (
+            "buy (split time)",
+            PurchaseSpec { start: t0 + HOUR, end: t0 + 2 * HOUR, bandwidth_kbps: 100_000 },
+        ),
+        (
+            "buy (split both)",
+            PurchaseSpec { start: t0 + HOUR, end: t0 + 2 * HOUR, bandwidth_kbps: 40_000 },
+        ),
+    ];
+    let mut listing_gas_printed = false;
+    for (name, spec) in variants {
+        let asset = tb.services[0]
+            .issue_asset(&mut tb.control, template(1, Direction::Ingress))
+            .unwrap()
+            .value;
+        let rx = tb.control.create_listing(account, market, asset, 1).unwrap();
+        if !listing_gas_printed {
+            print_row("create_listing", &rx.gas, usd, &widths);
+            listing_gas_printed = true;
+        }
+        let listing = rx.value;
+        let mut buyer = tb.new_client(&format!("buyer-{name}"), 100_000);
+        let rx = buyer.buy(&mut tb.control, market, listing, spec).unwrap();
+        print_row(name, &rx.gas, usd, &widths);
+    }
+
+    println!("\npaper (Table 2): issue 0.0029 SUI, splits 0.0029, fuses -0.0013,");
+    println!("redeem 0.00012, deliver -0.0027, create_listing 0.0050,");
+    println!("buy full/-0.0023, split bw 0.0039, split time 0.010, split both 0.016.");
+}

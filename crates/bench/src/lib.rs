@@ -1,0 +1,173 @@
+//! Shared fixtures and table formatting for the benchmark harness.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure of the
+//! paper's evaluation (see DESIGN.md's experiment index); this library
+//! provides the common packet/router/market fixtures so the workloads are
+//! identical across experiments.
+
+use hummingbird_crypto::{ResInfo, SecretValue};
+use hummingbird_dataplane::{
+    forge_path, BeaconHop, BorderRouter, RouterConfig, SourceGenerator, SourceReservation,
+};
+use hummingbird_wire::scion_mac::HopMacKey;
+use hummingbird_wire::IsdAs;
+
+/// Fixed evaluation epoch (Unix seconds).
+pub const EPOCH_S: u64 = 1_700_000_000;
+/// Evaluation epoch in milliseconds.
+pub const EPOCH_MS: u64 = EPOCH_S * 1000;
+/// Evaluation epoch in nanoseconds.
+pub const EPOCH_NS: u64 = EPOCH_S * 1_000_000_000;
+
+/// A self-contained data-plane fixture: one source path of `h` hops plus
+/// the matching per-AS secrets.
+pub struct DataplaneFixture {
+    hop_keys: Vec<HopMacKey>,
+    svs: Vec<SecretValue>,
+    h: usize,
+}
+
+impl DataplaneFixture {
+    /// Builds a fixture for an `h`-hop path.
+    pub fn new(h: usize) -> Self {
+        DataplaneFixture {
+            hop_keys: (0..h).map(|i| HopMacKey::new([0x31 + i as u8; 16])).collect(),
+            svs: (0..h).map(|i| SecretValue::new([0x61 + i as u8; 16])).collect(),
+            h,
+        }
+    }
+
+    fn interfaces(&self, i: usize) -> (u16, u16) {
+        let ingress = if i == 0 { 0 } else { 2 * i as u16 };
+        let egress = if i == self.h - 1 { 0 } else { 2 * i as u16 + 1 };
+        (ingress, egress)
+    }
+
+    /// A source generator; `with_reservations` attaches a flyover on every
+    /// hop (the paper always measures the worst case: a reservation at
+    /// every on-path AS).
+    pub fn generator(&self, with_reservations: bool) -> SourceGenerator {
+        let hops: Vec<BeaconHop> = (0..self.h)
+            .map(|i| {
+                let (cons_ingress, cons_egress) = self.interfaces(i);
+                BeaconHop { key: self.hop_keys[i].clone(), cons_ingress, cons_egress }
+            })
+            .collect();
+        let path = forge_path(&hops, EPOCH_S as u32 - 100, 0x7777);
+        let mut generator =
+            SourceGenerator::new(IsdAs::new(1, 0x10), IsdAs::new(2, 0x20), path);
+        if with_reservations {
+            for i in 0..self.h {
+                let (ingress, egress) = self.interfaces(i);
+                let res_info = ResInfo {
+                    ingress,
+                    egress,
+                    res_id: i as u32 + 1,
+                    bw_encoded: 1000, // huge class so policing never bites
+                    res_start: EPOCH_S as u32 - 50,
+                    duration: 36_000,
+                };
+                let key = self.svs[i].derive_key(&res_info);
+                generator
+                    .attach_reservation(i, SourceReservation { res_info, key })
+                    .expect("interfaces match");
+            }
+        }
+        generator
+    }
+
+    /// A border router for hop 0 of this fixture (the hop every generated
+    /// packet is validated at).
+    pub fn router(&self) -> BorderRouter {
+        BorderRouter::new(
+            self.svs[0].clone(),
+            self.hop_keys[0].clone(),
+            RouterConfig::default(),
+        )
+    }
+
+    /// A serialized packet with `payload_len` bytes, ready for the router.
+    pub fn packet(&self, payload_len: usize, with_reservations: bool) -> Vec<u8> {
+        let mut generator = self.generator(with_reservations);
+        generator
+            .generate(&vec![0u8; payload_len], EPOCH_MS)
+            .expect("generation")
+    }
+}
+
+/// Formats a right-aligned table row.
+pub fn row(cells: &[String], widths: &[usize]) -> String {
+    cells
+        .iter()
+        .zip(widths.iter())
+        .map(|(c, w)| format!("{c:>w$}", w = w))
+        .collect::<Vec<_>>()
+        .join("  ")
+}
+
+/// Percentile of a sorted slice.
+pub fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+/// Distribution summary of a sample set.
+pub struct Summary {
+    /// 5th percentile.
+    pub p5: f64,
+    /// Median.
+    pub p50: f64,
+    /// 83rd percentile (the paper's headline "<3 s in 83%").
+    pub p83: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// Mean.
+    pub mean: f64,
+}
+
+impl Summary {
+    /// Builds a summary from raw samples.
+    pub fn of(mut samples: Vec<f64>) -> Self {
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        Summary {
+            p5: percentile(&samples, 0.05),
+            p50: percentile(&samples, 0.50),
+            p83: percentile(&samples, 0.83),
+            p95: percentile(&samples, 0.95),
+            mean,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixture_packets_verify_at_the_router() {
+        for h in [1usize, 4, 16] {
+            let fx = DataplaneFixture::new(h);
+            let mut pkt = fx.packet(500, true);
+            let mut router = fx.router();
+            let v = router.process(&mut pkt, EPOCH_NS);
+            assert!(v.is_flyover(), "h={h}: {v:?}");
+            // SCION baseline packets also pass (as best effort).
+            let mut pkt = fx.packet(500, false);
+            let v = router.process(&mut pkt, EPOCH_NS);
+            assert!(v.egress().is_some(), "h={h}: {v:?}");
+        }
+    }
+
+    #[test]
+    fn summary_percentiles() {
+        // Nearest-rank on indices 0..=99: p50 -> idx round(49.5) = 50.
+        let s = Summary::of((1..=100).map(|i| i as f64).collect());
+        assert_eq!(s.p50, 51.0);
+        assert_eq!(s.p95, 95.0);
+        assert!((s.mean - 50.5).abs() < 1e-9);
+    }
+}

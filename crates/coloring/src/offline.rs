@@ -1,0 +1,93 @@
+//! Offline optimal interval coloring (sweep line), used as the baseline for
+//! competitiveness measurements of the online allocators.
+
+use crate::interval::Interval;
+use std::collections::BinaryHeap;
+
+/// Colors `intervals` offline with the minimum number of colors (equal to
+/// the maximum overlap). Returns one color per input interval, in input
+/// order, plus the number of colors used.
+pub fn color_optimal(intervals: &[Interval]) -> (Vec<u32>, u32) {
+    let mut order: Vec<usize> = (0..intervals.len()).collect();
+    order.sort_by_key(|&i| (intervals[i].start, intervals[i].end));
+
+    let mut colors = vec![0u32; intervals.len()];
+    // Free colors (min-heap via Reverse) and in-use colors keyed by end.
+    let mut free: BinaryHeap<std::cmp::Reverse<u32>> = BinaryHeap::new();
+    let mut in_use: BinaryHeap<std::cmp::Reverse<(u64, u32)>> = BinaryHeap::new();
+    let mut next_color = 0u32;
+
+    for &idx in &order {
+        let iv = &intervals[idx];
+        // Reclaim colors whose interval ended at or before this start.
+        while let Some(&std::cmp::Reverse((end, color))) = in_use.peek() {
+            if end <= iv.start {
+                in_use.pop();
+                free.push(std::cmp::Reverse(color));
+            } else {
+                break;
+            }
+        }
+        let color = match free.pop() {
+            Some(std::cmp::Reverse(c)) => c,
+            None => {
+                let c = next_color;
+                next_color += 1;
+                c
+            }
+        };
+        colors[idx] = color;
+        in_use.push(std::cmp::Reverse((iv.end, color)));
+    }
+    (colors, next_color)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interval::max_overlap;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn is_valid(intervals: &[Interval], colors: &[u32]) -> bool {
+        for i in 0..intervals.len() {
+            for j in i + 1..intervals.len() {
+                if colors[i] == colors[j] && intervals[i].overlaps(&intervals[j]) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    #[test]
+    fn uses_exactly_max_overlap_colors() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..25 {
+            let intervals: Vec<Interval> = (0..80)
+                .map(|_| {
+                    let s = rng.gen_range(0u64..1000);
+                    Interval::new(s, s + rng.gen_range(1u64..150))
+                })
+                .collect();
+            let (colors, used) = color_optimal(&intervals);
+            assert!(is_valid(&intervals, &colors));
+            assert_eq!(used as usize, max_overlap(&intervals), "optimality");
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        let (colors, used) = color_optimal(&[]);
+        assert!(colors.is_empty());
+        assert_eq!(used, 0);
+    }
+
+    #[test]
+    fn touching_intervals_reuse_colors() {
+        let ivs = vec![Interval::new(0, 10), Interval::new(10, 20)];
+        let (colors, used) = color_optimal(&ivs);
+        assert_eq!(used, 1);
+        assert_eq!(colors, vec![0, 0]);
+    }
+}

@@ -1,0 +1,152 @@
+//! The end-host market client (paper §6.1, "Market Client Application").
+//!
+//! Handles buying and redeeming assets, holds the ephemeral decryption keys
+//! for in-flight redeem requests, and collects the sealed deliveries into
+//! usable [`GrantedReservation`]s for the data plane.
+
+use crate::market::{HopPurchase, PurchaseSpec};
+use crate::plane::{ControlPlane, CpResult};
+use crate::service::ReservationPayload;
+use hummingbird_crypto::sealed;
+use hummingbird_crypto::sig::SecretKey;
+use hummingbird_crypto::{AuthKey, ResInfo};
+use hummingbird_ledger::{Address, ExecError, ObjectId};
+use hummingbird_wire::IsdAs;
+use rand::Rng;
+
+/// A reservation the client can use on the data plane: the `ResInfo` to put
+/// in the flyover hop field plus the authentication key `A_K`.
+#[derive(Clone, Debug)]
+pub struct GrantedReservation {
+    /// The granting AS.
+    pub as_id: IsdAs,
+    /// Data-plane reservation description.
+    pub res_info: ResInfo,
+    /// The expanded authentication key.
+    pub key: AuthKey,
+}
+
+/// The end-host client state.
+pub struct Client {
+    /// On-chain account.
+    pub account: Address,
+    /// Ephemeral secret keys of in-flight redeem requests.
+    pending_eph: Vec<SecretKey>,
+    granted: Vec<GrantedReservation>,
+}
+
+impl Client {
+    /// Creates a client for `account`.
+    pub fn new(account: Address) -> Self {
+        Client { account, pending_eph: Vec::new(), granted: Vec::new() }
+    }
+
+    /// Reservations collected so far.
+    pub fn reservations(&self) -> &[GrantedReservation] {
+        &self.granted
+    }
+
+    /// Number of redeem requests still awaiting delivery.
+    pub fn pending_count(&self) -> usize {
+        self.pending_eph.len()
+    }
+
+    /// Buys a fraction of one listing (no redeem).
+    pub fn buy(
+        &mut self,
+        cp: &mut ControlPlane,
+        market: ObjectId,
+        listing: ObjectId,
+        spec: PurchaseSpec,
+    ) -> CpResult<ObjectId> {
+        cp.buy(self.account, market, listing, spec)
+    }
+
+    /// Atomically buys and redeems reservations for a whole path in one
+    /// transaction. Each hop gets a fresh ephemeral key; the matching
+    /// secrets are retained to open the deliveries later.
+    pub fn buy_and_redeem_path<R: Rng + ?Sized>(
+        &mut self,
+        cp: &mut ControlPlane,
+        market: ObjectId,
+        hops: &[(ObjectId, ObjectId, PurchaseSpec)],
+        rng: &mut R,
+    ) -> CpResult<Vec<ObjectId>> {
+        let mut eph_secrets = Vec::with_capacity(hops.len());
+        let purchases: Vec<HopPurchase> = hops
+            .iter()
+            .map(|&(ingress_listing, egress_listing, spec)| {
+                let sk = SecretKey::generate(rng);
+                let pk = sk.public();
+                eph_secrets.push(sk);
+                HopPurchase { ingress_listing, egress_listing, spec, ephemeral_pk: pk }
+            })
+            .collect();
+        let receipt = cp.buy_and_redeem_path(self.account, market, &purchases)?;
+        // Only remember the ephemeral secrets if the purchase committed.
+        self.pending_eph.extend(eph_secrets);
+        Ok(receipt)
+    }
+
+    /// Redeems an already-owned ingress/egress asset pair.
+    pub fn redeem<R: Rng + ?Sized>(
+        &mut self,
+        cp: &mut ControlPlane,
+        ingress: ObjectId,
+        egress: ObjectId,
+        rng: &mut R,
+    ) -> CpResult<ObjectId> {
+        let sk = SecretKey::generate(rng);
+        let pk = sk.public();
+        let receipt = cp.redeem(self.account, ingress, egress, pk)?;
+        self.pending_eph.push(sk);
+        Ok(receipt)
+    }
+
+    /// Collects and decrypts every delivery currently owned by this client,
+    /// turning them into usable reservations. Returns how many were
+    /// collected. Deliveries that fail to decrypt with any pending key are
+    /// left untouched (they may belong to a different client instance).
+    pub fn collect_deliveries(&mut self, cp: &ControlPlane) -> Result<usize, ExecError> {
+        let deliveries = cp.deliveries_for(self.account);
+        let mut collected = 0;
+        for (_id, delivery) in deliveries {
+            let mut opened = None;
+            for (i, sk) in self.pending_eph.iter().enumerate() {
+                if let Ok(plain) = sealed::open(sk, &delivery.sealed) {
+                    opened = Some((i, plain));
+                    break;
+                }
+            }
+            let Some((key_idx, plain)) = opened else { continue };
+            let payload = ReservationPayload::decode(&plain)?;
+            self.granted.push(GrantedReservation {
+                as_id: delivery.as_id,
+                res_info: payload.res_info,
+                key: AuthKey::new(payload.key),
+            });
+            self.pending_eph.remove(key_idx);
+            collected += 1;
+        }
+        Ok(collected)
+    }
+
+    /// Convenience: the subset of granted reservations issued by `as_id`.
+    pub fn reservations_at(&self, as_id: IsdAs) -> Vec<&GrantedReservation> {
+        self.granted.iter().filter(|g| g.as_id == as_id).collect()
+    }
+
+    /// Shares a reservation with another party (paper §4.1: reservations
+    /// are not bound to network identities, so the key can simply be
+    /// handed over — e.g. to the destination for a reverse path, App. C).
+    pub fn export_reservation(&self, index: usize) -> Option<(IsdAs, ResInfo, [u8; 16])> {
+        self.granted
+            .get(index)
+            .map(|g| (g.as_id, g.res_info, g.key.to_bytes()))
+    }
+
+    /// Imports a reservation shared by another party.
+    pub fn import_reservation(&mut self, as_id: IsdAs, res_info: ResInfo, key: [u8; 16]) {
+        self.granted.push(GrantedReservation { as_id, res_info, key: AuthKey::new(key) });
+    }
+}

@@ -1,0 +1,307 @@
+//! The AS-side Hummingbird service (paper §3.2, "AS Stack").
+//!
+//! Each reservation-providing AS runs a service that (i) manages the
+//! AS-local secret value `SV` shared with its border routers, (ii) assigns
+//! ResIDs using online interval coloring so the policing array stays small
+//! (§4.4), and (iii) answers redeem requests by deriving `A_K`, sealing it
+//! to the host's ephemeral key and posting the delivery transaction (§6.1,
+//! "Market Client Application").
+
+use crate::plane::{ControlPlane, CpResult};
+use crate::types::*;
+use hummingbird_coloring::{FirstFit, Interval};
+use hummingbird_crypto::sealed;
+use hummingbird_crypto::sig::{SecretKey, Signature};
+use hummingbird_crypto::{ResInfo, SecretValue};
+use hummingbird_ledger::codec::{DecodeError, Reader, Writer};
+use hummingbird_ledger::{Address, ExecError, ObjectId};
+use hummingbird_wire::bwcls;
+use hummingbird_wire::IsdAs;
+use rand::Rng;
+use std::collections::HashMap;
+
+/// The decrypted payload of a reservation delivery: the data-plane
+/// parameters plus the authentication key `A_K`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ReservationPayload {
+    /// The reservation description authenticated on the data plane.
+    pub res_info: ResInfo,
+    /// The 16-byte reservation authentication key.
+    pub key: [u8; 16],
+}
+
+impl ReservationPayload {
+    /// Serializes the payload for sealing.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.u16(self.res_info.ingress);
+        w.u16(self.res_info.egress);
+        w.u32(self.res_info.res_id);
+        w.u16(self.res_info.bw_encoded);
+        w.u32(self.res_info.res_start);
+        w.u16(self.res_info.duration);
+        w.bytes(&self.key);
+        w.finish()
+    }
+
+    /// Parses a sealed payload after decryption.
+    pub fn decode(bytes: &[u8]) -> Result<Self, DecodeError> {
+        let mut r = Reader::new(bytes);
+        let p = ReservationPayload {
+            res_info: ResInfo {
+                ingress: r.u16()?,
+                egress: r.u16()?,
+                res_id: r.u32()?,
+                bw_encoded: r.u16()?,
+                res_start: r.u32()?,
+                duration: r.u16()?,
+            },
+            key: r.array::<16>()?,
+        };
+        r.finish()?;
+        Ok(p)
+    }
+}
+
+/// Errors from serving redeem requests.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ServiceError {
+    /// All ResIDs for the interface are taken — the AS is at its
+    /// monitoring capacity (§3.1: "each AS can individually decide and
+    /// limit the number of reservations that it can afford to monitor").
+    ResIdsExhausted,
+    /// The reservation's duration exceeds the 16-bit wire field.
+    DurationTooLong,
+    /// The reservation's start time does not fit the 32-bit wire field.
+    StartTimeOutOfRange,
+    /// Bandwidth does not fit the 10-bit wire encoding.
+    BandwidthOutOfRange,
+    /// The underlying ledger transaction failed.
+    Exec(ExecError),
+}
+
+impl From<ExecError> for ServiceError {
+    fn from(e: ExecError) -> Self {
+        ServiceError::Exec(e)
+    }
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::ResIdsExhausted => f.write_str("no free ResID for this interface"),
+            ServiceError::DurationTooLong => f.write_str("duration exceeds 16-bit field"),
+            ServiceError::StartTimeOutOfRange => f.write_str("start time exceeds 32-bit field"),
+            ServiceError::BandwidthOutOfRange => f.write_str("bandwidth not encodable"),
+            ServiceError::Exec(e) => write!(f, "ledger error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+/// A record of a reservation this AS has granted.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct IssuedReservation {
+    /// Data-plane parameters.
+    pub res_info: ResInfo,
+    /// Who redeemed it.
+    pub granted_to: Address,
+}
+
+/// The Hummingbird service of one AS.
+pub struct AsService {
+    /// The AS this service speaks for.
+    pub as_id: IsdAs,
+    /// Its on-chain account.
+    pub account: Address,
+    cert_key: SecretKey,
+    sv: SecretValue,
+    /// One ResID allocator per ingress interface (§4.1: IDs are unique per
+    /// interface pair; per-ingress unique IDs are "preferred" for
+    /// monitoring, which is what we implement).
+    allocators: HashMap<u16, FirstFit>,
+    res_id_cap: u32,
+    issued: Vec<IssuedReservation>,
+    auth_token: Option<ObjectId>,
+}
+
+impl AsService {
+    /// Creates a service. `sv_key` is the AS-local data-plane secret;
+    /// `cert_key` its PKI key; `res_id_cap` bounds ResIDs per ingress
+    /// interface (the policing-array size knob of §4.4).
+    pub fn new(as_id: IsdAs, cert_key: SecretKey, sv_key: [u8; 16], res_id_cap: u32) -> Self {
+        let account = Address::from_pubkey(&cert_key.public());
+        AsService {
+            as_id,
+            account,
+            cert_key,
+            sv: SecretValue::new(sv_key),
+            allocators: HashMap::new(),
+            res_id_cap,
+            issued: Vec::new(),
+            auth_token: None,
+        }
+    }
+
+    /// The secret value shared with this AS's border routers.
+    pub fn secret_value(&self) -> &SecretValue {
+        &self.sv
+    }
+
+    /// The PKI public key (to install as a trust anchor).
+    pub fn cert_public(&self) -> hummingbird_crypto::sig::PublicKey {
+        self.cert_key.public()
+    }
+
+    /// The auth token object, once registered.
+    pub fn auth_token(&self) -> Option<ObjectId> {
+        self.auth_token
+    }
+
+    /// Produces the PKI possession proof for registration.
+    pub fn registration_proof<R: Rng + ?Sized>(&self, rng: &mut R) -> Signature {
+        crate::pki::sign_registration(&self.cert_key, self.as_id, self.account, rng)
+    }
+
+    /// Registers this AS with the asset contract.
+    pub fn register<R: Rng + ?Sized>(
+        &mut self,
+        cp: &mut ControlPlane,
+        rng: &mut R,
+    ) -> CpResult<ObjectId> {
+        let proof = self.registration_proof(rng);
+        let receipt = cp.register_as(self.account, self.as_id, &proof)?;
+        self.auth_token = Some(receipt.value);
+        Ok(receipt)
+    }
+
+    /// Issues a bandwidth asset (must be registered first).
+    pub fn issue_asset(
+        &mut self,
+        cp: &mut ControlPlane,
+        asset: BandwidthAsset,
+    ) -> CpResult<ObjectId> {
+        let token = self.auth_token.ok_or_else(|| {
+            ExecError::Contract("AS not registered: no auth token".into())
+        })?;
+        cp.issue(self.account, token, asset)
+    }
+
+    /// Reservations this AS has granted so far.
+    pub fn issued(&self) -> &[IssuedReservation] {
+        &self.issued
+    }
+
+    /// Highest ResID in use on `ingress` (policing-array sizing).
+    pub fn res_id_high_water(&self, ingress: u16) -> Option<u32> {
+        self.allocators.get(&ingress).map(|a| a.high_water())
+    }
+
+    /// Recycles ResIDs of reservations that have expired by `now`.
+    pub fn expire_reservations(&mut self, now: u64) {
+        for alloc in self.allocators.values_mut() {
+            alloc.release_expired(now);
+        }
+    }
+
+    /// Serves every pending redeem request addressed to this AS: assigns a
+    /// ResID, derives `A_K` (Eq. 2), seals the payload to the requester's
+    /// ephemeral key and posts the delivery transaction. Returns the
+    /// delivery object IDs.
+    pub fn process_requests<R: Rng + ?Sized>(
+        &mut self,
+        cp: &mut ControlPlane,
+        rng: &mut R,
+    ) -> Result<Vec<ObjectId>, ServiceError> {
+        let pending = cp.pending_requests(self.account);
+        let mut delivered = Vec::with_capacity(pending.len());
+        for (request_id, request) in pending {
+            let delivery = self.build_delivery(&request, rng)?;
+            let receipt = cp.deliver_reservation(self.account, request_id, delivery)?;
+            delivered.push(receipt.value);
+        }
+        Ok(delivered)
+    }
+
+    /// Builds the sealed reservation for one redeem request.
+    fn build_delivery<R: Rng + ?Sized>(
+        &mut self,
+        request: &RedeemRequest,
+        rng: &mut R,
+    ) -> Result<EncryptedReservation, ServiceError> {
+        let asset = &request.asset;
+        let duration: u16 = asset
+            .duration()
+            .try_into()
+            .map_err(|_| ServiceError::DurationTooLong)?;
+        let res_start: u32 = asset
+            .start_time
+            .try_into()
+            .map_err(|_| ServiceError::StartTimeOutOfRange)?;
+        // Grant at most the purchased bandwidth on the wire (round down).
+        let bw_encoded =
+            bwcls::encode_floor(asset.bandwidth_kbps).ok_or(ServiceError::BandwidthOutOfRange)?;
+
+        let cap = self.res_id_cap;
+        let allocator = self
+            .allocators
+            .entry(asset.interface)
+            .or_insert_with(|| FirstFit::new(cap));
+        let res_id = allocator
+            .assign(Interval::new(asset.start_time, asset.expiry_time))
+            .ok_or(ServiceError::ResIdsExhausted)?;
+
+        let res_info = ResInfo {
+            ingress: asset.interface,
+            egress: request.egress_interface,
+            res_id,
+            bw_encoded,
+            res_start,
+            duration,
+        };
+        let key = self.sv.derive_key(&res_info);
+        let payload = ReservationPayload { res_info, key: key.to_bytes() };
+        let sealed = sealed::seal(&request.ephemeral_pk, &payload.encode(), rng);
+        self.issued.push(IssuedReservation { res_info, granted_to: request.requester });
+        Ok(EncryptedReservation { as_id: self.as_id, sealed })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn payload_roundtrip() {
+        let p = ReservationPayload {
+            res_info: ResInfo {
+                ingress: 1,
+                egress: 2,
+                res_id: 77,
+                bw_encoded: 200,
+                res_start: 1_700_000_000,
+                duration: 600,
+            },
+            key: [9u8; 16],
+        };
+        assert_eq!(ReservationPayload::decode(&p.encode()).unwrap(), p);
+    }
+
+    #[test]
+    fn payload_rejects_truncation() {
+        let p = ReservationPayload {
+            res_info: ResInfo {
+                ingress: 0,
+                egress: 0,
+                res_id: 0,
+                bw_encoded: 0,
+                res_start: 0,
+                duration: 0,
+            },
+            key: [0u8; 16],
+        };
+        let bytes = p.encode();
+        assert!(ReservationPayload::decode(&bytes[..bytes.len() - 1]).is_err());
+    }
+}

@@ -1,0 +1,170 @@
+//! Bidirectional reservation support (paper Appendix C).
+//!
+//! Hummingbird reservations are unidirectional, but because they are not
+//! bound to network identities, a source can obtain reservations for the
+//! *reverse* path and simply hand the authentication keys to the
+//! destination. Both directions are billed to the source; the destination
+//! uses the keys like any other Hummingbird sender.
+
+use hummingbird_control::GrantedReservation;
+use hummingbird_crypto::{AuthKey, ResInfo};
+use hummingbird_wire::IsdAs;
+
+/// A portable bundle of reservation credentials for one direction of a
+/// path, suitable for handing to the peer over any confidential channel.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ReservationBundle {
+    /// Per-hop entries in path order.
+    pub hops: Vec<BundleEntry>,
+}
+
+/// One hop's credentials.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BundleEntry {
+    /// Granting AS.
+    pub as_id: IsdAs,
+    /// Reservation parameters.
+    pub res_info: ResInfo,
+    /// Raw authentication key.
+    pub key: [u8; 16],
+}
+
+impl ReservationBundle {
+    /// Packages granted reservations for transfer to the destination.
+    pub fn from_grants(grants: &[GrantedReservation]) -> Self {
+        ReservationBundle {
+            hops: grants
+                .iter()
+                .map(|g| BundleEntry {
+                    as_id: g.as_id,
+                    res_info: g.res_info,
+                    key: g.key.to_bytes(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Reconstitutes usable reservations on the receiving side.
+    pub fn into_grants(self) -> Vec<GrantedReservation> {
+        self.hops
+            .into_iter()
+            .map(|e| GrantedReservation {
+                as_id: e.as_id,
+                res_info: e.res_info,
+                key: AuthKey::new(e.key),
+            })
+            .collect()
+    }
+
+    /// Serializes the bundle (e.g. to ship inside the forward channel).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(4 + self.hops.len() * 48);
+        out.extend_from_slice(&(self.hops.len() as u32).to_be_bytes());
+        for e in &self.hops {
+            out.extend_from_slice(&e.as_id.isd.to_be_bytes());
+            out.extend_from_slice(&e.as_id.asn.to_be_bytes());
+            out.extend_from_slice(&e.res_info.ingress.to_be_bytes());
+            out.extend_from_slice(&e.res_info.egress.to_be_bytes());
+            out.extend_from_slice(&e.res_info.res_id.to_be_bytes());
+            out.extend_from_slice(&e.res_info.bw_encoded.to_be_bytes());
+            out.extend_from_slice(&e.res_info.res_start.to_be_bytes());
+            out.extend_from_slice(&e.res_info.duration.to_be_bytes());
+            out.extend_from_slice(&e.key);
+        }
+        out
+    }
+
+    /// Parses a serialized bundle.
+    pub fn decode(bytes: &[u8]) -> Option<Self> {
+        let mut pos = 0usize;
+        let take = |pos: &mut usize, n: usize| -> Option<&[u8]> {
+            if *pos + n > bytes.len() {
+                return None;
+            }
+            let s = &bytes[*pos..*pos + n];
+            *pos += n;
+            Some(s)
+        };
+        let count = u32::from_be_bytes(take(&mut pos, 4)?.try_into().ok()?) as usize;
+        if count > 64 {
+            return None;
+        }
+        let mut hops = Vec::with_capacity(count);
+        for _ in 0..count {
+            let isd = u16::from_be_bytes(take(&mut pos, 2)?.try_into().ok()?);
+            let asn = u64::from_be_bytes(take(&mut pos, 8)?.try_into().ok()?);
+            let ingress = u16::from_be_bytes(take(&mut pos, 2)?.try_into().ok()?);
+            let egress = u16::from_be_bytes(take(&mut pos, 2)?.try_into().ok()?);
+            let res_id = u32::from_be_bytes(take(&mut pos, 4)?.try_into().ok()?);
+            let bw_encoded = u16::from_be_bytes(take(&mut pos, 2)?.try_into().ok()?);
+            let res_start = u32::from_be_bytes(take(&mut pos, 4)?.try_into().ok()?);
+            let duration = u16::from_be_bytes(take(&mut pos, 2)?.try_into().ok()?);
+            let key: [u8; 16] = take(&mut pos, 16)?.try_into().ok()?;
+            hops.push(BundleEntry {
+                as_id: IsdAs::new(isd, asn),
+                res_info: ResInfo { ingress, egress, res_id, bw_encoded, res_start, duration },
+                key,
+            });
+        }
+        if pos != bytes.len() {
+            return None;
+        }
+        Some(ReservationBundle { hops })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(i: u8) -> BundleEntry {
+        BundleEntry {
+            as_id: IsdAs::new(1, 0x1000 + u64::from(i)),
+            res_info: ResInfo {
+                ingress: u16::from(i),
+                egress: u16::from(i) + 1,
+                res_id: 100 + u32::from(i),
+                bw_encoded: 200,
+                res_start: 1_700_000_000,
+                duration: 600,
+            },
+            key: [i; 16],
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let b = ReservationBundle { hops: vec![entry(1), entry(2), entry(3)] };
+        assert_eq!(ReservationBundle::decode(&b.encode()), Some(b));
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let b = ReservationBundle { hops: vec![entry(1)] };
+        let bytes = b.encode();
+        assert_eq!(ReservationBundle::decode(&bytes[..bytes.len() - 1]), None);
+        let mut extra = bytes.clone();
+        extra.push(0);
+        assert_eq!(ReservationBundle::decode(&extra), None);
+    }
+
+    #[test]
+    fn absurd_count_rejected() {
+        let mut bytes = vec![0xff, 0xff, 0xff, 0xff];
+        bytes.extend_from_slice(&[0u8; 100]);
+        assert_eq!(ReservationBundle::decode(&bytes), None);
+    }
+
+    #[test]
+    fn grants_roundtrip() {
+        let grants = vec![GrantedReservation {
+            as_id: IsdAs::new(2, 9),
+            res_info: entry(5).res_info,
+            key: AuthKey::new([5u8; 16]),
+        }];
+        let bundle = ReservationBundle::from_grants(&grants);
+        let back = bundle.into_grants();
+        assert_eq!(back[0].res_info, grants[0].res_info);
+        assert_eq!(back[0].key, grants[0].key);
+    }
+}

@@ -1,0 +1,264 @@
+//! AES-128 block cipher (FIPS-197), implemented from scratch.
+//!
+//! Hummingbird computes every reservation key and per-packet authentication
+//! tag with `PRF = AES` (the paper uses AES-128 via AES-NI; see §7.1). This
+//! is a portable software implementation used by [`crate::cmac`] and by the
+//! single-block PRF in [`crate::flyover`].
+//!
+//! The implementation uses the byte-oriented S-box formulation with an
+//! `xtime`-based MixColumns, avoiding large lookup tables. It is validated
+//! against the FIPS-197 Appendix B/C vectors in the unit tests below.
+
+/// The AES block size in bytes.
+pub const BLOCK_SIZE: usize = 16;
+/// The AES-128 key size in bytes.
+pub const KEY_SIZE: usize = 16;
+/// Number of round keys for AES-128 (10 rounds + initial whitening).
+const ROUND_KEYS: usize = 11;
+
+/// Forward S-box (FIPS-197 Fig. 7).
+const SBOX: [u8; 256] = [
+    0x63, 0x7c, 0x77, 0x7b, 0xf2, 0x6b, 0x6f, 0xc5, 0x30, 0x01, 0x67, 0x2b, 0xfe, 0xd7, 0xab,
+    0x76, 0xca, 0x82, 0xc9, 0x7d, 0xfa, 0x59, 0x47, 0xf0, 0xad, 0xd4, 0xa2, 0xaf, 0x9c, 0xa4,
+    0x72, 0xc0, 0xb7, 0xfd, 0x93, 0x26, 0x36, 0x3f, 0xf7, 0xcc, 0x34, 0xa5, 0xe5, 0xf1, 0x71,
+    0xd8, 0x31, 0x15, 0x04, 0xc7, 0x23, 0xc3, 0x18, 0x96, 0x05, 0x9a, 0x07, 0x12, 0x80, 0xe2,
+    0xeb, 0x27, 0xb2, 0x75, 0x09, 0x83, 0x2c, 0x1a, 0x1b, 0x6e, 0x5a, 0xa0, 0x52, 0x3b, 0xd6,
+    0xb3, 0x29, 0xe3, 0x2f, 0x84, 0x53, 0xd1, 0x00, 0xed, 0x20, 0xfc, 0xb1, 0x5b, 0x6a, 0xcb,
+    0xbe, 0x39, 0x4a, 0x4c, 0x58, 0xcf, 0xd0, 0xef, 0xaa, 0xfb, 0x43, 0x4d, 0x33, 0x85, 0x45,
+    0xf9, 0x02, 0x7f, 0x50, 0x3c, 0x9f, 0xa8, 0x51, 0xa3, 0x40, 0x8f, 0x92, 0x9d, 0x38, 0xf5,
+    0xbc, 0xb6, 0xda, 0x21, 0x10, 0xff, 0xf3, 0xd2, 0xcd, 0x0c, 0x13, 0xec, 0x5f, 0x97, 0x44,
+    0x17, 0xc4, 0xa7, 0x7e, 0x3d, 0x64, 0x5d, 0x19, 0x73, 0x60, 0x81, 0x4f, 0xdc, 0x22, 0x2a,
+    0x90, 0x88, 0x46, 0xee, 0xb8, 0x14, 0xde, 0x5e, 0x0b, 0xdb, 0xe0, 0x32, 0x3a, 0x0a, 0x49,
+    0x06, 0x24, 0x5c, 0xc2, 0xd3, 0xac, 0x62, 0x91, 0x95, 0xe4, 0x79, 0xe7, 0xc8, 0x37, 0x6d,
+    0x8d, 0xd5, 0x4e, 0xa9, 0x6c, 0x56, 0xf4, 0xea, 0x65, 0x7a, 0xae, 0x08, 0xba, 0x78, 0x25,
+    0x2e, 0x1c, 0xa6, 0xb4, 0xc6, 0xe8, 0xdd, 0x74, 0x1f, 0x4b, 0xbd, 0x8b, 0x8a, 0x70, 0x3e,
+    0xb5, 0x66, 0x48, 0x03, 0xf6, 0x0e, 0x61, 0x35, 0x57, 0xb9, 0x86, 0xc1, 0x1d, 0x9e, 0xe1,
+    0xf8, 0x98, 0x11, 0x69, 0xd9, 0x8e, 0x94, 0x9b, 0x1e, 0x87, 0xe9, 0xce, 0x55, 0x28, 0xdf,
+    0x8c, 0xa1, 0x89, 0x0d, 0xbf, 0xe6, 0x42, 0x68, 0x41, 0x99, 0x2d, 0x0f, 0xb0, 0x54, 0xbb,
+    0x16,
+];
+
+/// Round constants for the key schedule.
+const RCON: [u8; 10] = [0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1b, 0x36];
+
+#[inline]
+fn xtime(b: u8) -> u8 {
+    (b << 1) ^ (((b >> 7) & 1) * 0x1b)
+}
+
+/// An expanded AES-128 key, ready for encryption.
+///
+/// Expansion is done once; encrypting a block is then allocation-free.
+#[derive(Clone)]
+pub struct Aes128 {
+    round_keys: [[u8; 16]; ROUND_KEYS],
+}
+
+impl std::fmt::Debug for Aes128 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Never print key material.
+        f.write_str("Aes128 {{ .. }}")
+    }
+}
+
+impl Aes128 {
+    /// Expands `key` into the 11 round keys (FIPS-197 §5.2).
+    pub fn new(key: &[u8; KEY_SIZE]) -> Self {
+        let mut rk = [[0u8; 16]; ROUND_KEYS];
+        rk[0] = *key;
+        let mut prev = *key;
+        for round in 1..ROUND_KEYS {
+            let mut w = [prev[12], prev[13], prev[14], prev[15]];
+            // RotWord + SubWord + Rcon
+            w.rotate_left(1);
+            for b in w.iter_mut() {
+                *b = SBOX[*b as usize];
+            }
+            w[0] ^= RCON[round - 1];
+            let mut cur = [0u8; 16];
+            for i in 0..4 {
+                cur[i] = prev[i] ^ w[i];
+            }
+            for i in 4..16 {
+                cur[i] = prev[i] ^ cur[i - 4];
+            }
+            rk[round] = cur;
+            prev = cur;
+        }
+        Aes128 { round_keys: rk }
+    }
+
+    /// Encrypts a single 16-byte block in place.
+    pub fn encrypt_block(&self, block: &mut [u8; BLOCK_SIZE]) {
+        add_round_key(block, &self.round_keys[0]);
+        for round in 1..10 {
+            sub_bytes(block);
+            shift_rows(block);
+            mix_columns(block);
+            add_round_key(block, &self.round_keys[round]);
+        }
+        sub_bytes(block);
+        shift_rows(block);
+        add_round_key(block, &self.round_keys[10]);
+    }
+
+    /// Encrypts a block, returning the ciphertext.
+    #[inline]
+    pub fn encrypt(&self, block: &[u8; BLOCK_SIZE]) -> [u8; BLOCK_SIZE] {
+        let mut out = *block;
+        self.encrypt_block(&mut out);
+        out
+    }
+}
+
+#[inline]
+fn add_round_key(state: &mut [u8; 16], rk: &[u8; 16]) {
+    for i in 0..16 {
+        state[i] ^= rk[i];
+    }
+}
+
+#[inline]
+fn sub_bytes(state: &mut [u8; 16]) {
+    for b in state.iter_mut() {
+        *b = SBOX[*b as usize];
+    }
+}
+
+/// State is column-major: byte `state[4*c + r]` is row `r`, column `c`.
+#[inline]
+fn shift_rows(state: &mut [u8; 16]) {
+    // Row 1: shift left by 1.
+    let t = state[1];
+    state[1] = state[5];
+    state[5] = state[9];
+    state[9] = state[13];
+    state[13] = t;
+    // Row 2: shift left by 2.
+    state.swap(2, 10);
+    state.swap(6, 14);
+    // Row 3: shift left by 3 (= right by 1).
+    let t = state[15];
+    state[15] = state[11];
+    state[11] = state[7];
+    state[7] = state[3];
+    state[3] = t;
+}
+
+#[inline]
+fn mix_columns(state: &mut [u8; 16]) {
+    for c in 0..4 {
+        let col = &mut state[4 * c..4 * c + 4];
+        let a0 = col[0];
+        let a1 = col[1];
+        let a2 = col[2];
+        let a3 = col[3];
+        let all = a0 ^ a1 ^ a2 ^ a3;
+        col[0] = a0 ^ all ^ xtime(a0 ^ a1);
+        col[1] = a1 ^ all ^ xtime(a1 ^ a2);
+        col[2] = a2 ^ all ^ xtime(a2 ^ a3);
+        col[3] = a3 ^ all ^ xtime(a3 ^ a0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex16(s: &str) -> [u8; 16] {
+        let mut out = [0u8; 16];
+        for (i, b) in out.iter_mut().enumerate() {
+            *b = u8::from_str_radix(&s[2 * i..2 * i + 2], 16).unwrap();
+        }
+        out
+    }
+
+    #[test]
+    fn fips197_appendix_b() {
+        // FIPS-197 Appendix B worked example.
+        let key = hex16("2b7e151628aed2a6abf7158809cf4f3c");
+        let pt = hex16("3243f6a8885a308d313198a2e0370734");
+        let ct = Aes128::new(&key).encrypt(&pt);
+        assert_eq!(ct, hex16("3925841d02dc09fbdc118597196a0b32"));
+    }
+
+    #[test]
+    fn fips197_appendix_c1() {
+        // FIPS-197 Appendix C.1 AES-128 example vector.
+        let key = hex16("000102030405060708090a0b0c0d0e0f");
+        let pt = hex16("00112233445566778899aabbccddeeff");
+        let ct = Aes128::new(&key).encrypt(&pt);
+        assert_eq!(ct, hex16("69c4e0d86a7b0430d8cdb78070b4c55a"));
+    }
+
+    #[test]
+    fn nist_cavp_varkey_first() {
+        // NIST CAVP ECBVarKey128 count 0: key = 0x80||0..0, pt = 0.
+        let mut key = [0u8; 16];
+        key[0] = 0x80;
+        let pt = [0u8; 16];
+        let ct = Aes128::new(&key).encrypt(&pt);
+        assert_eq!(ct, hex16("0edd33d3c621e546455bd8ba1418bec8"));
+    }
+
+    #[test]
+    fn nist_cavp_vartxt_first() {
+        // NIST CAVP ECBVarTxt128 count 0: key = 0, pt = 0x80||0..0.
+        let key = [0u8; 16];
+        let mut pt = [0u8; 16];
+        pt[0] = 0x80;
+        let ct = Aes128::new(&key).encrypt(&pt);
+        assert_eq!(ct, hex16("3ad78e726c1ec02b7ebfe92b23d9ec34"));
+    }
+
+    #[test]
+    fn nist_cavp_gfsbox_vectors() {
+        // NIST CAVP ECBGFSbox128: key = 0, varying plaintexts.
+        let key = [0u8; 16];
+        let cipher = Aes128::new(&key);
+        let cases = [
+            ("f34481ec3cc627bacd5dc3fb08f273e6", "0336763e966d92595a567cc9ce537f5e"),
+            ("9798c4640bad75c7c3227db910174e72", "a9a1631bf4996954ebc093957b234589"),
+            ("96ab5c2ff612d9dfaae8c31f30c42168", "ff4f8391a6a40ca5b25d23bedd44a597"),
+            ("6a118a874519e64e9963798a503f1d35", "dc43be40be0e53712f7e2bf5ca707209"),
+            ("cb9fceec81286ca3e989bd979b0cb284", "92beedab1895a94faa69b632e5cc47ce"),
+            ("b26aeb1874e47ca8358ff22378f09144", "459264f4798f6a78bacb89c15ed3d601"),
+            ("58c8e00b2631686d54eab84b91f0aca1", "08a4e2efec8a8e3312ca7460b9040bbf"),
+        ];
+        for (pt, ct) in cases {
+            assert_eq!(cipher.encrypt(&hex16(pt)), hex16(ct), "GFSbox pt {pt}");
+        }
+    }
+
+    #[test]
+    fn nist_cavp_keysbox_vectors() {
+        // NIST CAVP ECBKeySbox128: plaintext = 0, varying keys.
+        let pt = [0u8; 16];
+        let cases = [
+            ("10a58869d74be5a374cf867cfb473859", "6d251e6944b051e04eaa6fb4dbf78465"),
+            ("caea65cdbb75e9169ecd22ebe6e54675", "6e29201190152df4ee058139def610bb"),
+            ("a2e2fa9baf7d20822ca9f0542f764a41", "c3b44b95d9d2f25670eee9a0de099fa3"),
+            ("b6364ac4e1de1e285eaf144a2415f7a0", "5d9b05578fc944b3cf1ccf0e746cd581"),
+            ("64cf9c7abc50b888af65f49d521944b2", "f7efc89d5dba578104016ce5ad659c05"),
+        ];
+        for (key, ct) in cases {
+            assert_eq!(Aes128::new(&hex16(key)).encrypt(&pt), hex16(ct), "KeySbox {key}");
+        }
+    }
+
+    #[test]
+    fn encrypt_is_deterministic_and_key_sensitive() {
+        let k1 = Aes128::new(&[1u8; 16]);
+        let k2 = Aes128::new(&[2u8; 16]);
+        let pt = [7u8; 16];
+        assert_eq!(k1.encrypt(&pt), k1.encrypt(&pt));
+        assert_ne!(k1.encrypt(&pt), k2.encrypt(&pt));
+    }
+
+    #[test]
+    fn debug_does_not_leak_key() {
+        let k = Aes128::new(&[0x42u8; 16]);
+        let s = format!("{k:?}");
+        assert!(!s.contains("42"));
+    }
+}

@@ -1,0 +1,345 @@
+//! Reservation authentication (paper §4.1, §4.3, Appendix A.4/A.6).
+//!
+//! This module implements the three cryptographic derivations at the heart
+//! of the Hummingbird data plane:
+//!
+//! 1. the **reservation authentication key** `A_K = PRF_SV(ResInfo_K)`
+//!    (Eq. 2), derived by the granting AS from its secret value `SV_K` over
+//!    the exact 16-byte layout of Fig. 12;
+//! 2. the **per-packet flyover MAC**
+//!    `V_K = PRF_A(DstAddr ∥ PktLen ∥ TS)[:ℓ_tag]` (Eq. 3 / Eq. 7a) over the
+//!    16-byte layout of Fig. 11, truncated to [`TAG_LEN`] = 6 bytes;
+//! 3. the **aggregate MAC** `AggMAC = HopFieldMAC ⊕ FlyoverMAC` (Eq. 6),
+//!    which folds the flyover tag into the SCION hop-field MAC so the tag
+//!    costs no extra header bytes.
+//!
+//! Both PRF inputs are exactly one AES block, so the PRF costs a single
+//! AES-128 invocation — this is what makes the paper's 308 ns border-router
+//! budget possible.
+
+use crate::aes::Aes128;
+
+
+/// Tag length ℓ_tag in bytes (§5.4: 6 bytes ⇒ ~2^47 online brute-force work).
+pub const TAG_LEN: usize = 6;
+
+/// A 6-byte truncated MAC tag as carried in the packet header.
+pub type Tag = [u8; TAG_LEN];
+
+/// The static description of one flyover reservation (Eq. 1).
+///
+/// `ResInfo_K = (In, Eg, ResID, BW, StrT, Dur)`. The granting AS is implied
+/// by the key used to authenticate it, not stored in the packet.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ResInfo {
+    /// Ingress interface ID (`ConsIngress`).
+    pub ingress: u16,
+    /// Egress interface ID (`ConsEgress`).
+    pub egress: u16,
+    /// Reservation ID, unique per interface pair within the validity period.
+    /// 22-bit field on the wire (≈4 M concurrent reservations).
+    pub res_id: u32,
+    /// Reserved bandwidth in the 10-bit wire encoding (see
+    /// `hummingbird_wire::bwcls`). The *encoded* value is authenticated.
+    pub bw_encoded: u16,
+    /// Absolute reservation start time (Unix seconds).
+    pub res_start: u32,
+    /// Reservation duration in seconds (16-bit on the wire).
+    pub duration: u16,
+}
+
+/// Maximum encodable ResID (22 bits).
+pub const RES_ID_MAX: u32 = (1 << 22) - 1;
+/// Maximum encodable bandwidth class (10 bits).
+pub const BW_ENC_MAX: u16 = (1 << 10) - 1;
+
+impl ResInfo {
+    /// Serializes to the 16-byte key-derivation input of Fig. 12:
+    ///
+    /// ```text
+    ///  0..2  ConsIngress      2..4  ConsEgress
+    ///  4..8  ResID(22) ∥ BW(10)
+    ///  8..12 ResStart
+    /// 12..14 ResDuration     14..16 zero padding
+    /// ```
+    pub fn to_kdf_block(&self) -> [u8; 16] {
+        debug_assert!(self.res_id <= RES_ID_MAX, "ResID exceeds 22 bits");
+        debug_assert!(self.bw_encoded <= BW_ENC_MAX, "BW exceeds 10 bits");
+        let mut b = [0u8; 16];
+        b[0..2].copy_from_slice(&self.ingress.to_be_bytes());
+        b[2..4].copy_from_slice(&self.egress.to_be_bytes());
+        let packed: u32 = (self.res_id << 10) | u32::from(self.bw_encoded & BW_ENC_MAX);
+        b[4..8].copy_from_slice(&packed.to_be_bytes());
+        b[8..12].copy_from_slice(&self.res_start.to_be_bytes());
+        b[12..14].copy_from_slice(&self.duration.to_be_bytes());
+        // b[14..16] stays zero (Fig. 12 "0 ∥ Padding").
+        b
+    }
+
+    /// Absolute expiration time (`ResStart + ResDuration`).
+    pub fn expiry(&self) -> u32 {
+        self.res_start.saturating_add(u32::from(self.duration))
+    }
+
+    /// Whether `now` (Unix seconds) falls within `[ResStart, ResExp]`.
+    ///
+    /// Per Appendix A.7, the clock skew is deliberately *not* applied here to
+    /// avoid double-counting traffic across adjacent reservations that share
+    /// a ResID.
+    pub fn is_active_at(&self, now: u32) -> bool {
+        now >= self.res_start && now <= self.expiry()
+    }
+}
+
+/// The AS-local secret value `SV_K` shared among its border routers.
+///
+/// Both PRF inputs in Hummingbird (Fig. 11 and Fig. 12) are exactly one
+/// AES block, so the PRF is instantiated as a single raw AES-128
+/// invocation — a PRP used as a PRF, which is what the paper's DPDK
+/// implementation does ("Compute authentication key (A_i): 43 ns" = one
+/// AES-NI block). [`crate::cmac`] remains available for variable-length
+/// inputs elsewhere in the system.
+#[derive(Clone)]
+pub struct SecretValue {
+    cipher: Aes128,
+}
+
+impl std::fmt::Debug for SecretValue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("SecretValue {{ .. }}")
+    }
+}
+
+impl SecretValue {
+    /// Creates a secret value from 16 raw bytes.
+    pub fn new(key: [u8; 16]) -> Self {
+        SecretValue { cipher: Aes128::new(&key) }
+    }
+
+    /// Derives the reservation authentication key `A_K` (Eq. 2),
+    /// including the AES key extension of the result.
+    pub fn derive_key(&self, info: &ResInfo) -> AuthKey {
+        AuthKey::new(self.derive_key_bytes(info))
+    }
+
+    /// Derives only the raw key bytes without the AES key extension — the
+    /// "Compute authentication key" step of Table 3 in isolation.
+    #[inline]
+    pub fn derive_key_bytes(&self, info: &ResInfo) -> [u8; 16] {
+        self.cipher.encrypt(&info.to_kdf_block())
+    }
+}
+
+/// A reservation authentication key `A_K`, expanded and ready to MAC packets.
+#[derive(Clone)]
+pub struct AuthKey {
+    key: [u8; 16],
+    cipher: Aes128,
+}
+
+impl std::fmt::Debug for AuthKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("AuthKey {{ .. }}")
+    }
+}
+
+impl PartialEq for AuthKey {
+    fn eq(&self, other: &Self) -> bool {
+        crate::hmac::ct_eq(&self.key, &other.key)
+    }
+}
+impl Eq for AuthKey {}
+
+impl AuthKey {
+    /// Wraps raw key bytes (e.g. received through the control plane) and
+    /// performs the AES key expansion ("AES-extend" step of Table 3).
+    pub fn new(key: [u8; 16]) -> Self {
+        AuthKey { key, cipher: Aes128::new(&key) }
+    }
+
+    /// Raw key bytes, for control-plane delivery (always sent sealed).
+    pub fn to_bytes(&self) -> [u8; 16] {
+        self.key
+    }
+
+    /// Computes the flyover MAC `V_K` (Eq. 7a) over the per-packet input:
+    /// one AES invocation (the input of Fig. 11 is a single block),
+    /// truncated to [`TAG_LEN`] bytes.
+    #[inline]
+    pub fn flyover_mac(&self, input: &FlyoverMacInput) -> Tag {
+        let full = self.cipher.encrypt(&input.to_block());
+        let mut tag = [0u8; TAG_LEN];
+        tag.copy_from_slice(&full[..TAG_LEN]);
+        tag
+    }
+}
+
+/// The per-packet MAC input of Fig. 11 (exactly one AES block):
+///
+/// ```text
+///  0..4   DstISD (16-bit value in a 32-bit slot)
+///  4..8   DstAS (low 32 bits)
+///  8..10  PktLen          10..12 ResStartOffset
+/// 12..14  MillisTimestamp 14..16 Counter
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FlyoverMacInput {
+    /// Destination ISD identifier.
+    pub dst_isd: u16,
+    /// Destination AS number (SCION ASes are 48-bit; the MAC input carries
+    /// the low 32 bits so the whole input fits one AES block).
+    pub dst_as: u64,
+    /// Total packet length (Eq. 7d: `PayloadLen + 4·HdrLen`).
+    pub pkt_len: u16,
+    /// Offset of the reservation start from `BaseTimestamp` (seconds).
+    pub res_start_offset: u16,
+    /// Millisecond-granularity timestamp offset from `BaseTimestamp`.
+    pub millis_ts: u16,
+    /// Per-packet counter making `(BaseTS, MillisTS, Counter)` unique.
+    pub counter: u16,
+}
+
+impl FlyoverMacInput {
+    /// Serializes to the 16-byte block of Fig. 11.
+    pub fn to_block(&self) -> [u8; 16] {
+        let mut b = [0u8; 16];
+        b[2..4].copy_from_slice(&self.dst_isd.to_be_bytes());
+        b[4..8].copy_from_slice(&((self.dst_as & 0xffff_ffff) as u32).to_be_bytes());
+        b[8..10].copy_from_slice(&self.pkt_len.to_be_bytes());
+        b[10..12].copy_from_slice(&self.res_start_offset.to_be_bytes());
+        b[12..14].copy_from_slice(&self.millis_ts.to_be_bytes());
+        b[14..16].copy_from_slice(&self.counter.to_be_bytes());
+        b
+    }
+}
+
+/// Aggregates (or strips) a flyover MAC into a hop-field MAC (Eq. 6).
+///
+/// XOR is an involution, so the same function both combines at the source
+/// and recovers the plain hop-field MAC at the router.
+pub fn aggregate_mac(hop_field_mac: &Tag, flyover_mac: &Tag) -> Tag {
+    let mut out = [0u8; TAG_LEN];
+    for i in 0..TAG_LEN {
+        out[i] = hop_field_mac[i] ^ flyover_mac[i];
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_info() -> ResInfo {
+        ResInfo {
+            ingress: 2,
+            egress: 7,
+            res_id: 1234,
+            bw_encoded: 321,
+            res_start: 1_700_000_000,
+            duration: 300,
+        }
+    }
+
+    #[test]
+    fn kdf_block_layout() {
+        let info = ResInfo {
+            ingress: 0x0102,
+            egress: 0x0304,
+            res_id: 0x3F_FFFF, // max 22-bit
+            bw_encoded: 0x3FF,  // max 10-bit
+            res_start: 0xAABBCCDD,
+            duration: 0x1122,
+        };
+        let b = info.to_kdf_block();
+        assert_eq!(&b[0..2], &[0x01, 0x02]);
+        assert_eq!(&b[2..4], &[0x03, 0x04]);
+        // (0x3FFFFF << 10) | 0x3FF = 0xFFFFFFFF
+        assert_eq!(&b[4..8], &[0xFF, 0xFF, 0xFF, 0xFF]);
+        assert_eq!(&b[8..12], &[0xAA, 0xBB, 0xCC, 0xDD]);
+        assert_eq!(&b[12..14], &[0x11, 0x22]);
+        assert_eq!(&b[14..16], &[0, 0]);
+    }
+
+    #[test]
+    fn derive_key_deterministic_per_sv() {
+        let sv1 = SecretValue::new([1u8; 16]);
+        let sv2 = SecretValue::new([2u8; 16]);
+        let info = sample_info();
+        assert_eq!(sv1.derive_key(&info), sv1.derive_key(&info));
+        assert_ne!(sv1.derive_key(&info), sv2.derive_key(&info));
+    }
+
+    #[test]
+    fn key_changes_with_any_resinfo_field() {
+        let sv = SecretValue::new([3u8; 16]);
+        let base = sample_info();
+        let k = sv.derive_key(&base);
+        let variations = [
+            ResInfo { ingress: 3, ..base },
+            ResInfo { egress: 8, ..base },
+            ResInfo { res_id: 1235, ..base },
+            ResInfo { bw_encoded: 322, ..base },
+            ResInfo { res_start: base.res_start + 1, ..base },
+            ResInfo { duration: 301, ..base },
+        ];
+        for v in variations {
+            assert_ne!(sv.derive_key(&v), k, "field change must alter key: {v:?}");
+        }
+    }
+
+    #[test]
+    fn flyover_mac_is_6_bytes_and_input_sensitive() {
+        let sv = SecretValue::new([4u8; 16]);
+        let key = sv.derive_key(&sample_info());
+        let input = FlyoverMacInput {
+            dst_isd: 1,
+            dst_as: 0xff00_0000_0110,
+            pkt_len: 1500,
+            res_start_offset: 60,
+            millis_ts: 345,
+            counter: 9,
+        };
+        let tag = key.flyover_mac(&input);
+        assert_eq!(tag.len(), TAG_LEN);
+        let tag2 = key.flyover_mac(&FlyoverMacInput { counter: 10, ..input });
+        assert_ne!(tag, tag2, "counter must be authenticated");
+        let tag3 = key.flyover_mac(&FlyoverMacInput { pkt_len: 1501, ..input });
+        assert_ne!(tag, tag3, "packet length must be authenticated");
+        let tag4 = key.flyover_mac(&FlyoverMacInput { dst_isd: 2, ..input });
+        assert_ne!(tag, tag4, "destination must be authenticated (anti-stealing)");
+    }
+
+    #[test]
+    fn aggregate_mac_is_involution() {
+        let hf = [1, 2, 3, 4, 5, 6];
+        let fly = [9, 9, 9, 9, 9, 9];
+        let agg = aggregate_mac(&hf, &fly);
+        assert_eq!(aggregate_mac(&agg, &fly), hf);
+        assert_eq!(aggregate_mac(&agg, &hf), fly);
+    }
+
+    #[test]
+    fn auth_key_roundtrips_via_bytes() {
+        let sv = SecretValue::new([5u8; 16]);
+        let k = sv.derive_key(&sample_info());
+        let k2 = AuthKey::new(k.to_bytes());
+        let input = FlyoverMacInput {
+            dst_isd: 1,
+            dst_as: 2,
+            pkt_len: 100,
+            res_start_offset: 0,
+            millis_ts: 0,
+            counter: 0,
+        };
+        assert_eq!(k.flyover_mac(&input), k2.flyover_mac(&input));
+    }
+
+    #[test]
+    fn activity_window_inclusive() {
+        let info = sample_info();
+        assert!(!info.is_active_at(info.res_start - 1));
+        assert!(info.is_active_at(info.res_start));
+        assert!(info.is_active_at(info.expiry()));
+        assert!(!info.is_active_at(info.expiry() + 1));
+    }
+}

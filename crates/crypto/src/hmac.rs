@@ -1,0 +1,131 @@
+//! HMAC-SHA-256 (RFC 2104), validated against RFC 4231 vectors.
+//!
+//! Used as a KDF and by the sealed-box construction in [`crate::sealed`].
+
+use crate::sha256::Sha256;
+
+const BLOCK: usize = 64;
+
+/// Computes HMAC-SHA-256 over `msg` with `key` (any length).
+pub fn hmac_sha256(key: &[u8], msg: &[u8]) -> [u8; 32] {
+    let mut k = [0u8; BLOCK];
+    if key.len() > BLOCK {
+        let d = Sha256::digest(key);
+        k[..32].copy_from_slice(&d);
+    } else {
+        k[..key.len()].copy_from_slice(key);
+    }
+    let mut ipad = [0x36u8; BLOCK];
+    let mut opad = [0x5cu8; BLOCK];
+    for i in 0..BLOCK {
+        ipad[i] ^= k[i];
+        opad[i] ^= k[i];
+    }
+    let mut inner = Sha256::new();
+    inner.update(&ipad);
+    inner.update(msg);
+    let inner_digest = inner.finalize();
+    let mut outer = Sha256::new();
+    outer.update(&opad);
+    outer.update(&inner_digest);
+    outer.finalize()
+}
+
+/// Simple HKDF-like expansion: derives `n` 32-byte blocks from `key`/`info`.
+pub fn kdf_expand(key: &[u8], info: &[u8], out: &mut [u8]) {
+    let mut counter = 1u8;
+    let mut prev: Vec<u8> = Vec::new();
+    let mut written = 0;
+    while written < out.len() {
+        let mut msg = prev.clone();
+        msg.extend_from_slice(info);
+        msg.push(counter);
+        let block = hmac_sha256(key, &msg);
+        let take = (out.len() - written).min(32);
+        out[written..written + take].copy_from_slice(&block[..take]);
+        prev = block.to_vec();
+        written += take;
+        counter = counter.wrapping_add(1);
+    }
+}
+
+/// Constant-time byte-slice equality (length must match).
+pub fn ct_eq(a: &[u8], b: &[u8]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut acc = 0u8;
+    for (x, y) in a.iter().zip(b.iter()) {
+        acc |= x ^ y;
+    }
+    acc == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(s: &str) -> Vec<u8> {
+        (0..s.len() / 2)
+            .map(|i| u8::from_str_radix(&s[2 * i..2 * i + 2], 16).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn rfc4231_case_1() {
+        let key = [0x0bu8; 20];
+        let out = hmac_sha256(&key, b"Hi There");
+        assert_eq!(
+            out.to_vec(),
+            hex("b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7")
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_2() {
+        let out = hmac_sha256(b"Jefe", b"what do ya want for nothing?");
+        assert_eq!(
+            out.to_vec(),
+            hex("5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843")
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_3() {
+        let key = [0xaau8; 20];
+        let msg = [0xddu8; 50];
+        let out = hmac_sha256(&key, &msg);
+        assert_eq!(
+            out.to_vec(),
+            hex("773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe")
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_6_long_key() {
+        let key = [0xaau8; 131];
+        let out = hmac_sha256(&key, b"Test Using Larger Than Block-Size Key - Hash Key First");
+        assert_eq!(
+            out.to_vec(),
+            hex("60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54")
+        );
+    }
+
+    #[test]
+    fn kdf_expand_fills_requested_length() {
+        let mut out = [0u8; 80];
+        kdf_expand(b"secret", b"context", &mut out);
+        assert!(out.iter().any(|&b| b != 0));
+        // Different info yields different output.
+        let mut out2 = [0u8; 80];
+        kdf_expand(b"secret", b"other", &mut out2);
+        assert_ne!(out, out2);
+    }
+
+    #[test]
+    fn ct_eq_behaves() {
+        assert!(ct_eq(b"abc", b"abc"));
+        assert!(!ct_eq(b"abc", b"abd"));
+        assert!(!ct_eq(b"abc", b"abcd"));
+    }
+}

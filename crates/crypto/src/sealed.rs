@@ -1,0 +1,171 @@
+//! Sealed-box hybrid encryption for reservation delivery.
+//!
+//! In the redeem flow (§4.2, steps ❺–❽), the end host includes an ephemeral
+//! public key in its redeem request; the issuing AS encrypts
+//! `(ResInfo_K, A_K)` under that key before posting it back through the asset
+//! contract, so the authentication key never appears in plaintext on chain.
+//!
+//! Construction (ECIES-style over the demo Schnorr group):
+//! `eph = G^r`, `shared = DH(r, recipient)`, keys = KDF(shared),
+//! ciphertext = stream-XOR (AES-CTR) and tag = HMAC-SHA-256 over
+//! `eph ∥ nonce ∥ ciphertext` (encrypt-then-MAC).
+
+use crate::aes::Aes128;
+use crate::hmac::{ct_eq, hmac_sha256, kdf_expand};
+use crate::sig::{PublicKey, SecretKey};
+use rand::Rng;
+
+/// A sealed (encrypted + authenticated) message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SealedBox {
+    /// Sender's ephemeral public key.
+    pub ephemeral: PublicKey,
+    /// Random 16-byte nonce (CTR IV).
+    pub nonce: [u8; 16],
+    /// AES-CTR ciphertext.
+    pub ciphertext: Vec<u8>,
+    /// HMAC-SHA-256 tag (truncated to 16 bytes).
+    pub tag: [u8; 16],
+}
+
+/// Errors from opening a sealed box.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SealError {
+    /// The authentication tag did not verify.
+    TagMismatch,
+}
+
+impl std::fmt::Display for SealError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SealError::TagMismatch => f.write_str("sealed box authentication tag mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for SealError {}
+
+fn derive_keys(shared: &[u8; 32], eph: &PublicKey) -> ([u8; 16], [u8; 32]) {
+    let mut okm = [0u8; 48];
+    let mut info = Vec::with_capacity(32);
+    info.extend_from_slice(b"hummingbird-sealed-box");
+    info.extend_from_slice(&eph.to_bytes());
+    kdf_expand(shared, &info, &mut okm);
+    let mut enc = [0u8; 16];
+    enc.copy_from_slice(&okm[..16]);
+    let mut mac = [0u8; 32];
+    mac.copy_from_slice(&okm[16..48]);
+    (enc, mac)
+}
+
+fn ctr_xor(key: &[u8; 16], nonce: &[u8; 16], data: &mut [u8]) {
+    let cipher = Aes128::new(key);
+    let mut counter = u128::from_be_bytes(*nonce);
+    for chunk in data.chunks_mut(16) {
+        let ks = cipher.encrypt(&counter.to_be_bytes());
+        for (b, k) in chunk.iter_mut().zip(ks.iter()) {
+            *b ^= k;
+        }
+        counter = counter.wrapping_add(1);
+    }
+}
+
+fn mac_input(eph: &PublicKey, nonce: &[u8; 16], ciphertext: &[u8]) -> Vec<u8> {
+    let mut m = Vec::with_capacity(32 + ciphertext.len());
+    m.extend_from_slice(&eph.to_bytes());
+    m.extend_from_slice(nonce);
+    m.extend_from_slice(ciphertext);
+    m
+}
+
+/// Encrypts `plaintext` to `recipient`.
+pub fn seal<R: Rng + ?Sized>(recipient: &PublicKey, plaintext: &[u8], rng: &mut R) -> SealedBox {
+    let eph_sk = SecretKey::generate(rng);
+    let eph = eph_sk.public();
+    let shared = eph_sk.dh(recipient);
+    let (enc_key, mac_key) = derive_keys(&shared, &eph);
+    let mut nonce = [0u8; 16];
+    rng.fill(&mut nonce);
+    let mut ciphertext = plaintext.to_vec();
+    ctr_xor(&enc_key, &nonce, &mut ciphertext);
+    let full_tag = hmac_sha256(&mac_key, &mac_input(&eph, &nonce, &ciphertext));
+    let mut tag = [0u8; 16];
+    tag.copy_from_slice(&full_tag[..16]);
+    SealedBox { ephemeral: eph, nonce, ciphertext, tag }
+}
+
+/// Decrypts a sealed box with the recipient's secret key.
+pub fn open(recipient: &SecretKey, boxed: &SealedBox) -> Result<Vec<u8>, SealError> {
+    let shared = recipient.dh(&boxed.ephemeral);
+    let (enc_key, mac_key) = derive_keys(&shared, &boxed.ephemeral);
+    let full_tag = hmac_sha256(
+        &mac_key,
+        &mac_input(&boxed.ephemeral, &boxed.nonce, &boxed.ciphertext),
+    );
+    if !ct_eq(&full_tag[..16], &boxed.tag) {
+        return Err(SealError::TagMismatch);
+    }
+    let mut plaintext = boxed.ciphertext.clone();
+    ctr_xor(&enc_key, &boxed.nonce, &mut plaintext);
+    Ok(plaintext)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn seal_open_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let sk = SecretKey::generate(&mut rng);
+        let msg = b"ResInfo || A_K delivery payload";
+        let boxed = seal(&sk.public(), msg, &mut rng);
+        assert_eq!(open(&sk, &boxed).unwrap(), msg);
+    }
+
+    #[test]
+    fn wrong_recipient_fails() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let sk = SecretKey::generate(&mut rng);
+        let other = SecretKey::generate(&mut rng);
+        let boxed = seal(&sk.public(), b"secret", &mut rng);
+        assert_eq!(open(&other, &boxed), Err(SealError::TagMismatch));
+    }
+
+    #[test]
+    fn tampered_ciphertext_fails() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let sk = SecretKey::generate(&mut rng);
+        let mut boxed = seal(&sk.public(), b"secret payload", &mut rng);
+        boxed.ciphertext[0] ^= 1;
+        assert_eq!(open(&sk, &boxed), Err(SealError::TagMismatch));
+    }
+
+    #[test]
+    fn tampered_nonce_fails() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let sk = SecretKey::generate(&mut rng);
+        let mut boxed = seal(&sk.public(), b"secret payload", &mut rng);
+        boxed.nonce[3] ^= 0x80;
+        assert_eq!(open(&sk, &boxed), Err(SealError::TagMismatch));
+    }
+
+    #[test]
+    fn empty_plaintext_ok() {
+        let mut rng = StdRng::seed_from_u64(14);
+        let sk = SecretKey::generate(&mut rng);
+        let boxed = seal(&sk.public(), b"", &mut rng);
+        assert_eq!(open(&sk, &boxed).unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn ciphertexts_are_randomized() {
+        let mut rng = StdRng::seed_from_u64(15);
+        let sk = SecretKey::generate(&mut rng);
+        let a = seal(&sk.public(), b"same message", &mut rng);
+        let b = seal(&sk.public(), b"same message", &mut rng);
+        assert_ne!(a.ciphertext, b.ciphertext);
+    }
+}

@@ -1,0 +1,323 @@
+//! Schnorr signatures and Diffie-Hellman over a Schnorr group (demo-grade).
+//!
+//! Hummingbird's control plane assumes a PKI for ASes (RPKI or SCION CP-PKI,
+//! §3.2): ASes prove possession of their certificate key during registration
+//! with the asset contract, and end hosts provide an ephemeral public key so
+//! the AS can encrypt the delivered reservation. No public-key crate is in
+//! the approved offline dependency set, so this module implements a small
+//! Schnorr group from scratch:
+//!
+//! * modulus `P` is a 127-bit safe prime (`P = 2Q + 1` with `Q` prime),
+//! * the group is the order-`Q` subgroup of quadratic residues mod `P`,
+//! * signatures are classic Schnorr (commitment, SHA-256 challenge,
+//!   response), and key agreement is plain DH in the subgroup.
+//!
+//! **Security disclaimer:** a 127-bit discrete-log group offers on the order
+//! of 2^40 security against index calculus — fine for exercising the exact
+//! protocol flow in a reproduction, *not* for production. DESIGN.md records
+//! this substitution. The API mirrors what an RPKI-backed implementation
+//! would expose, so swapping in real crypto changes no caller.
+
+use crate::sha256::Sha256;
+use rand::Rng;
+
+/// Safe prime `P = 2Q + 1`, 127 bits: P = 2^126 + 823.
+/// Verified prime (both `P` and `Q`) by the tests in this module
+/// (deterministic Miller-Rabin, exhaustive base set valid for < 2^128).
+pub const P: u128 = 85070591730234615865843651857942053687; // 2^126 + 823
+/// Subgroup order `Q = (P - 1) / 2`.
+pub const Q: u128 = P / 2; // (P-1)/2, odd prime
+/// Generator of the order-`Q` subgroup (a quadratic residue mod `P`).
+pub const G: u128 = 4; // 2^2 is always a QR
+
+/// 256-bit product helper: (lo, hi) limbs of a u128 multiplication.
+#[inline]
+fn mul_wide(a: u128, b: u128) -> (u128, u128) {
+    // Split into 64-bit halves and recombine.
+    let (a_lo, a_hi) = (a as u64 as u128, a >> 64);
+    let (b_lo, b_hi) = (b as u64 as u128, b >> 64);
+    let ll = a_lo * b_lo;
+    let lh = a_lo * b_hi;
+    let hl = a_hi * b_lo;
+    let hh = a_hi * b_hi;
+    let mid = lh.wrapping_add(hl);
+    let mid_carry = if mid < lh { 1u128 << 64 } else { 0 };
+    let lo = ll.wrapping_add(mid << 64);
+    let lo_carry = if lo < ll { 1 } else { 0 };
+    let hi = hh + (mid >> 64) + mid_carry + lo_carry;
+    (lo, hi)
+}
+
+/// Computes `(a * b) mod m` for `m < 2^127` without overflow.
+pub fn mulmod(a: u128, b: u128, m: u128) -> u128 {
+    debug_assert!(m > 0 && m < (1u128 << 127));
+    let (lo, hi) = mul_wide(a % m, b % m);
+    // Reduce the 256-bit value (hi, lo) mod m via binary long division.
+    // hi < m (since both operands < m < 2^127, hi < 2^126), so we can fold
+    // hi in bit by bit from the top.
+    let mut rem = hi % m;
+    for i in (0..128).rev() {
+        rem = (rem << 1) % m;
+        if (lo >> i) & 1 == 1 {
+            rem = (rem + 1) % m;
+        }
+    }
+    rem
+}
+
+/// Computes `base^exp mod m`.
+pub fn powmod(mut base: u128, mut exp: u128, m: u128) -> u128 {
+    let mut acc = 1u128 % m;
+    base %= m;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            acc = mulmod(acc, base, m);
+        }
+        base = mulmod(base, base, m);
+        exp >>= 1;
+    }
+    acc
+}
+
+/// A secret (signing / DH) key: a scalar in `[1, Q)`.
+#[derive(Clone)]
+pub struct SecretKey(u128);
+
+impl std::fmt::Debug for SecretKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("SecretKey {{ .. }}")
+    }
+}
+
+/// A public key: group element `G^x mod P`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct PublicKey(pub u128);
+
+/// A Schnorr signature `(commitment e, response s)`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Signature {
+    /// Challenge scalar (hash of commitment and message).
+    pub e: u128,
+    /// Response scalar.
+    pub s: u128,
+}
+
+impl SecretKey {
+    /// Samples a fresh secret key.
+    pub fn generate<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        loop {
+            let x: u128 = rng.gen::<u128>() % Q;
+            if x != 0 {
+                return SecretKey(x);
+            }
+        }
+    }
+
+    /// Deterministically derives a key from seed material (for tests and
+    /// reproducible simulations).
+    pub fn from_seed(seed: &[u8]) -> Self {
+        let d = Sha256::digest(seed);
+        let mut x = u128::from_be_bytes(d[..16].try_into().unwrap()) % Q;
+        if x == 0 {
+            x = 1;
+        }
+        SecretKey(x)
+    }
+
+    /// The corresponding public key.
+    pub fn public(&self) -> PublicKey {
+        PublicKey(powmod(G, self.0, P))
+    }
+
+    /// Signs `msg` (Schnorr, RFC 8235-style with SHA-256 challenge).
+    pub fn sign<R: Rng + ?Sized>(&self, msg: &[u8], rng: &mut R) -> Signature {
+        loop {
+            let k = 1 + rng.gen::<u128>() % (Q - 1);
+            let r = powmod(G, k, P);
+            let e = challenge(r, self.public(), msg);
+            if e == 0 {
+                continue;
+            }
+            // s = k - x*e mod Q
+            let xe = mulmod(self.0, e, Q);
+            let s = (k + Q - xe) % Q;
+            return Signature { e, s };
+        }
+    }
+
+    /// Diffie-Hellman: shared secret with `peer`, hashed to 32 bytes.
+    pub fn dh(&self, peer: &PublicKey) -> [u8; 32] {
+        let shared = powmod(peer.0, self.0, P);
+        let mut h = Sha256::new();
+        h.update(b"hummingbird-dh");
+        h.update(&shared.to_be_bytes());
+        h.finalize()
+    }
+}
+
+impl PublicKey {
+    /// Verifies `sig` over `msg`.
+    pub fn verify(&self, msg: &[u8], sig: &Signature) -> bool {
+        if sig.e == 0 || sig.e >= Q || sig.s >= Q {
+            return false;
+        }
+        if self.0 <= 1 || self.0 >= P {
+            return false;
+        }
+        // r' = G^s * y^e mod P; valid iff challenge(r', y, msg) == e.
+        let r = mulmod(powmod(G, sig.s, P), powmod(self.0, sig.e, P), P);
+        challenge(r, *self, msg) == sig.e
+    }
+
+    /// Serializes to 16 bytes (big-endian).
+    pub fn to_bytes(self) -> [u8; 16] {
+        self.0.to_be_bytes()
+    }
+
+    /// Parses from 16 bytes; rejects out-of-range values.
+    pub fn from_bytes(b: &[u8; 16]) -> Option<Self> {
+        let v = u128::from_be_bytes(*b);
+        if v <= 1 || v >= P {
+            None
+        } else {
+            Some(PublicKey(v))
+        }
+    }
+}
+
+fn challenge(r: u128, pk: PublicKey, msg: &[u8]) -> u128 {
+    let mut h = Sha256::new();
+    h.update(b"hummingbird-schnorr");
+    h.update(&r.to_be_bytes());
+    h.update(&pk.0.to_be_bytes());
+    h.update(msg);
+    let d = h.finalize();
+    u128::from_be_bytes(d[..16].try_into().unwrap()) % Q
+}
+
+/// Deterministic Miller-Rabin primality test, valid for all `n < 2^128`
+/// with the chosen base set for the sizes used here.
+pub fn is_prime(n: u128) -> bool {
+    if n < 2 {
+        return false;
+    }
+    for p in [2u128, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        if n == p {
+            return true;
+        }
+        if n % p == 0 {
+            return false;
+        }
+    }
+    let mut d = n - 1;
+    let mut r = 0;
+    while d % 2 == 0 {
+        d /= 2;
+        r += 1;
+    }
+    'witness: for a in [2u128, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        let mut x = powmod(a, d, n);
+        if x == 1 || x == n - 1 {
+            continue;
+        }
+        for _ in 0..r - 1 {
+            x = mulmod(x, x, n);
+            if x == n - 1 {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn group_parameters_are_sound() {
+        assert!(is_prime(P), "P must be prime");
+        assert!(is_prime(Q), "Q must be prime");
+        assert_eq!(P, 2 * Q + 1, "P must be a safe prime");
+        // G generates the order-Q subgroup: G^Q == 1, G != 1.
+        assert_eq!(powmod(G, Q, P), 1);
+        assert_ne!(G % P, 1);
+    }
+
+    #[test]
+    fn mulmod_matches_small_cases() {
+        for (a, b, m) in [(7u128, 9, 13), (0, 5, 7), (12, 12, 13)] {
+            assert_eq!(mulmod(a, b, m), (a * b) % m);
+        }
+        // Large operands: (P-1)^2 mod P == 1.
+        assert_eq!(mulmod(P - 1, P - 1, P), 1);
+    }
+
+    #[test]
+    fn powmod_fermat() {
+        // a^(P-1) == 1 mod P for a coprime with P.
+        for a in [2u128, 3, 12345, 0xdead_beef] {
+            assert_eq!(powmod(a, P - 1, P), 1);
+        }
+    }
+
+    #[test]
+    fn sign_verify_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let sk = SecretKey::generate(&mut rng);
+        let pk = sk.public();
+        let sig = sk.sign(b"register AS 64500", &mut rng);
+        assert!(pk.verify(b"register AS 64500", &sig));
+        assert!(!pk.verify(b"register AS 64501", &sig));
+    }
+
+    #[test]
+    fn signature_rejects_wrong_key() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let sk1 = SecretKey::generate(&mut rng);
+        let sk2 = SecretKey::generate(&mut rng);
+        let sig = sk1.sign(b"msg", &mut rng);
+        assert!(!sk2.public().verify(b"msg", &sig));
+    }
+
+    #[test]
+    fn signature_malleability_guards() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let sk = SecretKey::generate(&mut rng);
+        let sig = sk.sign(b"m", &mut rng);
+        let pk = sk.public();
+        assert!(!pk.verify(b"m", &Signature { e: 0, s: sig.s }));
+        assert!(!pk.verify(b"m", &Signature { e: sig.e, s: Q }));
+        assert!(!PublicKey(0).verify(b"m", &sig));
+        assert!(!PublicKey(P).verify(b"m", &sig));
+    }
+
+    #[test]
+    fn dh_agreement() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let a = SecretKey::generate(&mut rng);
+        let b = SecretKey::generate(&mut rng);
+        assert_eq!(a.dh(&b.public()), b.dh(&a.public()));
+        let c = SecretKey::generate(&mut rng);
+        assert_ne!(a.dh(&b.public()), a.dh(&c.public()));
+    }
+
+    #[test]
+    fn from_seed_is_deterministic() {
+        let a = SecretKey::from_seed(b"as-64500");
+        let b = SecretKey::from_seed(b"as-64500");
+        assert_eq!(a.public(), b.public());
+        assert_ne!(a.public(), SecretKey::from_seed(b"as-64501").public());
+    }
+
+    #[test]
+    fn pubkey_serde_roundtrip() {
+        let sk = SecretKey::from_seed(b"x");
+        let pk = sk.public();
+        assert_eq!(PublicKey::from_bytes(&pk.to_bytes()), Some(pk));
+        assert_eq!(PublicKey::from_bytes(&[0u8; 16]), None);
+    }
+}

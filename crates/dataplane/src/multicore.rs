@@ -1,0 +1,189 @@
+//! Multi-core throughput harness (paper §7.1-7.2, Figs. 5/14).
+//!
+//! The paper drives its DPDK implementation with a Spirent traffic
+//! generator over 4×40 Gbps links. Here each core runs an independent
+//! router (or source generator) over an in-memory packet batch — the same
+//! per-packet work, scaled across threads with `crossbeam`.
+
+use crate::router::BorderRouter;
+use crate::source::SourceGenerator;
+use std::time::Instant;
+
+/// The line rate of the paper's testbed: four 40 Gbps links.
+pub const LINE_RATE_GBPS: f64 = 160.0;
+
+/// A throughput measurement.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Throughput {
+    /// Packets processed (across all cores).
+    pub packets: u64,
+    /// Bits moved (wire size × packets).
+    pub bits: u64,
+    /// Wall-clock seconds (slowest core).
+    pub seconds: f64,
+}
+
+impl Throughput {
+    /// Aggregate throughput in Gbps.
+    pub fn gbps(&self) -> f64 {
+        self.bits as f64 / self.seconds / 1e9
+    }
+
+    /// Aggregate throughput in Gbps, capped at the testbed line rate.
+    pub fn gbps_line_capped(&self) -> f64 {
+        self.gbps().min(LINE_RATE_GBPS)
+    }
+
+    /// Million packets per second.
+    pub fn mpps(&self) -> f64 {
+        self.packets as f64 / self.seconds / 1e6
+    }
+
+    /// Average nanoseconds per packet per core.
+    pub fn ns_per_pkt(&self, cores: usize) -> f64 {
+        self.seconds * 1e9 * cores as f64 / self.packets as f64
+    }
+}
+
+/// A packet buffer that can be cheaply reset after the router mutates it
+/// in place (SegID, CurrHF, MAC replacement), so the hot loop measures
+/// router work rather than packet construction.
+pub struct HotLoopPacket {
+    bytes: Vec<u8>,
+    header_copy: Vec<u8>,
+    header_len: usize,
+}
+
+impl HotLoopPacket {
+    /// Wraps serialized packet bytes; `header_len` bytes are snapshotted.
+    pub fn new(bytes: Vec<u8>) -> Self {
+        // hdr_len is at byte 5, in 4-byte units.
+        let header_len = (4 * usize::from(bytes[5])).min(bytes.len());
+        let header_copy = bytes[..header_len].to_vec();
+        HotLoopPacket { bytes, header_copy, header_len }
+    }
+
+    /// Mutable view of the packet bytes.
+    pub fn bytes_mut(&mut self) -> &mut [u8] {
+        &mut self.bytes
+    }
+
+    /// Restores the pristine header.
+    #[inline]
+    pub fn reset(&mut self) {
+        self.bytes[..self.header_len].copy_from_slice(&self.header_copy);
+    }
+
+    /// Wire length in bytes.
+    pub fn wire_len(&self) -> usize {
+        self.bytes.len()
+    }
+}
+
+/// Measures border-router forwarding throughput: `cores` threads each
+/// process `pkts_per_core` copies of `packet` through their own router.
+pub fn forwarding_throughput<F>(
+    make_router: F,
+    packet: &[u8],
+    cores: usize,
+    pkts_per_core: u64,
+    now_ns: u64,
+) -> Throughput
+where
+    F: Fn() -> BorderRouter + Sync,
+{
+    let seconds = crossbeam::thread::scope(|s| {
+        let mut handles = Vec::with_capacity(cores);
+        for _ in 0..cores {
+            let make_router = &make_router;
+            handles.push(s.spawn(move |_| {
+                let mut router = make_router();
+                let mut pkt = HotLoopPacket::new(packet.to_vec());
+                let start = Instant::now();
+                for _ in 0..pkts_per_core {
+                    let verdict = router.process(pkt.bytes_mut(), now_ns);
+                    debug_assert!(verdict.egress().is_some(), "{verdict:?}");
+                    pkt.reset();
+                }
+                start.elapsed().as_secs_f64()
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .fold(0.0f64, f64::max)
+    })
+    .expect("scope");
+    let packets = pkts_per_core * cores as u64;
+    Throughput { packets, bits: packets * packet.len() as u64 * 8, seconds }
+}
+
+/// Measures source traffic-generation throughput: `cores` threads each
+/// generate `pkts_per_core` packets with their own generator.
+pub fn generation_throughput<F>(
+    make_generator: F,
+    payload_len: usize,
+    cores: usize,
+    pkts_per_core: u64,
+    start_ms: u64,
+) -> Throughput
+where
+    F: Fn() -> SourceGenerator + Sync,
+{
+    let payload = vec![0u8; payload_len];
+    let bits = std::sync::atomic::AtomicU64::new(0);
+    let seconds = crossbeam::thread::scope(|s| {
+        let mut handles = Vec::with_capacity(cores);
+        for _ in 0..cores {
+            let make_generator = &make_generator;
+            let payload = &payload;
+            let bits = &bits;
+            handles.push(s.spawn(move |_| {
+                let mut generator = make_generator();
+                let mut local_bits = 0u64;
+                let start = Instant::now();
+                for i in 0..pkts_per_core {
+                    // Advance the millisecond clock slowly so the per-ms
+                    // counter provides uniqueness.
+                    let now_ms = start_ms + i / 1000;
+                    let pkt = generator
+                        .generate(payload, now_ms)
+                        .expect("generation failed");
+                    local_bits += pkt.len() as u64 * 8;
+                    std::hint::black_box(&pkt);
+                }
+                bits.fetch_add(local_bits, std::sync::atomic::Ordering::Relaxed);
+                start.elapsed().as_secs_f64()
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .fold(0.0f64, f64::max)
+    })
+    .expect("scope");
+    Throughput {
+        packets: pkts_per_core * cores as u64,
+        bits: bits.into_inner(),
+        seconds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_arithmetic() {
+        let t = Throughput { packets: 1_000_000, bits: 12_000_000_000, seconds: 0.5 };
+        assert!((t.gbps() - 24.0).abs() < 1e-9);
+        assert!((t.mpps() - 2.0).abs() < 1e-9);
+        assert!((t.ns_per_pkt(4) - 2000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn line_rate_cap() {
+        let t = Throughput { packets: 1, bits: 400_000_000_000, seconds: 1.0 };
+        assert!((t.gbps_line_capped() - LINE_RATE_GBPS).abs() < 1e-9);
+    }
+}

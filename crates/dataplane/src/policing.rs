@@ -1,0 +1,195 @@
+//! Deterministic token-bucket traffic policing (paper §4.4, Algorithm 1).
+//!
+//! One 8-byte deadline per ResID in a flat array, plus a global `BurstTime`.
+//! Processing a packet is: read the slot, one division (packet transmission
+//! time at the reserved rate), two comparisons, one store. The array is
+//! indexed directly by the ResID carried in the (authenticated) packet
+//! header, which is why ResID compactness (interval coloring) matters.
+
+/// Forwarding class decided by the policer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FwdClass {
+    /// Within the reservation: forward with priority.
+    Flyover,
+    /// Over the reservation (or no reservation): forward best-effort.
+    /// Packets are *not* dropped on overuse (§4.3 step 5), so benign
+    /// bursts never degrade below best-effort service.
+    BestEffort,
+}
+
+/// The policer state for one ingress interface.
+#[derive(Clone, Debug)]
+pub struct Policer {
+    /// `TSArray`: one deadline (ns since epoch) per ResID.
+    ts_array: Vec<u64>,
+    /// `BurstTime` in nanoseconds (paper suggests ~50 ms).
+    burst_time_ns: u64,
+}
+
+/// Default `BurstTime`: 50 ms (§4.4, "a value of roughly 50 ms seems
+/// reasonable" given current router buffer trends).
+pub const DEFAULT_BURST_TIME_NS: u64 = 50_000_000;
+
+/// Transmission time of `pkt_len` bytes at `bw_kbps`, in nanoseconds:
+/// `PktLen / BW` of Algorithm 1 line 3.
+#[inline]
+pub fn transmission_time_ns(pkt_len: u16, bw_kbps: u64) -> u64 {
+    if bw_kbps == 0 {
+        return u64::MAX;
+    }
+    // bits * 1e6 / kbps = ns
+    (u64::from(pkt_len) * 8).saturating_mul(1_000_000) / bw_kbps
+}
+
+impl Policer {
+    /// Creates a policer with `max_res_ids` slots (the 10⁵-entry, 800 kB
+    /// array of §7.1) and the given burst budget.
+    pub fn new(max_res_ids: u32, burst_time_ns: u64) -> Self {
+        Policer { ts_array: vec![0; max_res_ids as usize], burst_time_ns }
+    }
+
+    /// Creates the paper's evaluation configuration: 10⁵ ResIDs, 50 ms.
+    pub fn paper_default() -> Self {
+        Self::new(100_000, DEFAULT_BURST_TIME_NS)
+    }
+
+    /// Number of ResID slots.
+    pub fn capacity(&self) -> usize {
+        self.ts_array.len()
+    }
+
+    /// Memory footprint of the deadline array in bytes (§4.4 sizing
+    /// examples: 24 MB for 3M IDs, 600 kB for 75k).
+    pub fn array_bytes(&self) -> usize {
+        self.ts_array.len() * 8
+    }
+
+    /// Algorithm 1, `BandwidthMonitoring`: decides the forwarding class of
+    /// a packet of `pkt_len` bytes on reservation `res_id` at `bw_kbps`.
+    ///
+    /// Returns [`FwdClass::BestEffort`] for ResIDs beyond the array (the AS
+    /// never assigns them, so such packets cannot be legitimate) and for
+    /// packets exceeding the burst budget.
+    #[inline]
+    pub fn check(&mut self, res_id: u32, bw_kbps: u64, pkt_len: u16, now_ns: u64) -> FwdClass {
+        let Some(slot) = self.ts_array.get_mut(res_id as usize) else {
+            return FwdClass::BestEffort;
+        };
+        let ts = (*slot).max(now_ns) + transmission_time_ns(pkt_len, bw_kbps);
+        if ts <= now_ns + self.burst_time_ns {
+            *slot = ts;
+            FwdClass::Flyover
+        } else {
+            FwdClass::BestEffort
+        }
+    }
+
+    /// Resets one slot (e.g. when a ResID is recycled across reservations).
+    pub fn reset(&mut self, res_id: u32) {
+        if let Some(slot) = self.ts_array.get_mut(res_id as usize) {
+            *slot = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SEC: u64 = 1_000_000_000;
+
+    #[test]
+    fn transmission_time_math() {
+        // 1500 B at 240 kbps: 12000 bits / 240 kbps = 50 ms (§4.4: packets
+        // of 1500 B max out a 240 kbps reservation's 50 ms burst budget).
+        assert_eq!(transmission_time_ns(1500, 240), 50 * 1_000_000);
+        // 1000 B at 8 Mbps = 1 ms.
+        assert_eq!(transmission_time_ns(1000, 8_000), 1_000_000);
+        assert_eq!(transmission_time_ns(100, 0), u64::MAX);
+    }
+
+    #[test]
+    fn conforming_traffic_stays_flyover() {
+        let mut p = Policer::new(16, DEFAULT_BURST_TIME_NS);
+        // 10 Mbps reservation, 1000 B packets every ms = 8 Mbps: conforming.
+        let mut now = SEC;
+        for _ in 0..1000 {
+            assert_eq!(p.check(3, 10_000, 1000, now), FwdClass::Flyover);
+            now += 1_000_000;
+        }
+    }
+
+    #[test]
+    fn overuse_is_demoted_to_best_effort() {
+        let mut p = Policer::new(16, DEFAULT_BURST_TIME_NS);
+        // 1 Mbps reservation, 1500 B packets back-to-back = 12 ms each;
+        // after ~4 packets the 50 ms burst budget is exhausted.
+        let now = SEC;
+        let mut flyover = 0;
+        let mut best_effort = 0;
+        for _ in 0..20 {
+            match p.check(0, 1_000, 1500, now) {
+                FwdClass::Flyover => flyover += 1,
+                FwdClass::BestEffort => best_effort += 1,
+            }
+        }
+        assert_eq!(flyover, 4, "50ms budget / 12ms per packet");
+        assert_eq!(best_effort, 16);
+    }
+
+    #[test]
+    fn bucket_refills_over_time() {
+        let mut p = Policer::new(16, DEFAULT_BURST_TIME_NS);
+        let now = SEC;
+        // Exhaust the budget.
+        while p.check(0, 1_000, 1500, now) == FwdClass::Flyover {}
+        assert_eq!(p.check(0, 1_000, 1500, now), FwdClass::BestEffort);
+        // After enough time, the reservation is usable again.
+        let later = now + SEC;
+        assert_eq!(p.check(0, 1_000, 1500, later), FwdClass::Flyover);
+    }
+
+    #[test]
+    fn burst_allowance_is_bounded() {
+        let mut p = Policer::new(16, 50_000_000);
+        // A long-idle reservation does NOT accumulate unbounded credit:
+        // at most BurstTime worth of traffic passes instantaneously.
+        let now = 100 * SEC; // idle for 100 s
+        let mut passed = 0u64;
+        while p.check(0, 10_000, 1500, now) == FwdClass::Flyover {
+            passed += 1500 * 8;
+        }
+        // 50 ms at 10 Mbps = 500 kbit ceiling.
+        assert!(passed <= 500_000, "passed {passed} bits in one burst");
+    }
+
+    #[test]
+    fn res_ids_are_isolated() {
+        let mut p = Policer::new(16, DEFAULT_BURST_TIME_NS);
+        let now = SEC;
+        while p.check(0, 1_000, 1500, now) == FwdClass::Flyover {}
+        // Exhausting ResID 0 does not affect ResID 1.
+        assert_eq!(p.check(1, 1_000, 1500, now), FwdClass::Flyover);
+    }
+
+    #[test]
+    fn out_of_range_res_id_is_best_effort() {
+        let mut p = Policer::new(4, DEFAULT_BURST_TIME_NS);
+        assert_eq!(p.check(4, 1_000_000, 100, SEC), FwdClass::BestEffort);
+    }
+
+    #[test]
+    fn reset_recycles_slot() {
+        let mut p = Policer::new(4, DEFAULT_BURST_TIME_NS);
+        let now = SEC;
+        while p.check(2, 1_000, 1500, now) == FwdClass::Flyover {}
+        p.reset(2);
+        assert_eq!(p.check(2, 1_000, 1500, now), FwdClass::Flyover);
+    }
+
+    #[test]
+    fn paper_array_sizing() {
+        let p = Policer::paper_default();
+        assert_eq!(p.array_bytes(), 800_000, "§7.1: 10^5 IDs -> 800 kB");
+    }
+}

@@ -1,0 +1,358 @@
+//! The border-router packet pipeline (paper §4.3, Fig. 13, Algorithms 2-4).
+//!
+//! `process` operates in place on raw packet bytes, exactly like the DPDK
+//! implementation the paper evaluates: parse the fixed headers, locate the
+//! current hop field, recompute MACs, police, and mutate the header
+//! (SegID chaining, CurrHF advance, AggMAC → HopFieldMAC replacement)
+//! before forwarding. No allocation on the hot path.
+
+use crate::dup::DuplicateSuppressor;
+use crate::policing::{FwdClass, Policer, DEFAULT_BURST_TIME_NS};
+use hummingbird_crypto::{aggregate_mac, FlyoverMacInput, ResInfo, SecretValue};
+use hummingbird_wire::common::{AddressHeader, CommonHeader, ADDR_HDR_LEN, COMMON_HDR_LEN};
+use hummingbird_wire::hopfield::{
+    peek_flyover_bit, FlyoverHopField, HopField, InfoField, FLYOVER_FIELD_LEN, HOP_FIELD_LEN,
+    INFO_FIELD_LEN,
+};
+use hummingbird_wire::meta::{PathMetaHdr, FLYOVER_UNITS, HF_UNITS, META_HDR_LEN};
+use hummingbird_wire::scion_mac::{update_seg_id, HopMacInput, HopMacKey};
+
+/// Why a packet was dropped.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DropReason {
+    /// Header shorter than declared or structurally broken.
+    Malformed,
+    /// The current hop field has expired (Algorithm 4 line 2).
+    ExpiredHopField,
+    /// Hop-field MAC (or aggregate MAC) verification failed.
+    BadMac,
+    /// `PayloadLen + 4·HdrLen` overflowed (Eq. 7d).
+    PktLenOverflow,
+    /// Duplicate packet (only with duplicate suppression enabled).
+    Duplicate,
+    /// The path has already been fully traversed.
+    PathConsumed,
+}
+
+/// The router's forwarding decision.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Verdict {
+    /// Drop the packet.
+    Drop(DropReason),
+    /// Forward with reservation priority through `egress`.
+    Flyover {
+        /// Egress interface.
+        egress: u16,
+    },
+    /// Forward best-effort through `egress`.
+    BestEffort {
+        /// Egress interface.
+        egress: u16,
+    },
+}
+
+impl Verdict {
+    /// The egress interface, if the packet is forwarded.
+    pub fn egress(&self) -> Option<u16> {
+        match self {
+            Verdict::Flyover { egress } | Verdict::BestEffort { egress } => Some(*egress),
+            Verdict::Drop(_) => None,
+        }
+    }
+
+    /// Whether the packet is forwarded with priority.
+    pub fn is_flyover(&self) -> bool {
+        matches!(self, Verdict::Flyover { .. })
+    }
+}
+
+/// Router configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct RouterConfig {
+    /// Maximum packet age Δ, milliseconds.
+    pub max_packet_age_ms: u64,
+    /// Maximum clock skew δ, milliseconds (paper: e.g. 500 ms).
+    pub max_clock_skew_ms: u64,
+    /// Policing array slots (ResIDmax; paper evaluation: 10⁵).
+    pub policer_slots: u32,
+    /// Burst budget, nanoseconds.
+    pub burst_time_ns: u64,
+    /// Enable the optional duplicate suppression stage.
+    pub duplicate_suppression: bool,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig {
+            max_packet_age_ms: 1_000,
+            max_clock_skew_ms: 500,
+            policer_slots: 100_000,
+            burst_time_ns: DEFAULT_BURST_TIME_NS,
+            duplicate_suppression: false,
+        }
+    }
+}
+
+/// Per-router counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RouterStats {
+    /// Packets processed.
+    pub processed: u64,
+    /// Packets forwarded with priority.
+    pub flyover: u64,
+    /// Packets forwarded best-effort.
+    pub best_effort: u64,
+    /// Packets dropped.
+    pub dropped: u64,
+    /// Flyover packets demoted by the policer (overuse).
+    pub demoted_overuse: u64,
+    /// Flyover packets demoted for staleness / inactive reservation.
+    pub demoted_untimely: u64,
+}
+
+/// A Hummingbird-enabled border router of one AS.
+pub struct BorderRouter {
+    sv: SecretValue,
+    hop_key: HopMacKey,
+    cfg: RouterConfig,
+    policer: Policer,
+    dup: Option<DuplicateSuppressor>,
+    stats: RouterStats,
+}
+
+enum FlyoverOutcome {
+    /// Timely, active reservation; candidate MAC to verify + policing info.
+    Eligible { res_id: u32, bw_kbps: u64, pkt_len: u16 },
+    /// Valid structure but stale timestamp or inactive reservation.
+    BestEffortOnly,
+}
+
+impl BorderRouter {
+    /// Creates a router with the AS's data-plane secrets.
+    pub fn new(sv: SecretValue, hop_key: HopMacKey, cfg: RouterConfig) -> Self {
+        let dup = cfg
+            .duplicate_suppression
+            .then(|| {
+                let window_ns =
+                    (cfg.max_packet_age_ms + 2 * cfg.max_clock_skew_ms) * 1_000_000;
+                DuplicateSuppressor::new(window_ns, 1 << 20)
+            });
+        BorderRouter {
+            sv,
+            hop_key,
+            policer: Policer::new(cfg.policer_slots, cfg.burst_time_ns),
+            cfg,
+            dup,
+            stats: RouterStats::default(),
+        }
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> RouterStats {
+        self.stats
+    }
+
+    /// Resets counters.
+    pub fn reset_stats(&mut self) {
+        self.stats = RouterStats::default();
+    }
+
+    /// Processes one packet in place at time `now_ns` (Unix nanoseconds).
+    /// Implements Algorithm 2 with Algorithms 1, 3, 4 inlined.
+    pub fn process(&mut self, pkt: &mut [u8], now_ns: u64) -> Verdict {
+        self.stats.processed += 1;
+        let verdict = self.process_inner(pkt, now_ns);
+        match verdict {
+            Verdict::Drop(_) => self.stats.dropped += 1,
+            Verdict::Flyover { .. } => self.stats.flyover += 1,
+            Verdict::BestEffort { .. } => self.stats.best_effort += 1,
+        }
+        verdict
+    }
+
+    fn process_inner(&mut self, pkt: &mut [u8], now_ns: u64) -> Verdict {
+        // --- Check packet size & parse fixed headers -------------------
+        let Ok(common) = CommonHeader::parse(pkt) else {
+            return Verdict::Drop(DropReason::Malformed);
+        };
+        let Ok(addr) = AddressHeader::parse(&pkt[COMMON_HDR_LEN..]) else {
+            return Verdict::Drop(DropReason::Malformed);
+        };
+        let path_start = COMMON_HDR_LEN + ADDR_HDR_LEN;
+        let Ok(meta) = PathMetaHdr::parse(&pkt[path_start..]) else {
+            return Verdict::Drop(DropReason::Malformed);
+        };
+        let hdr_len_bytes = 4 * usize::from(common.hdr_len);
+        if pkt.len() < hdr_len_bytes {
+            return Verdict::Drop(DropReason::Malformed);
+        }
+        if u16::from(meta.curr_hf) >= meta.total_hf_units() {
+            return Verdict::Drop(DropReason::PathConsumed);
+        }
+
+        // --- Locate current info field and hop field -------------------
+        let Ok((seg_idx, _)) = meta.segment_of_curr_hf() else {
+            return Verdict::Drop(DropReason::Malformed);
+        };
+        let info_off = path_start + META_HDR_LEN + INFO_FIELD_LEN * seg_idx;
+        // The declared segment layout may lie about the buffer length —
+        // index with a checked slice (found by the router fuzz tests).
+        let Some(info_bytes) = pkt.get(info_off..) else {
+            return Verdict::Drop(DropReason::Malformed);
+        };
+        let Ok(info) = InfoField::parse(info_bytes) else {
+            return Verdict::Drop(DropReason::Malformed);
+        };
+        let hop_off = path_start + META_HDR_LEN
+            + INFO_FIELD_LEN * meta.num_inf()
+            + 4 * usize::from(meta.curr_hf);
+        if pkt.len() < hop_off + HOP_FIELD_LEN {
+            return Verdict::Drop(DropReason::Malformed);
+        }
+        let Ok(is_flyover) = peek_flyover_bit(&pkt[hop_off..]) else {
+            return Verdict::Drop(DropReason::Malformed);
+        };
+
+        let now_ms = now_ns / 1_000_000;
+        let now_s = now_ms / 1000;
+
+        // --- Flyover processing (Algorithm 3) ---------------------------
+        // Produces the candidate hop-field MAC for flyover packets and the
+        // policing parameters.
+        let (hf_generic, candidate_mac, flyover_outcome);
+        if is_flyover {
+            if pkt.len() < hop_off + FLYOVER_FIELD_LEN {
+                return Verdict::Drop(DropReason::Malformed);
+            }
+            let Ok(fly) = FlyoverHopField::parse(&pkt[hop_off..]) else {
+                return Verdict::Drop(DropReason::Malformed);
+            };
+            // ResStart ← BaseTimestamp − ResStartOffset (Algo 3 line 2).
+            let res_start = meta.base_ts.wrapping_sub(u32::from(fly.res_start_offset));
+            let res_info = ResInfo {
+                ingress: fly.cons_ingress,
+                egress: fly.cons_egress,
+                res_id: fly.res_id,
+                bw_encoded: fly.bw,
+                res_start,
+                duration: fly.res_duration,
+            };
+            // A_i ← PRF_SV(ResInfo); includes the AES key extension.
+            let auth_key = self.sv.derive_key(&res_info);
+            // PktLen with overflow check (Eq. 7d).
+            let Ok(pkt_len) = common.pkt_len() else {
+                return Verdict::Drop(DropReason::PktLenOverflow);
+            };
+            let mac_input = FlyoverMacInput {
+                dst_isd: addr.dst.isd,
+                dst_as: addr.dst.asn,
+                pkt_len,
+                res_start_offset: fly.res_start_offset,
+                millis_ts: meta.millis_ts,
+                counter: meta.counter,
+            };
+            let flyover_mac = auth_key.flyover_mac(&mac_input);
+            // Candidate hop-field MAC (Algo 3 line 11).
+            candidate_mac = aggregate_mac(&flyover_mac, &fly.agg_mac);
+
+            // Freshness check (Algo 3 lines 12-14): now − absTS ∈ [−δ, Δ+δ].
+            let abs_ts_ms = meta.abs_ts_millis();
+            let delta = self.cfg.max_packet_age_ms;
+            let skew = self.cfg.max_clock_skew_ms;
+            let timely = now_ms + skew >= abs_ts_ms && abs_ts_ms + delta + skew >= now_ms;
+            // Reservation active check (lines 15-17), no skew (App. A.7).
+            let active = res_info.is_active_at(now_s as u32);
+
+            flyover_outcome = if timely && active {
+                FlyoverOutcome::Eligible {
+                    res_id: fly.res_id,
+                    bw_kbps: hummingbird_wire::bwcls::decode(fly.bw),
+                    pkt_len,
+                }
+            } else {
+                FlyoverOutcome::BestEffortOnly
+            };
+            hf_generic = HopField {
+                flags: Default::default(),
+                exp_time: fly.exp_time,
+                cons_ingress: fly.cons_ingress,
+                cons_egress: fly.cons_egress,
+                mac: candidate_mac,
+            };
+        } else {
+            let Ok(hf) = HopField::parse(&pkt[hop_off..]) else {
+                return Verdict::Drop(DropReason::Malformed);
+            };
+            candidate_mac = hf.mac;
+            flyover_outcome = FlyoverOutcome::BestEffortOnly;
+            hf_generic = hf;
+        }
+
+        // --- Standard SCION processing (Algorithm 4) --------------------
+        // Hop-field expiry.
+        let expiry = crate::beacon::hop_field_expiry(info.timestamp, hf_generic.exp_time);
+        if now_s >= expiry {
+            return Verdict::Drop(DropReason::ExpiredHopField);
+        }
+        // Recompute the hop-field MAC and compare.
+        let computed = self.hop_key.hop_mac(&HopMacInput {
+            seg_id: info.seg_id,
+            timestamp: info.timestamp,
+            exp_time: hf_generic.exp_time,
+            cons_ingress: hf_generic.cons_ingress,
+            cons_egress: hf_generic.cons_egress,
+        });
+        if computed != candidate_mac {
+            return Verdict::Drop(DropReason::BadMac);
+        }
+
+        // Optional duplicate suppression (§5.4) — after authentication so
+        // attackers cannot poison the filter with unauthenticated junk.
+        if let Some(dup) = &mut self.dup {
+            let id = (meta.base_ts, meta.millis_ts, meta.counter, addr.src.asn);
+            if dup.check_and_insert(id, now_ns) {
+                return Verdict::Drop(DropReason::Duplicate);
+            }
+        }
+
+        // Mutations: SegID chaining, CurrHF/CurrINF advance, and for
+        // flyover hops replace AggMAC with the plain hop-field MAC so the
+        // path can be reversed (App. A.7).
+        let new_seg_id = update_seg_id(info.seg_id, &computed);
+        pkt[info_off + 2..info_off + 4].copy_from_slice(&new_seg_id.to_be_bytes());
+        if is_flyover {
+            pkt[hop_off + 6..hop_off + 12].copy_from_slice(&computed);
+        }
+        let hop_units = if is_flyover { FLYOVER_UNITS } else { HF_UNITS };
+        let mut new_meta = meta;
+        new_meta.curr_hf = meta.curr_hf + hop_units;
+        if u16::from(new_meta.curr_hf) < new_meta.total_hf_units() {
+            if let Ok((seg, _)) = new_meta.segment_of_curr_hf() {
+                new_meta.curr_inf = seg as u8;
+            }
+        }
+        if new_meta.emit(&mut pkt[path_start..]).is_err() {
+            return Verdict::Drop(DropReason::Malformed);
+        }
+
+        // --- Bandwidth monitoring (Algorithm 1) -------------------------
+        let egress = hf_generic.cons_egress;
+        match flyover_outcome {
+            FlyoverOutcome::Eligible { res_id, bw_kbps, pkt_len } => {
+                match self.policer.check(res_id, bw_kbps, pkt_len, now_ns) {
+                    FwdClass::Flyover => Verdict::Flyover { egress },
+                    FwdClass::BestEffort => {
+                        self.stats.demoted_overuse += 1;
+                        Verdict::BestEffort { egress }
+                    }
+                }
+            }
+            FlyoverOutcome::BestEffortOnly => {
+                if is_flyover {
+                    self.stats.demoted_untimely += 1;
+                }
+                Verdict::BestEffort { egress }
+            }
+        }
+    }
+}

@@ -1,0 +1,330 @@
+//! Source-side traffic generation (paper §7, Appendix B.3).
+//!
+//! The source holds a beaconed path plus the reservation keys obtained on
+//! the control plane, and stamps every outgoing packet with fresh
+//! timestamps, a unique counter, and one flyover MAC per reserved hop
+//! (Eq. 3 / Fig. 11). This is the workload of Table 4 and Figs. 14-15:
+//! unlike a border router, the source computes the authentication tags for
+//! *all* on-path ASes.
+
+use hummingbird_crypto::{aggregate_mac, AuthKey, FlyoverMacInput, ResInfo};
+use hummingbird_wire::common::IsdAs;
+use hummingbird_wire::hopfield::{FlyoverHopField, HopFlags};
+use hummingbird_wire::packet::{Packet, PacketBuilder};
+use hummingbird_wire::path::{HummingbirdPath, PathField};
+use hummingbird_wire::WireError;
+
+/// A reservation attached to one hop of the source's path.
+#[derive(Clone, Debug)]
+pub struct SourceReservation {
+    /// Data-plane reservation parameters (must match the hop's
+    /// interfaces).
+    pub res_info: ResInfo,
+    /// The authentication key obtained through the control plane.
+    pub key: AuthKey,
+}
+
+/// Errors from packet generation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GenError {
+    /// Reservation interfaces do not match the path hop.
+    InterfaceMismatch,
+    /// The packet is sent before the reservation start or more than the
+    /// 16-bit offset range after it.
+    StartOffsetOutOfRange,
+    /// Wire-format error.
+    Wire(WireError),
+    /// Hop index out of range.
+    NoSuchHop,
+}
+
+impl From<WireError> for GenError {
+    fn from(e: WireError) -> Self {
+        GenError::Wire(e)
+    }
+}
+
+impl std::fmt::Display for GenError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GenError::InterfaceMismatch => f.write_str("reservation/hop interface mismatch"),
+            GenError::StartOffsetOutOfRange => f.write_str("ResStartOffset out of range"),
+            GenError::Wire(e) => write!(f, "wire error: {e}"),
+            GenError::NoSuchHop => f.write_str("hop index out of range"),
+        }
+    }
+}
+
+impl std::error::Error for GenError {}
+
+/// A Hummingbird traffic source for one path.
+pub struct SourceGenerator {
+    builder: PacketBuilder,
+    base_path: HummingbirdPath,
+    reservations: Vec<Option<SourceReservation>>,
+    counter: u16,
+    last_ms: u64,
+    dst: IsdAs,
+}
+
+impl SourceGenerator {
+    /// Creates a generator over a beaconed `path` (plain hop fields, e.g.
+    /// from [`crate::beacon::forge_path`]).
+    pub fn new(src: IsdAs, dst: IsdAs, path: HummingbirdPath) -> Self {
+        let n = path.hops.len();
+        SourceGenerator {
+            builder: PacketBuilder::new(src, dst),
+            base_path: path,
+            reservations: vec![None; n],
+            counter: 0,
+            last_ms: 0,
+            dst,
+        }
+    }
+
+    /// Attaches a reservation to hop `index`. The reservation's interfaces
+    /// must match the hop's.
+    pub fn attach_reservation(
+        &mut self,
+        index: usize,
+        res: SourceReservation,
+    ) -> Result<(), GenError> {
+        let hop = self.base_path.hops.get(index).ok_or(GenError::NoSuchHop)?;
+        if hop.cons_ingress() != res.res_info.ingress
+            || hop.cons_egress() != res.res_info.egress
+        {
+            return Err(GenError::InterfaceMismatch);
+        }
+        self.reservations[index] = Some(res);
+        Ok(())
+    }
+
+    /// Removes the reservation on hop `index`.
+    pub fn detach_reservation(&mut self, index: usize) {
+        if let Some(slot) = self.reservations.get_mut(index) {
+            *slot = None;
+        }
+    }
+
+    /// How many hops carry reservations.
+    pub fn reserved_hops(&self) -> usize {
+        self.reservations.iter().filter(|r| r.is_some()).count()
+    }
+
+    /// Generates one packet with `payload` at time `now_ms` (Unix ms),
+    /// returning the serialized bytes. Each call stamps a unique
+    /// `(BaseTimestamp, MillisTimestamp, Counter)` triple.
+    pub fn generate(&mut self, payload: &[u8], now_ms: u64) -> Result<Vec<u8>, GenError> {
+        let pkt = self.generate_packet(payload, now_ms)?;
+        Ok(pkt.to_bytes()?)
+    }
+
+    /// Generates one packet as an owned [`Packet`] structure.
+    pub fn generate_packet(&mut self, payload: &[u8], now_ms: u64) -> Result<Packet, GenError> {
+        // Unique (BaseTS, MillisTS, Counter) per packet (App. A.1).
+        if now_ms != self.last_ms {
+            self.last_ms = now_ms;
+            self.counter = 0;
+        } else {
+            self.counter = self.counter.wrapping_add(1);
+        }
+        let base_ts = (now_ms / 1000) as u32;
+        let millis_ts = (now_ms % 1000) as u16;
+
+        // Build the path: plain hops stay as-is; reserved hops become
+        // flyover hop fields. MACs are filled in after the packet length
+        // is known (PktLen is authenticated, Eq. 7d).
+        let mut path = self.base_path.clone();
+        path.meta.base_ts = base_ts;
+        path.meta.millis_ts = millis_ts;
+        path.meta.counter = self.counter;
+
+        let mut seg_len_delta = [0u16; 3];
+        let mut hop_segments = Vec::with_capacity(path.hops.len());
+        {
+            // Which segment each hop belongs to (for SegLen adjustment).
+            let mut seg = 0usize;
+            let mut consumed = 0u16;
+            for hop in &self.base_path.hops {
+                while consumed >= u16::from(self.base_path.meta.seg_len[seg]) {
+                    consumed -= u16::from(self.base_path.meta.seg_len[seg]);
+                    seg += 1;
+                }
+                hop_segments.push(seg);
+                consumed += u16::from(hop.units());
+            }
+        }
+
+        for (i, slot) in self.reservations.iter().enumerate() {
+            let Some(res) = slot else { continue };
+            let PathField::Hop(hf) = path.hops[i] else {
+                continue; // base path always carries plain hop fields
+            };
+            let offset = compute_start_offset(base_ts, res.res_info.res_start)?;
+            path.hops[i] = PathField::Flyover(FlyoverHopField {
+                flags: HopFlags { flyover: true, ..hf.flags },
+                exp_time: hf.exp_time,
+                cons_ingress: hf.cons_ingress,
+                cons_egress: hf.cons_egress,
+                agg_mac: hf.mac, // placeholder; XORed below
+                res_id: res.res_info.res_id,
+                bw: res.res_info.bw_encoded,
+                res_start_offset: offset,
+                res_duration: res.res_info.duration,
+            });
+            seg_len_delta[hop_segments[i]] += 2; // 20 B vs 12 B = +2 units
+        }
+        for (i, delta) in seg_len_delta.iter().enumerate() {
+            path.meta.seg_len[i] = path.meta.seg_len[i].saturating_add(*delta as u8);
+        }
+
+        // Assemble to learn PktLen, then compute flyover MACs (Table 4:
+        // "Compute flyover MACs" happens per packet for all on-path ASes).
+        let mut pkt = self.builder.build(path, payload.to_vec())?;
+        let pkt_len = pkt.pkt_len()?;
+        for (i, slot) in self.reservations.iter().enumerate() {
+            let Some(res) = slot else { continue };
+            let PathField::Flyover(ref mut fly) = pkt.path.hops[i] else { continue };
+            let input = FlyoverMacInput {
+                dst_isd: self.dst.isd,
+                dst_as: self.dst.asn,
+                pkt_len,
+                res_start_offset: fly.res_start_offset,
+                millis_ts,
+                counter: pkt.path.meta.counter,
+            };
+            let fly_mac = res.key.flyover_mac(&input);
+            fly.agg_mac = aggregate_mac(&fly.agg_mac, &fly_mac);
+        }
+        Ok(pkt)
+    }
+}
+
+/// `ResStartOffset = BaseTimestamp − ResStart`, checked to the 16-bit
+/// field range (≈18 h, App. A.4).
+fn compute_start_offset(base_ts: u32, res_start: u32) -> Result<u16, GenError> {
+    if base_ts < res_start {
+        return Err(GenError::StartOffsetOutOfRange);
+    }
+    u16::try_from(base_ts - res_start).map_err(|_| GenError::StartOffsetOutOfRange)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::beacon::{forge_path, BeaconHop};
+    use hummingbird_crypto::SecretValue;
+    use hummingbird_wire::scion_mac::HopMacKey;
+
+    fn make_gen(n_hops: usize) -> (SourceGenerator, Vec<SecretValue>) {
+        let hops: Vec<BeaconHop> = (0..n_hops)
+            .map(|i| BeaconHop {
+                key: HopMacKey::new([i as u8 + 1; 16]),
+                cons_ingress: if i == 0 { 0 } else { 2 * i as u16 },
+                cons_egress: if i == n_hops - 1 { 0 } else { 2 * i as u16 + 1 },
+            })
+            .collect();
+        let path = forge_path(&hops, 1_700_000_000, 7);
+        let svs: Vec<SecretValue> =
+            (0..n_hops).map(|i| SecretValue::new([0x40 + i as u8; 16])).collect();
+        let src = IsdAs::new(1, 0x10);
+        let dst = IsdAs::new(2, 0x20);
+        (SourceGenerator::new(src, dst, path), svs)
+    }
+
+    fn reservation_for(
+        sv: &SecretValue,
+        ingress: u16,
+        egress: u16,
+        res_start: u32,
+    ) -> SourceReservation {
+        let res_info = ResInfo {
+            ingress,
+            egress,
+            res_id: 5,
+            bw_encoded: 200,
+            res_start,
+            duration: 600,
+        };
+        let key = sv.derive_key(&res_info);
+        SourceReservation { res_info, key }
+    }
+
+    #[test]
+    fn generates_parseable_packets() {
+        let (mut g, svs) = make_gen(4);
+        let now_ms = 1_700_000_100_000;
+        g.attach_reservation(1, reservation_for(&svs[1], 2, 3, 1_700_000_050)).unwrap();
+        let bytes = g.generate(&[0xab; 500], now_ms).unwrap();
+        let pkt = Packet::parse(&bytes).unwrap();
+        assert_eq!(pkt.path.hops.len(), 4);
+        assert!(pkt.path.hops[1].is_flyover());
+        assert_eq!(pkt.payload.len(), 500);
+    }
+
+    #[test]
+    fn counters_make_packets_unique() {
+        let (mut g, _) = make_gen(2);
+        let now_ms = 1_700_000_100_000;
+        let a = g.generate(&[1], now_ms).unwrap();
+        let b = g.generate(&[1], now_ms).unwrap();
+        let pa = Packet::parse(&a).unwrap();
+        let pb = Packet::parse(&b).unwrap();
+        assert_ne!(pa.path.meta.counter, pb.path.meta.counter);
+        // New millisecond resets the counter.
+        let c = g.generate(&[1], now_ms + 1).unwrap();
+        let pc = Packet::parse(&c).unwrap();
+        assert_eq!(pc.path.meta.counter, 0);
+        assert_eq!(pc.path.meta.millis_ts, pa.path.meta.millis_ts + 1);
+    }
+
+    #[test]
+    fn interface_mismatch_rejected() {
+        let (mut g, svs) = make_gen(3);
+        let bad = reservation_for(&svs[1], 99, 98, 1_700_000_000);
+        assert_eq!(g.attach_reservation(1, bad), Err(GenError::InterfaceMismatch));
+    }
+
+    #[test]
+    fn start_offset_range_enforced() {
+        let (mut g, svs) = make_gen(2);
+        // Reservation starting in the future relative to send time.
+        g.attach_reservation(0, reservation_for(&svs[0], 0, 1, 1_700_000_000)).unwrap();
+        let too_early = 1_699_999_000_000; // 1000 s before start
+        assert_eq!(
+            g.generate(&[0], too_early),
+            Err(GenError::StartOffsetOutOfRange)
+        );
+        // More than 18 h after start is unencodable.
+        let too_late = (1_700_000_000 + 70_000) * 1000;
+        assert_eq!(g.generate(&[0], too_late), Err(GenError::StartOffsetOutOfRange));
+    }
+
+    #[test]
+    fn seg_len_accounts_for_flyover_fields() {
+        let (mut g, svs) = make_gen(3);
+        g.attach_reservation(0, reservation_for(&svs[0], 0, 1, 1_700_000_000)).unwrap();
+        g.attach_reservation(2, reservation_for(&svs[2], 4, 0, 1_700_000_000)).unwrap();
+        let bytes = g.generate(&[0; 10], 1_700_000_001_000).unwrap();
+        let pkt = Packet::parse(&bytes).unwrap();
+        // 2 flyovers (5 units) + 1 hop (3 units) = 13.
+        assert_eq!(pkt.path.meta.seg_len[0], 13);
+    }
+
+    #[test]
+    fn full_hop_count_of_flyovers() {
+        let (mut g, svs) = make_gen(5);
+        for i in 0..5 {
+            let hop = g.base_path.hops[i];
+            g.attach_reservation(
+                i,
+                reservation_for(&svs[i], hop.cons_ingress(), hop.cons_egress(), 1_700_000_000),
+            )
+            .unwrap();
+        }
+        assert_eq!(g.reserved_hops(), 5);
+        let bytes = g.generate(&[0; 100], 1_700_000_001_000).unwrap();
+        let pkt = Packet::parse(&bytes).unwrap();
+        assert!(pkt.path.hops.iter().all(|h| h.is_flyover()));
+    }
+}

@@ -1,0 +1,89 @@
+//! Immutable-object semantics: readable by anyone without forcing
+//! consensus, never writable, transferable or deletable — the Sui rules
+//! the asset contract's published metadata relies on.
+
+use hummingbird_ledger::{Address, ExecError, ExecPath, Ledger, Owner, MIST_PER_SUI};
+
+fn setup() -> (Ledger, Address, Address) {
+    let mut l = Ledger::new();
+    let a = Address::from_label("a");
+    let b = Address::from_label("b");
+    l.mint(a, 100 * MIST_PER_SUI);
+    l.mint(b, 100 * MIST_PER_SUI);
+    (l, a, b)
+}
+
+#[test]
+fn immutable_objects_are_readable_by_anyone_on_the_fast_path() {
+    let (mut l, a, b) = setup();
+    let id = l
+        .execute(a, |ctx| Ok(ctx.create(Owner::Immutable, "test::Frozen", vec![1, 2, 3])))
+        .unwrap()
+        .value;
+    // A different account reads it without consensus.
+    let rx = l.execute(b, |ctx| ctx.read(id, "test::Frozen")).unwrap();
+    assert_eq!(rx.value, vec![1, 2, 3]);
+    assert_eq!(rx.path, ExecPath::FastPath, "immutable reads never need consensus");
+}
+
+#[test]
+fn immutable_objects_cannot_be_mutated() {
+    let (mut l, a, _) = setup();
+    let id = l
+        .execute(a, |ctx| Ok(ctx.create(Owner::Immutable, "test::Frozen", vec![0])))
+        .unwrap()
+        .value;
+    // Not even the creator can write, transfer, or delete it.
+    assert_eq!(
+        l.execute(a, |ctx| ctx.write(id, "test::Frozen", vec![1])).unwrap_err(),
+        ExecError::NotOwner(id)
+    );
+    assert_eq!(
+        l.execute(a, |ctx| ctx.transfer(id, Owner::Address(a))).unwrap_err(),
+        ExecError::NotOwner(id)
+    );
+    assert_eq!(l.execute(a, |ctx| ctx.delete(id)).unwrap_err(), ExecError::NotOwner(id));
+    assert_eq!(l.object(id).unwrap().data, vec![0]);
+}
+
+#[test]
+fn freezing_an_object_is_one_way() {
+    let (mut l, a, b) = setup();
+    // Create owned, then freeze by transferring to Immutable.
+    let id = l
+        .execute(a, |ctx| {
+            let id = ctx.create(Owner::Address(ctx.sender()), "test::T", vec![7]);
+            ctx.transfer(id, Owner::Immutable)?;
+            Ok(id)
+        })
+        .unwrap()
+        .value;
+    assert_eq!(l.object(id).unwrap().meta.owner, Owner::Immutable);
+    // Nobody can thaw it.
+    for who in [a, b] {
+        assert!(l.execute(who, |ctx| ctx.transfer(id, Owner::Address(who))).is_err());
+    }
+}
+
+#[test]
+fn mixed_reads_take_the_strictest_path() {
+    let (mut l, a, b) = setup();
+    let (frozen, shared) = l
+        .execute(a, |ctx| {
+            Ok((
+                ctx.create(Owner::Immutable, "test::Frozen", vec![]),
+                ctx.create(Owner::Shared, "test::Shared", vec![]),
+            ))
+        })
+        .unwrap()
+        .value;
+    // Touching an immutable object keeps fast path; adding a shared one
+    // forces consensus for the whole transaction.
+    let rx = l
+        .execute(b, |ctx| {
+            ctx.read(frozen, "test::Frozen")?;
+            ctx.read(shared, "test::Shared")
+        })
+        .unwrap();
+    assert_eq!(rx.path, ExecPath::Consensus);
+}

@@ -1,0 +1,223 @@
+//! Scenario builders: linear AS topologies with Hummingbird routers,
+//! ready-made flows, and reservation plumbing for the QoS experiments.
+
+use crate::sim::{Flow, FlowId, Node, NodeId, Simulator};
+use hummingbird_crypto::{ResInfo, SecretValue};
+use hummingbird_dataplane::{
+    forge_path, BeaconHop, BorderRouter, RouterConfig, SourceGenerator, SourceReservation,
+};
+use hummingbird_wire::bwcls;
+use hummingbird_wire::scion_mac::HopMacKey;
+use hummingbird_wire::IsdAs;
+use std::collections::HashMap;
+
+/// A linear chain of `n` ASes with a destination host behind the last one.
+///
+/// Interface convention: AS `i` has ingress `2i` (0 at the first AS, where
+/// sources inject directly) and egress `2i+1` (0 at the last AS, meaning
+/// local delivery to the attached host).
+pub struct LinearTopology {
+    /// The simulator, pre-wired.
+    pub sim: Simulator,
+    /// Router node per AS.
+    pub as_nodes: Vec<NodeId>,
+    /// The destination host node.
+    pub dest_host: NodeId,
+    hop_keys: Vec<HopMacKey>,
+    svs: Vec<SecretValue>,
+    info_ts: u32,
+    beta0: u16,
+    next_res_id: u32,
+}
+
+/// Link parameters for a topology.
+#[derive(Clone, Copy, Debug)]
+pub struct LinkSpec {
+    /// Bits per second.
+    pub bandwidth_bps: u64,
+    /// Propagation delay, ns.
+    pub propagation_ns: u64,
+    /// Per-class queue capacity, bytes.
+    pub queue_cap_bytes: usize,
+}
+
+impl Default for LinkSpec {
+    fn default() -> Self {
+        LinkSpec {
+            bandwidth_bps: 10_000_000, // 10 Mbps bottlenecks by default
+            propagation_ns: 1_000_000, // 1 ms
+            queue_cap_bytes: 64 * 1024,
+        }
+    }
+}
+
+impl LinearTopology {
+    /// Interface pair of AS `i` in an `n`-AS chain.
+    pub fn interfaces(n: usize, i: usize) -> (u16, u16) {
+        let ingress = if i == 0 { 0 } else { 2 * i as u16 };
+        let egress = if i == n - 1 { 0 } else { 2 * i as u16 + 1 };
+        (ingress, egress)
+    }
+
+    /// Builds an `n`-AS chain starting at simulated time `start_ns`.
+    pub fn build(n: usize, link: LinkSpec, start_ns: u64, cfg: RouterConfig) -> Self {
+        Self::build_seeded(n, link, start_ns, cfg, 0)
+    }
+
+    /// Like [`LinearTopology::build`] but with distinct AS key material per
+    /// `seed` — two topologies with different seeds reject each other's
+    /// packets.
+    pub fn build_seeded(
+        n: usize,
+        link: LinkSpec,
+        start_ns: u64,
+        cfg: RouterConfig,
+        seed: u8,
+    ) -> Self {
+        let hop_keys = (0..n)
+            .map(|i| {
+                let mut k = [0x21 + i as u8; 16];
+                k[15] = seed;
+                k
+            })
+            .collect();
+        let sv_keys = (0..n)
+            .map(|i| {
+                let mut k = [0x51 + i as u8; 16];
+                k[15] = seed;
+                k
+            })
+            .collect();
+        Self::build_with_keys(n, link, start_ns, cfg, hop_keys, sv_keys)
+    }
+
+    /// Builds a chain with explicit AS key material — how the end-to-end
+    /// testbed wires the same secrets into both the control-plane
+    /// `AsService`s and the simulated border routers.
+    pub fn build_with_keys(
+        n: usize,
+        link: LinkSpec,
+        start_ns: u64,
+        cfg: RouterConfig,
+        hop_key_bytes: Vec<[u8; 16]>,
+        sv_key_bytes: Vec<[u8; 16]>,
+    ) -> Self {
+        assert!(n >= 1);
+        assert_eq!(hop_key_bytes.len(), n);
+        assert_eq!(sv_key_bytes.len(), n);
+        let hop_keys: Vec<HopMacKey> =
+            hop_key_bytes.into_iter().map(HopMacKey::new).collect();
+        let svs: Vec<SecretValue> = sv_key_bytes.into_iter().map(SecretValue::new).collect();
+        let mut sim = Simulator::new(start_ns);
+        let dest_host = sim.add_node(Node::Host);
+        let as_nodes: Vec<NodeId> = (0..n)
+            .map(|i| {
+                sim.add_node(Node::Router {
+                    router: BorderRouter::new(svs[i].clone(), hop_keys[i].clone(), cfg),
+                    interfaces: HashMap::new(),
+                    local: if i == n - 1 { Some(dest_host) } else { None },
+                })
+            })
+            .collect();
+        // Wire AS i's egress to AS i+1.
+        for i in 0..n - 1 {
+            let l = sim.add_link(
+                as_nodes[i + 1],
+                link.bandwidth_bps,
+                link.propagation_ns,
+                link.queue_cap_bytes,
+            );
+            let (_, egress) = Self::interfaces(n, i);
+            sim.connect_interface(as_nodes[i], egress, l);
+        }
+        let info_ts = (start_ns / 1_000_000_000) as u32;
+        LinearTopology {
+            sim,
+            as_nodes,
+            dest_host,
+            hop_keys,
+            svs,
+            info_ts,
+            beta0: 0x4242,
+            next_res_id: 0,
+        }
+    }
+
+    /// Number of ASes.
+    pub fn n_ases(&self) -> usize {
+        self.as_nodes.len()
+    }
+
+    /// Builds a fresh source generator over the chain's beaconed path.
+    pub fn make_generator(&self, src: IsdAs, dst: IsdAs) -> SourceGenerator {
+        let n = self.n_ases();
+        let hops: Vec<BeaconHop> = (0..n)
+            .map(|i| {
+                let (ingress, egress) = Self::interfaces(n, i);
+                BeaconHop { key: self.hop_keys[i].clone(), cons_ingress: ingress, cons_egress: egress }
+            })
+            .collect();
+        SourceGenerator::new(src, dst, forge_path(&hops, self.info_ts, self.beta0))
+    }
+
+    /// Creates a reservation for hop `i` at `bw_kbps`, valid over
+    /// `[res_start, res_start + duration_s)`, with a fresh ResID.
+    pub fn make_reservation(
+        &mut self,
+        hop: usize,
+        bw_kbps: u64,
+        res_start: u32,
+        duration_s: u16,
+    ) -> SourceReservation {
+        let n = self.n_ases();
+        let (ingress, egress) = Self::interfaces(n, hop);
+        let res_id = self.next_res_id;
+        self.next_res_id += 1;
+        let res_info = ResInfo {
+            ingress,
+            egress,
+            res_id,
+            bw_encoded: bwcls::encode_ceil(bw_kbps).expect("encodable bandwidth"),
+            res_start,
+            duration: duration_s,
+        };
+        let key = self.svs[hop].derive_key(&res_info);
+        SourceReservation { res_info, key }
+    }
+
+    /// Adds a CBR flow over the full chain. `reserved_kbps` of `Some(r)`
+    /// attaches reservations of rate `r` on *every* hop; `None` sends best
+    /// effort.
+    #[allow(clippy::too_many_arguments)]
+    pub fn add_cbr_flow(
+        &mut self,
+        src: IsdAs,
+        dst: IsdAs,
+        payload_len: usize,
+        rate_kbps: u64,
+        reserved_kbps: Option<u64>,
+        start_ns: u64,
+        stop_ns: u64,
+    ) -> FlowId {
+        let mut generator = self.make_generator(src, dst);
+        if let Some(r) = reserved_kbps {
+            let res_start = (start_ns / 1_000_000_000).saturating_sub(5) as u32;
+            for hop in 0..self.n_ases() {
+                let res = self.make_reservation(hop, r, res_start, u16::MAX);
+                generator.attach_reservation(hop, res).expect("matching interfaces");
+            }
+        }
+        // Interval from the *payload* rate: actual wire rate is slightly
+        // higher due to headers, which the reservation margin absorbs.
+        let interval_ns = (payload_len as u64 * 8).saturating_mul(1_000_000) / rate_kbps.max(1);
+        let entry = self.as_nodes[0];
+        self.sim.add_flow(Flow {
+            generator,
+            entry,
+            payload_len,
+            interval_ns,
+            start_ns,
+            stop_ns,
+        })
+    }
+}

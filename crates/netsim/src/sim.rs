@@ -1,0 +1,464 @@
+//! The discrete-event engine: AS nodes with real Hummingbird border
+//! routers, links with two-class strict-priority queues, hosts with
+//! constant-bit-rate flows, and adversarial packet injection.
+//!
+//! This is the testbed substitute for the paper's QoS claims (property D2,
+//! §5.4): reservation traffic is prioritized over best effort at every
+//! contested link, so congestion and flooding cannot degrade it, while
+//! overuse is demoted by deterministic policing.
+
+use hummingbird_dataplane::{BorderRouter, SourceGenerator, Verdict};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// Node identifier.
+pub type NodeId = usize;
+/// Link identifier.
+pub type LinkId = usize;
+/// Flow identifier.
+pub type FlowId = usize;
+
+/// Traffic class on a link (decided by the border router's verdict).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Class {
+    /// Reservation-protected: strict priority.
+    Priority,
+    /// Best effort.
+    BestEffort,
+}
+
+/// A packet in flight, with bookkeeping for statistics.
+#[derive(Clone, Debug)]
+pub struct SimPacket {
+    /// Serialized wire bytes (mutated by routers en route).
+    pub bytes: Vec<u8>,
+    /// Originating flow.
+    pub flow: FlowId,
+    /// Send timestamp (ns).
+    pub sent_at: u64,
+}
+
+/// A unidirectional link between two nodes.
+pub struct Link {
+    /// Destination node.
+    pub to: NodeId,
+    /// Serialization rate, bits per second.
+    pub bandwidth_bps: u64,
+    /// Propagation delay, ns.
+    pub propagation_ns: u64,
+    /// Per-class queue capacity in bytes (tail drop beyond).
+    pub queue_cap_bytes: usize,
+    prio: VecDeque<SimPacket>,
+    best_effort: VecDeque<SimPacket>,
+    prio_bytes: usize,
+    be_bytes: usize,
+    busy: bool,
+}
+
+impl Link {
+    fn new(to: NodeId, bandwidth_bps: u64, propagation_ns: u64, queue_cap_bytes: usize) -> Self {
+        Link {
+            to,
+            bandwidth_bps,
+            propagation_ns,
+            queue_cap_bytes,
+            prio: VecDeque::new(),
+            best_effort: VecDeque::new(),
+            prio_bytes: 0,
+            be_bytes: 0,
+            busy: false,
+        }
+    }
+
+    fn tx_time_ns(&self, bytes: usize) -> u64 {
+        (bytes as u64 * 8).saturating_mul(1_000_000_000) / self.bandwidth_bps.max(1)
+    }
+
+    /// Pops the next packet, priority first (strict priority scheduling).
+    fn pop_next(&mut self) -> Option<SimPacket> {
+        if let Some(p) = self.prio.pop_front() {
+            self.prio_bytes -= p.bytes.len();
+            return Some(p);
+        }
+        if let Some(p) = self.best_effort.pop_front() {
+            self.be_bytes -= p.bytes.len();
+            return Some(p);
+        }
+        None
+    }
+}
+
+/// What happens to packets arriving at a node.
+pub enum Node {
+    /// An AS border router: verifies, polices and forwards by interface.
+    Router {
+        /// The Hummingbird border router (owns SV, hop key, policer).
+        router: BorderRouter,
+        /// Egress interface → link. Interface 0 delivers to `local`.
+        interfaces: std::collections::HashMap<u16, LinkId>,
+        /// Node receiving locally-delivered packets (the destination
+        /// host), if any.
+        local: Option<NodeId>,
+    },
+    /// An end host: records deliveries.
+    Host,
+    /// A blackhole (used to model adversary-controlled sinks).
+    Sink,
+}
+
+/// Per-flow statistics.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FlowStats {
+    /// Packets sent by the source.
+    pub sent_pkts: u64,
+    /// Bytes sent.
+    pub sent_bytes: u64,
+    /// Packets delivered to the destination host.
+    pub delivered_pkts: u64,
+    /// Bytes delivered.
+    pub delivered_bytes: u64,
+    /// Packets dropped by routers (bad MAC, expiry, …).
+    pub router_drops: u64,
+    /// Packets tail-dropped at link queues.
+    pub queue_drops: u64,
+    /// Sum of end-to-end latencies (ns) over delivered packets.
+    pub latency_sum_ns: u64,
+    /// Maximum end-to-end latency (ns).
+    pub latency_max_ns: u64,
+}
+
+impl FlowStats {
+    /// Mean end-to-end latency in milliseconds.
+    pub fn mean_latency_ms(&self) -> f64 {
+        if self.delivered_pkts == 0 {
+            return f64::NAN;
+        }
+        self.latency_sum_ns as f64 / self.delivered_pkts as f64 / 1e6
+    }
+
+    /// Delivered goodput over `window_s` seconds, in kbps.
+    pub fn goodput_kbps(&self, window_s: f64) -> f64 {
+        self.delivered_bytes as f64 * 8.0 / window_s / 1e3
+    }
+
+    /// Delivery ratio.
+    pub fn delivery_ratio(&self) -> f64 {
+        if self.sent_pkts == 0 {
+            return f64::NAN;
+        }
+        self.delivered_pkts as f64 / self.sent_pkts as f64
+    }
+}
+
+/// A constant-bit-rate flow.
+pub struct Flow {
+    /// Source generator (holds path + reservations).
+    pub generator: SourceGenerator,
+    /// Node the first packet enters (the first on-path AS).
+    pub entry: NodeId,
+    /// Payload bytes per packet.
+    pub payload_len: usize,
+    /// Packet interval, ns.
+    pub interval_ns: u64,
+    /// First send time, ns.
+    pub start_ns: u64,
+    /// Last send time (exclusive), ns.
+    pub stop_ns: u64,
+}
+
+enum Event {
+    FlowSend { flow: FlowId },
+    Arrival { node: NodeId, pkt: SimPacket },
+    LinkDone { link: LinkId },
+}
+
+/// An on-path / on-reservation-set duplicating adversary (Fig. 3, §5.4):
+/// it observes the victim's packets as they arrive at `inject_at` (an AS
+/// the adversary sits in front of) and injects `copies` duplicates there.
+/// Duplicates carry valid authentication tags, so without duplicate
+/// suppression they pass verification and consume the reservation budget.
+pub struct ReplayTap {
+    /// The flow being observed.
+    pub victim: FlowId,
+    /// Node at whose ingress the duplicates appear.
+    pub inject_at: NodeId,
+    /// Duplicates injected per observed packet.
+    pub copies: u32,
+    /// Injection delay after observing the packet, ns.
+    pub delay_ns: u64,
+    /// The adversary's own pseudo-flow id for accounting.
+    pub attacker_flow: FlowId,
+}
+
+/// The simulator.
+pub struct Simulator {
+    nodes: Vec<Node>,
+    links: Vec<Link>,
+    flows: Vec<Flow>,
+    stats: Vec<FlowStats>,
+    taps: Vec<ReplayTap>,
+    queue: BinaryHeap<Reverse<(u64, u64, usize)>>,
+    pending: Vec<Option<Event>>,
+    seq: u64,
+    now_ns: u64,
+}
+
+impl Simulator {
+    /// Creates an empty simulator starting at time `start_ns`.
+    pub fn new(start_ns: u64) -> Self {
+        Simulator {
+            nodes: Vec::new(),
+            links: Vec::new(),
+            flows: Vec::new(),
+            stats: Vec::new(),
+            taps: Vec::new(),
+            queue: BinaryHeap::new(),
+            pending: Vec::new(),
+            seq: 0,
+            now_ns: start_ns,
+        }
+    }
+
+    /// Adds a node, returning its ID.
+    pub fn add_node(&mut self, node: Node) -> NodeId {
+        self.nodes.push(node);
+        self.nodes.len() - 1
+    }
+
+    /// Adds a link, returning its ID.
+    pub fn add_link(
+        &mut self,
+        to: NodeId,
+        bandwidth_bps: u64,
+        propagation_ns: u64,
+        queue_cap_bytes: usize,
+    ) -> LinkId {
+        self.links.push(Link::new(to, bandwidth_bps, propagation_ns, queue_cap_bytes));
+        self.links.len() - 1
+    }
+
+    /// Wires egress `interface` of router `node` onto `link`.
+    pub fn connect_interface(&mut self, node: NodeId, interface: u16, link: LinkId) {
+        if let Node::Router { interfaces, .. } = &mut self.nodes[node] {
+            interfaces.insert(interface, link);
+        }
+    }
+
+    /// Registers a flow, returning its ID. Send events are scheduled
+    /// lazily, one at a time.
+    pub fn add_flow(&mut self, flow: Flow) -> FlowId {
+        let id = self.flows.len();
+        let start = flow.start_ns.max(self.now_ns);
+        self.flows.push(flow);
+        self.stats.push(FlowStats::default());
+        self.schedule(start, Event::FlowSend { flow: id });
+        id
+    }
+
+    /// Registers an on-reservation-set replay adversary. The attacker's
+    /// pseudo-flow gets its own stats slot, which is returned.
+    pub fn add_replay_tap(&mut self, victim: FlowId, inject_at: NodeId, copies: u32, delay_ns: u64) -> FlowId {
+        let attacker_flow = self.stats.len();
+        self.stats.push(FlowStats::default());
+        self.taps.push(ReplayTap { victim, inject_at, copies, delay_ns, attacker_flow });
+        attacker_flow
+    }
+
+    /// Statistics of `flow`.
+    pub fn stats(&self, flow: FlowId) -> FlowStats {
+        self.stats[flow]
+    }
+
+    /// Current simulation time, ns.
+    pub fn now_ns(&self) -> u64 {
+        self.now_ns
+    }
+
+    /// Router statistics of a node, if it is a router.
+    pub fn router_stats(&self, node: NodeId) -> Option<hummingbird_dataplane::RouterStats> {
+        match &self.nodes[node] {
+            Node::Router { router, .. } => Some(router.stats()),
+            _ => None,
+        }
+    }
+
+    /// Processes one packet synchronously through a node's border router,
+    /// outside the event loop (used by tests and examples to probe
+    /// verdicts without scheduling flows).
+    pub fn process_at_router(
+        &mut self,
+        node: NodeId,
+        pkt: &mut [u8],
+        now_ns: u64,
+    ) -> Option<Verdict> {
+        match &mut self.nodes[node] {
+            Node::Router { router, .. } => Some(router.process(pkt, now_ns)),
+            _ => None,
+        }
+    }
+
+    fn schedule(&mut self, at_ns: u64, event: Event) {
+        let slot = self.pending.len();
+        self.pending.push(Some(event));
+        self.queue.push(Reverse((at_ns, self.seq, slot)));
+        self.seq += 1;
+    }
+
+    /// Runs until `end_ns` (or until no events remain).
+    pub fn run_until(&mut self, end_ns: u64) {
+        while let Some(&Reverse((t, _, slot))) = self.queue.peek() {
+            if t > end_ns {
+                break;
+            }
+            self.queue.pop();
+            self.now_ns = t;
+            let event = self.pending[slot].take().expect("event consumed twice");
+            self.dispatch(event);
+        }
+        self.now_ns = self.now_ns.max(end_ns);
+    }
+
+    fn dispatch(&mut self, event: Event) {
+        match event {
+            Event::FlowSend { flow } => self.handle_flow_send(flow),
+            Event::Arrival { node, pkt } => self.handle_arrival(node, pkt),
+            Event::LinkDone { link } => self.handle_link_done(link),
+        }
+    }
+
+    fn handle_flow_send(&mut self, flow_id: FlowId) {
+        let now = self.now_ns;
+        let flow = &mut self.flows[flow_id];
+        if now >= flow.stop_ns {
+            return;
+        }
+        let payload = vec![0u8; flow.payload_len];
+        let now_ms = now / 1_000_000;
+        match flow.generator.generate(&payload, now_ms) {
+            Ok(bytes) => {
+                self.stats[flow_id].sent_pkts += 1;
+                self.stats[flow_id].sent_bytes += bytes.len() as u64;
+                let pkt = SimPacket { bytes, flow: flow_id, sent_at: now };
+                let entry = flow.entry;
+                self.schedule(now, Event::Arrival { node: entry, pkt });
+            }
+            Err(_) => {
+                // Generation failure (e.g. reservation not yet active):
+                // count as a send that never left the host.
+                self.stats[flow_id].sent_pkts += 1;
+            }
+        }
+        let interval = self.flows[flow_id].interval_ns;
+        let next = now + interval;
+        if next < self.flows[flow_id].stop_ns {
+            self.schedule(next, Event::FlowSend { flow: flow_id });
+        }
+    }
+
+    fn handle_arrival(&mut self, node_id: NodeId, pkt: SimPacket) {
+        let now = self.now_ns;
+        // Duplicating adversaries observe the packet as it arrives and
+        // inject copies at the same ingress shortly after.
+        let tap_copies: Vec<(u32, u64, FlowId)> = self
+            .taps
+            .iter()
+            .filter(|t| t.victim == pkt.flow && t.inject_at == node_id)
+            .map(|t| (t.copies, t.delay_ns, t.attacker_flow))
+            .collect();
+        for (copies, delay, attacker_flow) in tap_copies {
+            // Copies are spread `delay_ns` apart so the attacker keeps the
+            // token bucket pinned right up to the next original packet —
+            // the timing that makes the §5.4 attack effective.
+            for c in 0..copies {
+                let mut copy = pkt.clone();
+                copy.flow = attacker_flow;
+                self.stats[attacker_flow].sent_pkts += 1;
+                self.stats[attacker_flow].sent_bytes += copy.bytes.len() as u64;
+                self.schedule(
+                    now + delay * (u64::from(c) + 1),
+                    Event::Arrival { node: node_id, pkt: copy },
+                );
+            }
+        }
+        match &mut self.nodes[node_id] {
+            Node::Host | Node::Sink => {
+                let st = &mut self.stats[pkt.flow];
+                st.delivered_pkts += 1;
+                st.delivered_bytes += pkt.bytes.len() as u64;
+                let lat = now - pkt.sent_at;
+                st.latency_sum_ns += lat;
+                st.latency_max_ns = st.latency_max_ns.max(lat);
+            }
+            Node::Router { router, interfaces, local } => {
+                let mut bytes = pkt.bytes;
+                let verdict = router.process(&mut bytes, now);
+                let pkt = SimPacket { bytes, ..pkt };
+                match verdict {
+                    Verdict::Drop(_) => {
+                        self.stats[pkt.flow].router_drops += 1;
+                    }
+                    Verdict::Flyover { egress } | Verdict::BestEffort { egress } => {
+                        let class = if verdict.is_flyover() {
+                            Class::Priority
+                        } else {
+                            Class::BestEffort
+                        };
+                        if egress == 0 {
+                            // Local delivery at the destination AS.
+                            if let Some(host) = *local {
+                                self.schedule(now, Event::Arrival { node: host, pkt });
+                            } else {
+                                self.stats[pkt.flow].router_drops += 1;
+                            }
+                        } else if let Some(&link_id) = interfaces.get(&egress) {
+                            self.enqueue_on_link(link_id, pkt, class);
+                        } else {
+                            self.stats[pkt.flow].router_drops += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn enqueue_on_link(&mut self, link_id: LinkId, pkt: SimPacket, class: Class) {
+        let now = self.now_ns;
+        let link = &mut self.links[link_id];
+        if !link.busy {
+            link.busy = true;
+            let done = now + link.tx_time_ns(pkt.bytes.len());
+            let arrive = done + link.propagation_ns;
+            let to = link.to;
+            self.schedule(done, Event::LinkDone { link: link_id });
+            self.schedule(arrive, Event::Arrival { node: to, pkt });
+        } else {
+            let (queue, bytes_used) = match class {
+                Class::Priority => (&mut link.prio, &mut link.prio_bytes),
+                Class::BestEffort => (&mut link.best_effort, &mut link.be_bytes),
+            };
+            if *bytes_used + pkt.bytes.len() <= link.queue_cap_bytes {
+                *bytes_used += pkt.bytes.len();
+                queue.push_back(pkt);
+            } else {
+                self.stats[pkt.flow].queue_drops += 1;
+            }
+        }
+    }
+
+    fn handle_link_done(&mut self, link_id: LinkId) {
+        let now = self.now_ns;
+        let link = &mut self.links[link_id];
+        match link.pop_next() {
+            Some(pkt) => {
+                let done = now + link.tx_time_ns(pkt.bytes.len());
+                let arrive = done + link.propagation_ns;
+                let to = link.to;
+                self.schedule(done, Event::LinkDone { link: link_id });
+                self.schedule(arrive, Event::Arrival { node: to, pkt });
+            }
+            None => {
+                link.busy = false;
+            }
+        }
+    }
+}

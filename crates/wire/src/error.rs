@@ -1,0 +1,44 @@
+//! Wire-format error types.
+
+/// Errors raised while parsing or emitting Hummingbird/SCION headers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer is shorter than the header demands.
+    Truncated,
+    /// A length or offset field is internally inconsistent.
+    Malformed,
+    /// A field value is outside its legal range.
+    FieldRange,
+    /// `SegXLen > 0` while `SegYLen == 0` for some `X > Y` (App. A.1).
+    SegmentGap,
+    /// The current hop-field pointer does not fall inside any segment.
+    HopOutOfSegment,
+    /// `PayloadLen + 4·HdrLen` overflowed the 16-bit PktLen (Eq. 7d:
+    /// "If an overflow occurs ... the packet must be dropped").
+    PktLenOverflow,
+    /// The path contains no hop fields.
+    EmptyPath,
+    /// Too many hop fields (max 64) or info fields (max 3).
+    TooManyFields,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            WireError::Truncated => "buffer truncated",
+            WireError::Malformed => "malformed header",
+            WireError::FieldRange => "field value out of range",
+            WireError::SegmentGap => "segment length gap",
+            WireError::HopOutOfSegment => "current hop field outside segments",
+            WireError::PktLenOverflow => "PktLen overflow",
+            WireError::EmptyPath => "empty path",
+            WireError::TooManyFields => "too many info/hop fields",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Convenience result alias.
+pub type Result<T> = std::result::Result<T, WireError>;

@@ -1,0 +1,263 @@
+//! Zero-copy packet views in the smoltcp idiom: a `PacketView<T:
+//! AsRef<[u8]>>` wraps a buffer, `new_checked` validates structural
+//! invariants once, and field accessors read (or, with `AsMut`, write)
+//! directly at wire offsets without allocating.
+//!
+//! The owned `Repr` types in [`crate::packet`]/[`crate::path`] are the
+//! construction-side API; views are the inspection/forwarding-side API —
+//! what a border router uses on the hot path.
+
+use crate::common::{AddressHeader, CommonHeader, IsdAs, ADDR_HDR_LEN, COMMON_HDR_LEN};
+use crate::error::{Result, WireError};
+use crate::hopfield::{peek_flyover_bit, FLYOVER_FIELD_LEN, HOP_FIELD_LEN, INFO_FIELD_LEN};
+use crate::meta::{PathMetaHdr, META_HDR_LEN};
+
+/// Byte offset of the path header within a packet.
+pub const PATH_OFFSET: usize = COMMON_HDR_LEN + ADDR_HDR_LEN;
+
+/// A zero-copy view over a serialized Hummingbird packet.
+#[derive(Debug, Clone)]
+pub struct PacketView<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> PacketView<T> {
+    /// Wraps `buffer` without any checks. Accessors may return errors (or
+    /// garbage field values) on malformed input; prefer
+    /// [`PacketView::new_checked`].
+    pub fn new_unchecked(buffer: T) -> Self {
+        PacketView { buffer }
+    }
+
+    /// Wraps `buffer`, validating lengths and structural invariants:
+    /// header fits, declared `hdr_len` fits, meta header parses, the
+    /// current hop field lies within the buffer.
+    pub fn new_checked(buffer: T) -> Result<Self> {
+        let view = Self::new_unchecked(buffer);
+        view.check()?;
+        Ok(view)
+    }
+
+    fn check(&self) -> Result<()> {
+        let buf = self.buffer.as_ref();
+        let common = CommonHeader::parse(buf)?;
+        AddressHeader::parse(buf.get(COMMON_HDR_LEN..).ok_or(WireError::Truncated)?)?;
+        let meta =
+            PathMetaHdr::parse(buf.get(PATH_OFFSET..).ok_or(WireError::Truncated)?)?;
+        let hdr_len_bytes = 4 * usize::from(common.hdr_len);
+        if buf.len() < hdr_len_bytes {
+            return Err(WireError::Truncated);
+        }
+        if u16::from(meta.curr_hf) < meta.total_hf_units() {
+            let off = self.current_hop_offset()?;
+            let need = if peek_flyover_bit(buf.get(off..).ok_or(WireError::Truncated)?)? {
+                FLYOVER_FIELD_LEN
+            } else {
+                HOP_FIELD_LEN
+            };
+            if buf.len() < off + need {
+                return Err(WireError::Truncated);
+            }
+        }
+        Ok(())
+    }
+
+    /// Releases the underlying buffer.
+    pub fn into_inner(self) -> T {
+        self.buffer
+    }
+
+    /// The raw bytes.
+    pub fn as_bytes(&self) -> &[u8] {
+        self.buffer.as_ref()
+    }
+
+    /// Parses the common header.
+    pub fn common(&self) -> Result<CommonHeader> {
+        CommonHeader::parse(self.buffer.as_ref())
+    }
+
+    /// Parses the address header.
+    pub fn addr(&self) -> Result<AddressHeader> {
+        AddressHeader::parse(
+            self.buffer.as_ref().get(COMMON_HDR_LEN..).ok_or(WireError::Truncated)?,
+        )
+    }
+
+    /// Destination ISD-AS without parsing the whole address header.
+    pub fn dst_ia(&self) -> Result<IsdAs> {
+        Ok(self.addr()?.dst)
+    }
+
+    /// Parses the path meta header.
+    pub fn meta(&self) -> Result<PathMetaHdr> {
+        PathMetaHdr::parse(
+            self.buffer.as_ref().get(PATH_OFFSET..).ok_or(WireError::Truncated)?,
+        )
+    }
+
+    /// Byte offset of the info field governing the current hop.
+    pub fn current_info_offset(&self) -> Result<usize> {
+        let meta = self.meta()?;
+        let (seg, _) = meta.segment_of_curr_hf()?;
+        Ok(PATH_OFFSET + META_HDR_LEN + INFO_FIELD_LEN * seg)
+    }
+
+    /// Byte offset of the current hop field.
+    pub fn current_hop_offset(&self) -> Result<usize> {
+        let meta = self.meta()?;
+        Ok(PATH_OFFSET + META_HDR_LEN + INFO_FIELD_LEN * meta.num_inf()
+            + 4 * usize::from(meta.curr_hf))
+    }
+
+    /// Whether the current hop field is a flyover.
+    pub fn current_is_flyover(&self) -> Result<bool> {
+        let off = self.current_hop_offset()?;
+        peek_flyover_bit(self.buffer.as_ref().get(off..).ok_or(WireError::Truncated)?)
+    }
+
+    /// Byte offset where the L4 payload starts (= 4·hdr_len).
+    pub fn payload_offset(&self) -> Result<usize> {
+        Ok(4 * usize::from(self.common()?.hdr_len))
+    }
+
+    /// The L4 payload slice.
+    pub fn payload(&self) -> Result<&[u8]> {
+        let start = self.payload_offset()?;
+        let len = usize::from(self.common()?.payload_len);
+        self.buffer
+            .as_ref()
+            .get(start..start + len)
+            .ok_or(WireError::Truncated)
+    }
+}
+
+impl<T: AsRef<[u8]> + AsMut<[u8]>> PacketView<T> {
+    /// Mutable access to the raw bytes.
+    pub fn as_bytes_mut(&mut self) -> &mut [u8] {
+        self.buffer.as_mut()
+    }
+
+    /// Overwrites the SegID of the current segment's info field (the
+    /// router's MAC-chaining update).
+    pub fn set_current_seg_id(&mut self, seg_id: u16) -> Result<()> {
+        let off = self.current_info_offset()? + 2;
+        let buf = self.buffer.as_mut();
+        buf.get_mut(off..off + 2)
+            .ok_or(WireError::Truncated)?
+            .copy_from_slice(&seg_id.to_be_bytes());
+        Ok(())
+    }
+
+    /// Rewrites the path meta header.
+    pub fn set_meta(&mut self, meta: &PathMetaHdr) -> Result<()> {
+        meta.emit(
+            self.buffer
+                .as_mut()
+                .get_mut(PATH_OFFSET..)
+                .ok_or(WireError::Truncated)?,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hopfield::{FlyoverHopField, HopField, HopFlags, InfoField};
+    use crate::meta::PathMetaHdr;
+    use crate::packet::PacketBuilder;
+    use crate::path::{HummingbirdPath, PathField};
+
+    fn sample_packet() -> Vec<u8> {
+        let hops = vec![
+            PathField::Flyover(FlyoverHopField {
+                flags: HopFlags { flyover: true, ..Default::default() },
+                exp_time: 63,
+                cons_ingress: 0,
+                cons_egress: 1,
+                agg_mac: [1; 6],
+                res_id: 9,
+                bw: 100,
+                res_start_offset: 5,
+                res_duration: 60,
+            }),
+            PathField::Hop(HopField {
+                flags: HopFlags::default(),
+                exp_time: 63,
+                cons_ingress: 2,
+                cons_egress: 0,
+                mac: [2; 6],
+            }),
+        ];
+        let path = HummingbirdPath {
+            meta: PathMetaHdr {
+                curr_inf: 0,
+                curr_hf: 0,
+                seg_len: [8, 0, 0],
+                base_ts: 1_700_000_000,
+                millis_ts: 3,
+                counter: 4,
+            },
+            info: vec![InfoField { peering: false, cons_dir: true, seg_id: 0xAA55, timestamp: 9 }],
+            hops,
+        };
+        PacketBuilder::new(IsdAs::new(1, 0x10), IsdAs::new(2, 0x20))
+            .build(path, vec![0xCD; 40])
+            .unwrap()
+            .to_bytes()
+            .unwrap()
+    }
+
+    #[test]
+    fn checked_view_accepts_valid_packets() {
+        let bytes = sample_packet();
+        let view = PacketView::new_checked(bytes.as_slice()).unwrap();
+        assert_eq!(view.dst_ia().unwrap(), IsdAs::new(2, 0x20));
+        assert!(view.current_is_flyover().unwrap());
+        assert_eq!(view.payload().unwrap(), &[0xCD; 40][..]);
+        assert_eq!(view.meta().unwrap().counter, 4);
+    }
+
+    #[test]
+    fn checked_view_rejects_truncation() {
+        let bytes = sample_packet();
+        for cut in [1usize, 20, 40, 60] {
+            let short = &bytes[..bytes.len().saturating_sub(cut)];
+            if short.len() < bytes.len() - 40 {
+                // Cut into the header: must fail.
+                assert!(PacketView::new_checked(short).is_err(), "cut {cut}");
+            }
+        }
+        assert!(PacketView::new_checked(&bytes[..10]).is_err());
+    }
+
+    #[test]
+    fn offsets_match_manual_arithmetic() {
+        let bytes = sample_packet();
+        let view = PacketView::new_checked(bytes.as_slice()).unwrap();
+        // 36 (fixed headers) + 12 (meta) + 8 (one info field) = 56.
+        assert_eq!(view.current_hop_offset().unwrap(), 56);
+        assert_eq!(view.current_info_offset().unwrap(), 48);
+    }
+
+    #[test]
+    fn mutable_view_updates_in_place() {
+        let mut bytes = sample_packet();
+        let mut view = PacketView::new_checked(bytes.as_mut_slice()).unwrap();
+        view.set_current_seg_id(0x1234).unwrap();
+        let mut meta = view.meta().unwrap();
+        meta.curr_hf += 5; // past the flyover
+        view.set_meta(&meta).unwrap();
+        // Reparse through the owned types and confirm.
+        let pkt = crate::packet::Packet::parse(&bytes).unwrap();
+        assert_eq!(pkt.path.info[0].seg_id, 0x1234);
+        assert_eq!(pkt.path.meta.curr_hf, 5);
+    }
+
+    #[test]
+    fn view_over_owned_buffer() {
+        let view = PacketView::new_checked(sample_packet()).unwrap();
+        let inner = view.into_inner();
+        assert!(PacketView::new_checked(inner).is_ok());
+    }
+}

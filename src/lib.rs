@@ -1,0 +1,14 @@
+//! Workspace umbrella crate for the Hummingbird reproduction.
+//!
+//! This crate exists so that the repository-level `tests/` and `examples/`
+//! directories can exercise the public API of every workspace crate. All
+//! functionality lives in the member crates under `crates/`; see the
+//! [`hummingbird`] core crate for the primary entry points.
+
+pub use hummingbird as core;
+pub use hummingbird_control as control;
+pub use hummingbird_crypto as crypto;
+pub use hummingbird_dataplane as dataplane;
+pub use hummingbird_ledger as ledger;
+pub use hummingbird_netsim as netsim;
+pub use hummingbird_wire as wire;

@@ -1,0 +1,203 @@
+//! Property-based tests on core invariants: policing rate bounds, interval
+//! coloring validity and competitiveness, MAC agreement between source and
+//! router, and ledger conservation.
+
+use hummingbird_coloring::{color_optimal, max_overlap, FirstFit, Interval, KiersteadTrotter};
+use hummingbird_crypto::{FlyoverMacInput, ResInfo, SecretValue};
+use hummingbird_dataplane::policing::{transmission_time_ns, Policer};
+use hummingbird_dataplane::FwdClass;
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------
+// Policing (Algorithm 1)
+// ---------------------------------------------------------------------
+
+proptest! {
+    /// Over any interval, accepted traffic never exceeds
+    /// `rate · time + BurstTime · rate` — the token-bucket guarantee the
+    /// AS relies on to dimension its reservations.
+    #[test]
+    fn policer_rate_bound(
+        bw_kbps in 100u64..1_000_000,
+        pkt_len in 64u16..1500,
+        n_pkts in 1usize..400,
+        spacing_ns in 0u64..2_000_000,
+    ) {
+        let burst_ns = 50_000_000u64;
+        let mut p = Policer::new(4, burst_ns);
+        let t0 = 1_000_000_000u64;
+        let mut accepted_bits = 0u64;
+        let mut now = t0;
+        for _ in 0..n_pkts {
+            if p.check(0, bw_kbps, pkt_len, now) == FwdClass::Flyover {
+                accepted_bits += u64::from(pkt_len) * 8;
+            }
+            now += spacing_ns;
+        }
+        let elapsed_ns = now - t0;
+        // bits allowed = rate(kbps) * (elapsed + burst) in ns / 1e6.
+        let allowance = bw_kbps as u128 * (elapsed_ns + burst_ns) as u128 / 1_000_000u128
+            + u64::from(pkt_len) as u128 * 8; // one packet of slack at the boundary
+        prop_assert!(
+            (accepted_bits as u128) <= allowance,
+            "accepted {accepted_bits} bits > allowance {allowance}"
+        );
+    }
+
+    /// Conforming CBR traffic (below the reserved rate, packet fits the
+    /// burst) is never demoted.
+    #[test]
+    fn policer_never_demotes_conforming_traffic(
+        bw_kbps in 1_000u64..1_000_000,
+        pkt_len in 64u16..1500,
+        n_pkts in 1usize..200,
+    ) {
+        let tx = transmission_time_ns(pkt_len, bw_kbps);
+        prop_assume!(tx < 50_000_000); // packet fits the burst budget
+        let mut p = Policer::new(4, 50_000_000);
+        let mut now = 1_000_000_000u64;
+        for i in 0..n_pkts {
+            let v = p.check(0, bw_kbps, pkt_len, now);
+            prop_assert_eq!(v, FwdClass::Flyover, "packet {} demoted", i);
+            now += tx; // send exactly at the reserved rate
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Interval coloring (§4.4)
+// ---------------------------------------------------------------------
+
+fn arb_intervals() -> impl Strategy<Value = Vec<Interval>> {
+    prop::collection::vec((0u64..500, 1u64..120), 1..80)
+        .prop_map(|v| v.into_iter().map(|(s, l)| Interval::new(s, s + l)).collect())
+}
+
+proptest! {
+    #[test]
+    fn first_fit_coloring_is_always_valid(intervals in arb_intervals()) {
+        let mut ff = FirstFit::new(u32::MAX);
+        for iv in &intervals {
+            ff.assign(*iv).unwrap();
+        }
+        prop_assert!(ff.is_valid());
+    }
+
+    #[test]
+    fn kt_is_valid_and_within_3x_optimal(intervals in arb_intervals()) {
+        let mut kt = KiersteadTrotter::new();
+        for iv in &intervals {
+            kt.assign(*iv);
+        }
+        prop_assert!(kt.is_valid());
+        let omega = max_overlap(&intervals) as u32;
+        prop_assert!(kt.high_water() + 1 <= 3 * omega, "KT exceeded 3ω");
+    }
+
+    #[test]
+    fn offline_optimal_is_optimal(intervals in arb_intervals()) {
+        let (colors, used) = color_optimal(&intervals);
+        prop_assert_eq!(used as usize, max_overlap(&intervals));
+        for i in 0..intervals.len() {
+            for j in i + 1..intervals.len() {
+                if colors[i] == colors[j] {
+                    prop_assert!(!intervals[i].overlaps(&intervals[j]));
+                }
+            }
+        }
+    }
+
+    /// FirstFit never uses more colors than intervals, and at least ω.
+    #[test]
+    fn first_fit_bracket(intervals in arb_intervals()) {
+        let mut ff = FirstFit::new(u32::MAX);
+        for iv in &intervals {
+            ff.assign(*iv).unwrap();
+        }
+        let used = ff.high_water() as usize + 1;
+        prop_assert!(used >= max_overlap(&intervals));
+        prop_assert!(used <= intervals.len());
+    }
+}
+
+// ---------------------------------------------------------------------
+// MAC agreement: the source and the router derive identical tags from
+// shared inputs, and any field change breaks agreement.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn source_and_router_agree_on_tags(
+        sv_key: [u8; 16],
+        ingress: u16, egress: u16,
+        res_id in 0u32..=hummingbird_crypto::RES_ID_MAX,
+        bw in 0u16..=hummingbird_crypto::BW_ENC_MAX,
+        res_start: u32, duration: u16,
+        dst_isd: u16, dst_as: u64, pkt_len: u16, off: u16, millis: u16, counter: u16,
+    ) {
+        let sv = SecretValue::new(sv_key);
+        let info = ResInfo { ingress, egress, res_id, bw_encoded: bw, res_start, duration };
+        let source_key = sv.derive_key(&info);          // via control plane
+        let router_key = sv.derive_key(&info);          // re-derived on the fly
+        let input = FlyoverMacInput {
+            dst_isd, dst_as, pkt_len, res_start_offset: off, millis_ts: millis, counter,
+        };
+        prop_assert_eq!(source_key.flyover_mac(&input), router_key.flyover_mac(&input));
+    }
+
+    #[test]
+    fn any_resinfo_bitflip_changes_the_key(
+        sv_key: [u8; 16],
+        info in (any::<u16>(), any::<u16>(), 0u32..=hummingbird_crypto::RES_ID_MAX,
+                 0u16..=hummingbird_crypto::BW_ENC_MAX, any::<u32>(), any::<u16>())
+            .prop_map(|(ingress, egress, res_id, bw_encoded, res_start, duration)| ResInfo {
+                ingress, egress, res_id, bw_encoded, res_start, duration,
+            }),
+        field in 0usize..6,
+    ) {
+        let sv = SecretValue::new(sv_key);
+        let k1 = sv.derive_key(&info);
+        let mut info2 = info;
+        match field {
+            0 => info2.ingress ^= 1,
+            1 => info2.egress ^= 1,
+            2 => info2.res_id ^= 1,
+            3 => info2.bw_encoded ^= 1,
+            4 => info2.res_start ^= 1,
+            _ => info2.duration ^= 1,
+        }
+        prop_assert_ne!(sv.derive_key(&info2), k1);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Ledger conservation
+// ---------------------------------------------------------------------
+
+proptest! {
+    /// Payments conserve total supply minus burned gas plus rebates; no
+    /// transaction sequence can mint money out of thin air.
+    #[test]
+    fn ledger_conserves_value(transfers in prop::collection::vec((0u8..4, 0u8..4, 0u64..1000), 1..20)) {
+        use hummingbird_ledger::{Address, Ledger, MIST_PER_SUI};
+        let mut l = Ledger::new();
+        let addrs: Vec<Address> =
+            (0..4).map(|i| Address::from_label(&format!("acct-{i}"))).collect();
+        for a in &addrs {
+            l.mint(*a, 10 * MIST_PER_SUI);
+        }
+        let initial = l.total_supply();
+        let mut burned: u128 = 0;
+        for (from, to, amount) in transfers {
+            let from = addrs[from as usize];
+            let to = addrs[to as usize];
+            if let Ok(rx) = l.execute(from, |ctx| {
+                ctx.pay(to, amount);
+                Ok(())
+            }) {
+                burned += rx.gas.total_mist().max(0) as u128;
+            }
+        }
+        prop_assert_eq!(l.total_supply() + burned, initial);
+    }
+}

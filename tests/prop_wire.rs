@@ -1,0 +1,177 @@
+//! Property-based tests on the wire formats: parse/emit symmetry, codec
+//! bounds, and path-reversal invariants under arbitrary inputs.
+
+use hummingbird_wire::bwcls;
+use hummingbird_wire::hopfield::{FlyoverHopField, HopField, HopFlags, InfoField};
+use hummingbird_wire::meta::PathMetaHdr;
+use hummingbird_wire::path::{HummingbirdPath, PathField};
+use hummingbird_wire::{IsdAs, Packet, PacketBuilder};
+use proptest::prelude::*;
+
+fn arb_hop_field() -> impl Strategy<Value = HopField> {
+    (any::<u8>(), any::<u16>(), any::<u16>(), any::<[u8; 6]>(), any::<bool>(), any::<bool>())
+        .prop_map(|(exp, ig, eg, mac, ia, ea)| HopField {
+            flags: HopFlags { flyover: false, ingress_alert: ia, egress_alert: ea },
+            exp_time: exp,
+            cons_ingress: ig,
+            cons_egress: eg,
+            mac,
+        })
+}
+
+fn arb_flyover_field() -> impl Strategy<Value = FlyoverHopField> {
+    (
+        any::<u8>(),
+        any::<u16>(),
+        any::<u16>(),
+        any::<[u8; 6]>(),
+        0u32..=hummingbird_crypto::RES_ID_MAX,
+        0u16..=hummingbird_crypto::BW_ENC_MAX,
+        any::<u16>(),
+        any::<u16>(),
+    )
+        .prop_map(|(exp, ig, eg, mac, res_id, bw, off, dur)| FlyoverHopField {
+            flags: HopFlags { flyover: true, ingress_alert: false, egress_alert: false },
+            exp_time: exp,
+            cons_ingress: ig,
+            cons_egress: eg,
+            agg_mac: mac,
+            res_id,
+            bw,
+            res_start_offset: off,
+            res_duration: dur,
+        })
+}
+
+fn arb_path_field() -> impl Strategy<Value = PathField> {
+    prop_oneof![
+        arb_hop_field().prop_map(PathField::Hop),
+        arb_flyover_field().prop_map(PathField::Flyover),
+    ]
+}
+
+/// Paths with 1-3 segments, each of 1-6 hop fields.
+fn arb_path() -> impl Strategy<Value = HummingbirdPath> {
+    (
+        prop::collection::vec(prop::collection::vec(arb_path_field(), 1..6), 1..4),
+        any::<u32>(),
+        any::<u16>(),
+        any::<u16>(),
+    )
+        .prop_map(|(segments, base_ts, millis_ts, counter)| {
+            let mut seg_len = [0u8; 3];
+            let mut info = Vec::new();
+            let mut hops = Vec::new();
+            for (i, seg) in segments.iter().enumerate() {
+                let units: u16 = seg.iter().map(|h| u16::from(h.units())).sum();
+                seg_len[i] = units as u8;
+                info.push(InfoField {
+                    peering: false,
+                    cons_dir: i % 2 == 0,
+                    seg_id: i as u16 * 7 + 1,
+                    timestamp: base_ts,
+                });
+                hops.extend(seg.iter().copied());
+            }
+            HummingbirdPath {
+                meta: PathMetaHdr {
+                    curr_inf: 0,
+                    curr_hf: 0,
+                    seg_len,
+                    base_ts,
+                    millis_ts,
+                    counter,
+                },
+                info,
+                hops,
+            }
+        })
+}
+
+proptest! {
+    #[test]
+    fn path_roundtrip(path in arb_path()) {
+        prop_assume!(path.meta.total_hf_units() <= 255);
+        let mut buf = vec![0u8; path.byte_len()];
+        path.emit(&mut buf).unwrap();
+        let parsed = HummingbirdPath::parse(&buf).unwrap();
+        prop_assert_eq!(parsed, path);
+    }
+
+    #[test]
+    fn packet_roundtrip(path in arb_path(), payload in prop::collection::vec(any::<u8>(), 0..1200)) {
+        prop_assume!(path.meta.total_hf_units() <= 255);
+        let builder = PacketBuilder::new(IsdAs::new(1, 2), IsdAs::new(3, 4));
+        let pkt = builder.build(path, payload).unwrap();
+        let bytes = pkt.to_bytes().unwrap();
+        prop_assert_eq!(Packet::parse(&bytes).unwrap(), pkt);
+    }
+
+    #[test]
+    fn truncated_packets_never_panic(path in arb_path(), cut in 0usize..200) {
+        prop_assume!(path.meta.total_hf_units() <= 255);
+        let builder = PacketBuilder::new(IsdAs::new(1, 2), IsdAs::new(3, 4));
+        let pkt = builder.build(path, vec![0; 64]).unwrap();
+        let bytes = pkt.to_bytes().unwrap();
+        let cut = cut.min(bytes.len());
+        // Must error or parse, never panic.
+        let _ = Packet::parse(&bytes[..bytes.len() - cut]);
+    }
+
+    #[test]
+    fn corrupted_bytes_never_panic(path in arb_path(), idx in 0usize..100, bit in 0u8..8) {
+        prop_assume!(path.meta.total_hf_units() <= 255);
+        let builder = PacketBuilder::new(IsdAs::new(1, 2), IsdAs::new(3, 4));
+        let pkt = builder.build(path, vec![0; 32]).unwrap();
+        let mut bytes = pkt.to_bytes().unwrap();
+        let i = idx % bytes.len();
+        bytes[i] ^= 1 << bit;
+        let _ = Packet::parse(&bytes);
+    }
+
+    #[test]
+    fn reversal_preserves_hop_count_and_validates(path in arb_path()) {
+        prop_assume!(path.meta.total_hf_units() <= 255);
+        let rev = path.reversed().unwrap();
+        prop_assert_eq!(rev.hops.len(), path.hops.len());
+        prop_assert!(rev.validate().is_ok());
+        prop_assert!(rev.hops.iter().all(|h| !h.is_flyover()));
+        // Double reversal restores hop interface order.
+        let rev2 = rev.reversed().unwrap();
+        let original: Vec<(u16, u16)> =
+            path.hops.iter().map(|h| (h.cons_ingress(), h.cons_egress())).collect();
+        let restored: Vec<(u16, u16)> =
+            rev2.hops.iter().map(|h| (h.cons_ingress(), h.cons_egress())).collect();
+        prop_assert_eq!(original, restored);
+    }
+
+    #[test]
+    fn bw_codec_floor_ceil_bracket_value(value in 0u64..=bwcls::VALUE_MAX) {
+        let floor = bwcls::decode(bwcls::encode_floor(value).unwrap());
+        prop_assert!(floor <= value);
+        if let Some(ceil_enc) = bwcls::encode_ceil(value) {
+            let ceil = bwcls::decode(ceil_enc);
+            prop_assert!(ceil >= value);
+            // Floor and ceil are adjacent representable values.
+            prop_assert!(bwcls::encode_floor(value).unwrap().abs_diff(ceil_enc) <= 1);
+        }
+    }
+
+    #[test]
+    fn bw_codec_relative_error(value in 32u64..=bwcls::VALUE_MAX) {
+        let dec = bwcls::decode(bwcls::encode_floor(value).unwrap());
+        // Spacing within an octave is 1/32.
+        prop_assert!(value - dec <= value / 32);
+    }
+
+    #[test]
+    fn meta_hdr_roundtrip(curr_inf in 0u8..3, curr_hf: u8, s0 in 1u8..128, s1 in 0u8..128,
+                          base_ts: u32, millis: u16, counter: u16) {
+        let seg_len = [s0, s1, 0];
+        let hdr = PathMetaHdr { curr_inf, curr_hf, seg_len, base_ts, millis_ts: millis, counter };
+        let mut buf = [0u8; 12];
+        if hdr.emit(&mut buf).is_ok() {
+            prop_assert_eq!(PathMetaHdr::parse(&buf).unwrap(), hdr);
+        }
+    }
+}
