@@ -95,10 +95,7 @@ mod tests {
             sv.as_to_host(IsdAs::new(1, 1), [0, 0, 0, 2])
         );
         // Host keys are not the AS key.
-        assert_ne!(
-            sv.as_to_as(IsdAs::new(1, 1)),
-            sv.as_to_host(IsdAs::new(1, 1), [0, 0, 0, 1])
-        );
+        assert_ne!(sv.as_to_as(IsdAs::new(1, 1)), sv.as_to_host(IsdAs::new(1, 1), [0, 0, 0, 1]));
     }
 
     #[test]

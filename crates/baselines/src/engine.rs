@@ -1,0 +1,476 @@
+//! Per-packet [`Datapath`] engines for the baseline systems, so the
+//! simulator, testbed and every benchmark binary can sweep
+//! Hummingbird vs Helia vs DRKey through one interface.
+//!
+//! Both engines reuse the border-router pipeline stages of
+//! [`hummingbird_dataplane::router::stages`] — parse, flyover-MAC
+//! aggregation, freshness, SCION hop-field verification, header
+//! advancement — and substitute their own key hierarchies for
+//! Hummingbird's `A_i = PRF_SV(ResInfo)`:
+//!
+//! * [`HeliaDatapath`] derives the authenticator from the **DRKey
+//!   AS-to-AS hierarchy bound to a fixed 16 s slot** (per-source-AS
+//!   authorization, AS-assigned bandwidth) — the Wyss et al. model;
+//! * [`DrKeyDatapath`] performs **per-packet source authentication
+//!   only** (PISKES-style `K_{A→B:H}` host keys): no reservations, no
+//!   priority class, every authenticated packet rides best effort.
+//!
+//! The matching senders ([`HeliaSender`], [`DrKeySender`]) stamp packets
+//! the corresponding engine verifies, mirroring
+//! `hummingbird_dataplane::SourceGenerator`.
+
+use crate::drkey::{epoch_of, DrKeySecret, EPOCH_SECS};
+use crate::helia::{slot_key, slot_of, SLOT_SECS};
+use hummingbird_crypto::aes::Aes128;
+use hummingbird_crypto::{AuthKey, ResInfo};
+use hummingbird_dataplane::router::{stages, RouterConfig};
+use hummingbird_dataplane::{
+    Datapath, DatapathStats, GenError, Policer, SourceGenerator, SourceReservation, Verdict,
+};
+use hummingbird_wire::path::HummingbirdPath;
+use hummingbird_wire::scion_mac::HopMacKey;
+use hummingbird_wire::{bwcls, IsdAs};
+
+/// The per-packet Helia authenticator key: the per-slot grant key
+/// (`slot_key`) further bound to the AS-assigned monitor index and
+/// bandwidth, so a source cannot rewrite either field without breaking
+/// the MAC (they are AS-chosen in Helia — the property under test).
+pub fn helia_packet_key(
+    drkey_master: &[u8; 16],
+    source_as: IsdAs,
+    slot: u64,
+    res_id: u32,
+    bw_encoded: u16,
+) -> [u8; 16] {
+    let grant = Aes128::new(&slot_key(drkey_master, source_as, slot));
+    let mut block = [0u8; 16];
+    block[..4].copy_from_slice(&res_id.to_be_bytes());
+    block[4..6].copy_from_slice(&bw_encoded.to_be_bytes());
+    block[6..10].copy_from_slice(b"hpkt");
+    grant.encrypt(&block)
+}
+
+/// A Helia-style border-router engine.
+///
+/// Verifies flyover-tagged packets against the DRKey-derived per-slot,
+/// per-source-AS key, enforces slot freshness (a packet stamped for a
+/// past or future slot is demoted, never prioritized — Helia cannot
+/// reserve ahead of time), polices per monitor index, and forwards plain
+/// SCION packets best-effort after standard hop-field verification.
+pub struct HeliaDatapath {
+    drkey_master: [u8; 16],
+    hop_key: HopMacKey,
+    cfg: RouterConfig,
+    policer: Policer,
+    /// Last `(source AS, slot, res_id, bw)` → expanded packet key, so
+    /// consecutive packets of one flow skip the DRKey derivation chain
+    /// (a real Helia router holds per-grant keys for the whole slot).
+    key_cache: Option<((IsdAs, u64, u32, u16), AuthKey)>,
+    stats: DatapathStats,
+}
+
+impl HeliaDatapath {
+    /// Creates the engine with the AS's DRKey master and SCION hop key.
+    pub fn new(drkey_master: [u8; 16], hop_key: HopMacKey, cfg: RouterConfig) -> Self {
+        HeliaDatapath {
+            drkey_master,
+            hop_key,
+            policer: Policer::new(cfg.policer_slots, cfg.burst_time_ns),
+            cfg,
+            key_cache: None,
+            stats: DatapathStats::default(),
+        }
+    }
+
+    /// The per-packet key this engine would accept for `source_as` on
+    /// `slot` — what the AS's grant service hands to a source-AS gateway.
+    pub fn packet_key(
+        &self,
+        source_as: IsdAs,
+        slot: u64,
+        res_id: u32,
+        bw_encoded: u16,
+    ) -> [u8; 16] {
+        helia_packet_key(&self.drkey_master, source_as, slot, res_id, bw_encoded)
+    }
+
+    /// Issues a grant a [`HeliaSender`] can attach: the AS picks the
+    /// monitor index and the bandwidth (the source has no say) and binds
+    /// both into the key. Returns `None` for unencodable bandwidths.
+    pub fn issue_grant(
+        &self,
+        source_as: IsdAs,
+        slot: u64,
+        res_id: u32,
+        bandwidth_kbps: u64,
+        ingress: u16,
+        egress: u16,
+    ) -> Option<HeliaHopGrant> {
+        let bw_encoded = bwcls::encode_floor(bandwidth_kbps)?;
+        Some(HeliaHopGrant {
+            ingress,
+            egress,
+            res_id,
+            bw_encoded,
+            slot,
+            key: self.packet_key(source_as, slot, res_id, bw_encoded),
+        })
+    }
+
+    /// Runs the shared [`stages::run_pipeline`] driver with Helia's key
+    /// hierarchy: the slot index is recovered from the packet's
+    /// reservation start (slots are aligned), the key is bound to the
+    /// *source AS* — not to the destination, host, or path — and slot
+    /// freshness rides the shared freshness stage (the reservation
+    /// window *is* the slot) plus a current-slot check.
+    fn process_inner(&mut self, pkt: &mut [u8], now_ns: u64) -> Verdict {
+        let HeliaDatapath { drkey_master, hop_key, cfg, policer, key_cache, stats } = self;
+        let now_s = now_ns / 1_000_000_000;
+        let out = stages::run_pipeline(
+            pkt,
+            now_ns,
+            hop_key,
+            Some(policer),
+            None,
+            |parsed, inputs| {
+                let slot = u64::from(inputs.res_info.res_start) / SLOT_SECS;
+                let id =
+                    (parsed.addr.src, slot, inputs.res_info.res_id, inputs.res_info.bw_encoded);
+                match key_cache {
+                    Some((cached_id, key)) if *cached_id == id => key.clone(),
+                    _ => {
+                        let key = AuthKey::new(helia_packet_key(
+                            drkey_master,
+                            parsed.addr.src,
+                            slot,
+                            id.2,
+                            id.3,
+                        ));
+                        *key_cache = Some((id, key.clone()));
+                        key
+                    }
+                }
+            },
+            |parsed, inputs, now_ms| {
+                let slot = u64::from(inputs.res_info.res_start) / SLOT_SECS;
+                stages::freshness(cfg, parsed, &inputs.res_info, now_ms) && slot == slot_of(now_s)
+            },
+        );
+        stats.demoted_overuse += u64::from(out.demoted_overuse);
+        stats.demoted_untimely += u64::from(out.demoted_untimely);
+        out.verdict
+    }
+}
+
+impl Datapath for HeliaDatapath {
+    fn process(&mut self, pkt: &mut [u8], now_ns: u64) -> Verdict {
+        let verdict = self.process_inner(pkt, now_ns);
+        self.stats.record(verdict);
+        verdict
+    }
+
+    fn engine_name(&self) -> &'static str {
+        "helia"
+    }
+
+    fn stats(&self) -> DatapathStats {
+        self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats = DatapathStats::default();
+    }
+}
+
+/// A Helia grant as attached to one hop of a sender's path — everything
+/// in it (index, bandwidth, slot, key) is AS-chosen; the source only
+/// carries it.
+#[derive(Clone, Copy, Debug)]
+pub struct HeliaHopGrant {
+    /// Construction-direction ingress of the hop.
+    pub ingress: u16,
+    /// Construction-direction egress of the hop.
+    pub egress: u16,
+    /// AS-assigned monitor index (the policing slot).
+    pub res_id: u32,
+    /// AS-assigned bandwidth class (10-bit codec).
+    pub bw_encoded: u16,
+    /// The slot the grant covers.
+    pub slot: u64,
+    /// The per-packet authenticator key the AS's grant service issued
+    /// ([`helia_packet_key`]).
+    pub key: [u8; 16],
+}
+
+/// A source stamping Helia-authenticated packets over a beaconed path.
+pub struct HeliaSender {
+    generator: SourceGenerator,
+}
+
+impl HeliaSender {
+    /// Creates a sender; `src` must be the AS the grants were issued to.
+    pub fn new(src: IsdAs, dst: IsdAs, path: HummingbirdPath) -> Self {
+        HeliaSender { generator: SourceGenerator::new(src, dst, path) }
+    }
+
+    /// Attaches a grant on hop `index`.
+    pub fn attach_grant(&mut self, index: usize, grant: &HeliaHopGrant) -> Result<(), GenError> {
+        let res_info = ResInfo {
+            ingress: grant.ingress,
+            egress: grant.egress,
+            res_id: grant.res_id,
+            bw_encoded: grant.bw_encoded,
+            res_start: (grant.slot * SLOT_SECS) as u32,
+            duration: SLOT_SECS as u16,
+        };
+        self.generator
+            .attach_reservation(index, SourceReservation { res_info, key: AuthKey::new(grant.key) })
+    }
+
+    /// Generates one stamped packet.
+    pub fn generate(&mut self, payload: &[u8], now_ms: u64) -> Result<Vec<u8>, GenError> {
+        self.generator.generate(payload, now_ms)
+    }
+}
+
+/// Derives (and memoizes) the DRKey epoch secret — shared by the engine's
+/// hot path and the key-service helper.
+fn cached_epoch_secret<'a>(
+    cache: &'a mut Option<(u64, DrKeySecret)>,
+    master: &[u8; 16],
+    epoch: u64,
+) -> &'a DrKeySecret {
+    match cache {
+        Some((e, _)) if *e == epoch => {}
+        _ => *cache = Some((epoch, DrKeySecret::derive(master, epoch))),
+    }
+    &cache.as_ref().expect("just cached").1
+}
+
+/// A DRKey-only engine: per-packet source authentication without
+/// reservations (the PISKES model Helia builds on).
+///
+/// Flyover-tagged packets carry a MAC under the host key
+/// `K_{A→B:H} = PRF_{K_{A→B}}(H)`; the engine re-derives the key from the
+/// packet's source AS + host address and the current epoch, verifies, and
+/// forwards **best effort** (there is no priority class to grant). A bad
+/// authenticator is a drop; plain SCION packets pass standard hop-field
+/// verification only.
+pub struct DrKeyDatapath {
+    drkey_master: [u8; 16],
+    hop_key: HopMacKey,
+    /// Cached epoch secret (derives lazily; rotates with the clock).
+    epoch_secret: Option<(u64, DrKeySecret)>,
+    stats: DatapathStats,
+}
+
+impl DrKeyDatapath {
+    /// Creates the engine with the AS's DRKey master and SCION hop key.
+    pub fn new(drkey_master: [u8; 16], hop_key: HopMacKey) -> Self {
+        DrKeyDatapath { drkey_master, hop_key, epoch_secret: None, stats: DatapathStats::default() }
+    }
+
+    /// The host key this engine accepts for `(src, host)` at `now_s` —
+    /// what the AS's key service would hand out.
+    pub fn host_key(&mut self, src: IsdAs, host: [u8; 4], now_s: u64) -> [u8; 16] {
+        cached_epoch_secret(&mut self.epoch_secret, &self.drkey_master, epoch_of(now_s))
+            .as_to_host(src, host)
+    }
+
+    /// Runs the shared [`stages::run_pipeline`] driver with the DRKey
+    /// host-key hierarchy and no priority class at all: `eligible` is
+    /// constant `false` and the policing stage is disabled, so every
+    /// authenticated packet — flyover-tagged or plain — rides best
+    /// effort.
+    fn process_inner(&mut self, pkt: &mut [u8], now_ns: u64) -> Verdict {
+        let DrKeyDatapath { drkey_master, hop_key, epoch_secret, stats: _ } = self;
+        let now_s = now_ns / 1_000_000_000;
+        let out = stages::run_pipeline(
+            pkt,
+            now_ns,
+            hop_key,
+            None,
+            None,
+            |parsed, _| {
+                let sv = cached_epoch_secret(epoch_secret, drkey_master, epoch_of(now_s));
+                AuthKey::new(sv.as_to_host(parsed.addr.src, parsed.addr.src_host))
+            },
+            |_, _, _| false,
+        );
+        out.verdict
+    }
+}
+
+impl Datapath for DrKeyDatapath {
+    fn process(&mut self, pkt: &mut [u8], now_ns: u64) -> Verdict {
+        let verdict = self.process_inner(pkt, now_ns);
+        self.stats.record(verdict);
+        verdict
+    }
+
+    fn engine_name(&self) -> &'static str {
+        "drkey"
+    }
+
+    fn stats(&self) -> DatapathStats {
+        self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats = DatapathStats::default();
+    }
+}
+
+/// A source stamping DRKey host-authenticated packets.
+pub struct DrKeySender {
+    generator: SourceGenerator,
+}
+
+impl DrKeySender {
+    /// Creates a sender for `(src, src_host)` — the host address must
+    /// match what the sender's packets carry, since the verifying AS
+    /// derives the key from the address header.
+    pub fn new(src: IsdAs, dst: IsdAs, path: HummingbirdPath) -> Self {
+        DrKeySender { generator: SourceGenerator::new(src, dst, path) }
+    }
+
+    /// Attaches the host key for hop `index` (obtained from that AS's key
+    /// service, e.g. [`DrKeyDatapath::host_key`]) valid at `now_s`.
+    pub fn attach_host_key(
+        &mut self,
+        index: usize,
+        ingress: u16,
+        egress: u16,
+        key: [u8; 16],
+        now_s: u64,
+    ) -> Result<(), GenError> {
+        let epoch = epoch_of(now_s);
+        let res_info = ResInfo {
+            ingress,
+            egress,
+            res_id: 0,
+            bw_encoded: 0,
+            res_start: (epoch * EPOCH_SECS) as u32,
+            duration: u16::MAX, // epoch length exceeds the u16 field; unused
+        };
+        self.generator
+            .attach_reservation(index, SourceReservation { res_info, key: AuthKey::new(key) })
+    }
+
+    /// Generates one stamped packet.
+    pub fn generate(&mut self, payload: &[u8], now_ms: u64) -> Result<Vec<u8>, GenError> {
+        self.generator.generate(payload, now_ms)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hummingbird_dataplane::{forge_path, BeaconHop, DropReason};
+
+    const NOW_S: u64 = 1_700_000_100;
+    const NOW_MS: u64 = NOW_S * 1000;
+    const NOW_NS: u64 = NOW_S * 1_000_000_000;
+
+    fn two_hop_fixture() -> (HummingbirdPath, Vec<HopMacKey>) {
+        let hop_keys: Vec<HopMacKey> =
+            (0..2).map(|i| HopMacKey::new([0x41 + i as u8; 16])).collect();
+        let hops: Vec<BeaconHop> = (0..2)
+            .map(|i| BeaconHop {
+                key: hop_keys[i].clone(),
+                cons_ingress: if i == 0 { 0 } else { 2 },
+                cons_egress: if i == 1 { 0 } else { 1 },
+            })
+            .collect();
+        (forge_path(&hops, NOW_S as u32 - 100, 0x7777), hop_keys)
+    }
+
+    #[test]
+    fn helia_roundtrip_verifies_and_prioritizes() {
+        let (path, hop_keys) = two_hop_fixture();
+        let src = IsdAs::new(3, 0x30);
+        let engine_src =
+            HeliaDatapath::new([0x99; 16], hop_keys[0].clone(), RouterConfig::default());
+        let grant = engine_src.issue_grant(src, slot_of(NOW_S), 7, 100_000, 0, 1).unwrap();
+        let mut sender = HeliaSender::new(src, IsdAs::new(2, 0x20), path);
+        sender.attach_grant(0, &grant).unwrap();
+        let mut pkt = sender.generate(&[0u8; 300], NOW_MS).unwrap();
+        let mut engine = engine_src;
+        let v = engine.process(&mut pkt, NOW_NS);
+        assert!(v.is_flyover(), "{v:?}");
+        assert_eq!(engine.stats().flyover, 1);
+    }
+
+    #[test]
+    fn helia_rejects_wrong_master_and_stale_slots() {
+        let (path, hop_keys) = two_hop_fixture();
+        let src = IsdAs::new(3, 0x30);
+        let slot = slot_of(NOW_S);
+        let mut engine =
+            HeliaDatapath::new([0x99; 16], hop_keys[0].clone(), RouterConfig::default());
+
+        // Grant issued by a *different* AS (wrong master): drops.
+        let rogue = HeliaDatapath::new([0xAB; 16], hop_keys[0].clone(), RouterConfig::default());
+        let forged_grant = rogue.issue_grant(src, slot, 7, 100_000, 0, 1).unwrap();
+        let mut sender = HeliaSender::new(src, IsdAs::new(2, 0x20), path.clone());
+        sender.attach_grant(0, &forged_grant).unwrap();
+        let mut forged = sender.generate(&[0u8; 64], NOW_MS).unwrap();
+        assert_eq!(engine.process(&mut forged, NOW_NS), Verdict::Drop(DropReason::BadMac));
+
+        // Right master but a past slot: demoted, never prioritized (Helia
+        // cannot reserve outside the current slot).
+        let stale_grant = engine.issue_grant(src, slot - 2, 7, 100_000, 0, 1).unwrap();
+        let mut sender = HeliaSender::new(src, IsdAs::new(2, 0x20), path);
+        sender.attach_grant(0, &stale_grant).unwrap();
+        let mut stale = sender.generate(&[0u8; 64], NOW_MS).unwrap();
+        let v = engine.process(&mut stale, NOW_NS);
+        assert!(matches!(v, Verdict::BestEffort { .. }), "{v:?}");
+        assert_eq!(engine.stats().demoted_untimely, 1);
+    }
+
+    #[test]
+    fn helia_polices_the_as_assigned_share() {
+        let (path, hop_keys) = two_hop_fixture();
+        let src = IsdAs::new(3, 0x30);
+        let engine_src =
+            HeliaDatapath::new([0x77; 16], hop_keys[0].clone(), RouterConfig::default());
+        // 240 kbps: one 1500 B packet fills the 50 ms burst budget.
+        let grant = engine_src.issue_grant(src, slot_of(NOW_S), 3, 240, 0, 1).unwrap();
+        let mut sender = HeliaSender::new(src, IsdAs::new(2, 0x20), path);
+        sender.attach_grant(0, &grant).unwrap();
+        let mut engine = engine_src;
+        let mut flyover = 0;
+        let mut demoted = 0;
+        for _ in 0..20 {
+            let mut pkt = sender.generate(&[0u8; 1400], NOW_MS).unwrap();
+            match engine.process(&mut pkt, NOW_NS) {
+                v if v.is_flyover() => flyover += 1,
+                Verdict::BestEffort { .. } => demoted += 1,
+                v => panic!("unexpected {v:?}"),
+            }
+        }
+        assert!(flyover >= 1);
+        assert!(demoted > 10, "sustained overuse of the AS-assigned share demotes");
+    }
+
+    #[test]
+    fn drkey_authenticates_sources_without_priority() {
+        let (path, hop_keys) = two_hop_fixture();
+        let src = IsdAs::new(4, 0x44);
+        let mut engine = DrKeyDatapath::new([0x55; 16], hop_keys[0].clone());
+        // SourceGenerator stamps src_host = 0.0.0.1 (the builder default).
+        let key = engine.host_key(src, [0, 0, 0, 1], NOW_S);
+        let mut sender = DrKeySender::new(src, IsdAs::new(2, 0x20), path);
+        sender.attach_host_key(0, 0, 1, key, NOW_S).unwrap();
+        let mut pkt = sender.generate(&[0u8; 200], NOW_MS).unwrap();
+        let v = engine.process(&mut pkt, NOW_NS);
+        assert!(matches!(v, Verdict::BestEffort { .. }), "no priority class: {v:?}");
+
+        // A different host's key does not verify.
+        let other_key = engine.host_key(src, [9, 9, 9, 9], NOW_S);
+        let mut sender = DrKeySender::new(src, IsdAs::new(2, 0x20), two_hop_fixture().0);
+        sender.attach_host_key(0, 0, 1, other_key, NOW_S).unwrap();
+        let mut forged = sender.generate(&[0u8; 200], NOW_MS).unwrap();
+        assert_eq!(engine.process(&mut forged, NOW_NS), Verdict::Drop(DropReason::BadMac));
+    }
+}

@@ -52,10 +52,9 @@ pub enum HeliaError {
 impl std::fmt::Display for HeliaError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            HeliaError::NotCurrentSlot { requested, current } => write!(
-                f,
-                "Helia grants only the current slot {current}, not {requested}"
-            ),
+            HeliaError::NotCurrentSlot { requested, current } => {
+                write!(f, "Helia grants only the current slot {current}, not {requested}")
+            }
             HeliaError::NoCapacity => f.write_str("no flyover capacity this slot"),
         }
     }
@@ -92,7 +91,12 @@ pub struct HeliaService {
 
 impl HeliaService {
     /// Creates the service.
-    pub fn new(as_id: IsdAs, drkey_master: [u8; 16], capacity_kbps: u64, min_share_kbps: u64) -> Self {
+    pub fn new(
+        as_id: IsdAs,
+        drkey_master: [u8; 16],
+        capacity_kbps: u64,
+        min_share_kbps: u64,
+    ) -> Self {
         HeliaService {
             as_id,
             drkey_master,
@@ -151,12 +155,7 @@ impl HeliaService {
     /// The per-slot DRKey-derived authenticator for `source_as`
     /// (`K_{A→B}` bound to the slot index).
     fn grant_key(&self, source_as: IsdAs, slot: u64) -> [u8; 16] {
-        let sv = DrKeySecret::derive(&self.drkey_master, crate::drkey::epoch_of(slot * SLOT_SECS));
-        let l1 = Aes128::new(&sv.as_to_as(source_as));
-        let mut block = [0u8; 16];
-        block[..8].copy_from_slice(&slot.to_be_bytes());
-        block[8..13].copy_from_slice(b"helia");
-        l1.encrypt(&block)
+        slot_key(&self.drkey_master, source_as, slot)
     }
 
     /// Router-side check: verifies a grant key (the router re-derives it
@@ -169,6 +168,19 @@ impl HeliaService {
     pub fn active_sources(&self) -> usize {
         self.active.len()
     }
+}
+
+/// The Helia per-slot authenticator key for `source_as` covering `slot`:
+/// `PRF_{K_{A→B}}(slot ‖ "helia")` with `K_{A→B}` from the DRKey
+/// hierarchy. Shared by [`HeliaService::verify_grant`] and the per-packet
+/// [`crate::engine::HeliaDatapath`].
+pub fn slot_key(drkey_master: &[u8; 16], source_as: IsdAs, slot: u64) -> [u8; 16] {
+    let sv = DrKeySecret::derive(drkey_master, crate::drkey::epoch_of(slot * SLOT_SECS));
+    let l1 = Aes128::new(&sv.as_to_as(source_as));
+    let mut block = [0u8; 16];
+    block[..8].copy_from_slice(&slot.to_be_bytes());
+    block[8..13].copy_from_slice(b"helia");
+    l1.encrypt(&block)
 }
 
 /// Flexibility comparison helpers used by the baseline bench: how much of

@@ -12,6 +12,10 @@
 //! * [`drkey`] — the DRKey key-derivation hierarchy Helia (and Colibri)
 //!   depend on and Hummingbird eliminates.
 //!
+//! * [`engine`] — per-packet [`hummingbird_dataplane::Datapath`] engines
+//!   for both baselines, so routers, simulators and benchmark binaries
+//!   can sweep Hummingbird vs Helia vs DRKey through one trait.
+//!
 //! The `baseline_comparison` binary in `hummingbird-bench` runs both
 //! systems side by side on the dimensions the paper's §2 claims.
 
@@ -19,7 +23,9 @@
 #![warn(missing_docs)]
 
 pub mod drkey;
+pub mod engine;
 pub mod helia;
 
 pub use drkey::DrKeySecret;
+pub use engine::{DrKeyDatapath, DrKeySender, HeliaDatapath, HeliaHopGrant, HeliaSender};
 pub use helia::{slot_of, HeliaError, HeliaGrant, HeliaService, SLOT_SECS};

@@ -90,8 +90,7 @@ fn bench_contract_calls(c: &mut Criterion) {
                 .issue_asset(&mut w.cp, template(as_id, 1, Direction::Ingress))
                 .unwrap()
                 .value;
-            let listing =
-                w.cp.create_listing(w.service.account, w.market, asset, 1).unwrap().value;
+            let listing = w.cp.create_listing(w.service.account, w.market, asset, 1).unwrap().value;
             let spec = PurchaseSpec { start: HOUR, end: 2 * HOUR, bandwidth_kbps: 10_000 };
             std::hint::black_box(w.cp.buy(buyer, w.market, listing, spec).unwrap().value)
         })

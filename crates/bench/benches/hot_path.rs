@@ -3,13 +3,13 @@
 //! with statistically rigorous per-operation numbers.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
-use hummingbird_bench::{DataplaneFixture, EPOCH_MS, EPOCH_NS, EPOCH_S};
+use hummingbird_bench::{DataplaneFixture, EngineKind, EPOCH_MS, EPOCH_NS, EPOCH_S};
 use hummingbird_crypto::aes::Aes128;
 use hummingbird_crypto::cmac::Cmac;
 use hummingbird_crypto::sha256::Sha256;
 use hummingbird_crypto::{AuthKey, FlyoverMacInput, ResInfo, SecretValue};
-use hummingbird_dataplane::multicore::HotLoopPacket;
 use hummingbird_dataplane::policing::Policer;
+use hummingbird_dataplane::{Datapath, PacketBuf};
 
 fn bench_crypto(c: &mut Criterion) {
     let mut g = c.benchmark_group("crypto");
@@ -25,12 +25,8 @@ fn bench_crypto(c: &mut Criterion) {
         b.iter(|| std::hint::black_box(Aes128::new(&[9u8; 16])))
     });
     let cmac = Cmac::new(&[7u8; 16]);
-    g.bench_function("cmac_one_block", |b| {
-        b.iter(|| std::hint::black_box(cmac.mac(&[0u8; 16])))
-    });
-    g.bench_function("sha256_64B", |b| {
-        b.iter(|| std::hint::black_box(Sha256::digest(&[0u8; 64])))
-    });
+    g.bench_function("cmac_one_block", |b| b.iter(|| std::hint::black_box(cmac.mac(&[0u8; 16]))));
+    g.bench_function("sha256_64B", |b| b.iter(|| std::hint::black_box(Sha256::digest(&[0u8; 64]))));
     g.finish();
 }
 
@@ -57,24 +53,22 @@ fn bench_derivations(c: &mut Criterion) {
         millis_ts: 1,
         counter: 2,
     };
-    g.bench_function("flyover_mac", |b| {
-        b.iter(|| std::hint::black_box(key.flyover_mac(&input)))
-    });
+    g.bench_function("flyover_mac", |b| b.iter(|| std::hint::black_box(key.flyover_mac(&input))));
     g.finish();
 }
 
 fn bench_router(c: &mut Criterion) {
     let mut g = c.benchmark_group("router");
-    for (label, flyover) in [("hummingbird", true), ("scion", false)] {
+    for kind in EngineKind::ALL {
         for payload in [100usize, 1500] {
             let fx = DataplaneFixture::new(4);
-            let pkt = fx.packet(payload, flyover);
+            let pkt = fx.engine_packet(kind, payload);
             g.throughput(Throughput::Bytes(pkt.len() as u64));
-            g.bench_function(format!("process_{label}_{payload}B"), |b| {
-                let mut router = fx.router();
-                let mut hot = HotLoopPacket::new(pkt.clone());
+            g.bench_function(format!("process_{}_{payload}B", kind.name()), |b| {
+                let mut engine = fx.engine(kind);
+                let mut hot = PacketBuf::new(pkt.clone());
                 b.iter(|| {
-                    let v = router.process(hot.bytes_mut(), EPOCH_NS);
+                    let v = engine.process(hot.bytes_mut(), EPOCH_NS);
                     hot.reset();
                     std::hint::black_box(v)
                 })

@@ -10,9 +10,8 @@
 
 use hummingbird_bench::{row, DataplaneFixture, EPOCH_NS};
 use hummingbird_coloring::{color_optimal, max_overlap, FirstFit, Interval, KiersteadTrotter};
-use hummingbird_dataplane::multicore::HotLoopPacket;
 use hummingbird_dataplane::policing::Policer;
-use hummingbird_dataplane::{BorderRouter, RouterConfig};
+use hummingbird_dataplane::{Datapath, DatapathBuilder, PacketBuf};
 use hummingbird_wire::hopfield::{FLYOVER_FIELD_LEN, HOP_FIELD_LEN};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -47,10 +46,7 @@ fn ablation_policing_array() {
         let mb = p.array_bytes() as f64 / 1e6;
         println!(
             "{}",
-            row(
-                &[format!("{slots}"), format!("{mb:.1} MB"), format!("{ns:.1}")],
-                &widths
-            )
+            row(&[format!("{slots}"), format!("{mb:.1} MB"), format!("{ns:.1}")], &widths)
         );
     }
     println!();
@@ -62,7 +58,14 @@ fn ablation_coloring() {
     println!(
         "{}",
         row(
-            &["intervals".into(), "omega".into(), "FF".into(), "KT".into(), "FF ratio".into(), "KT ratio".into()],
+            &[
+                "intervals".into(),
+                "omega".into(),
+                "FF".into(),
+                "KT".into(),
+                "FF ratio".into(),
+                "KT ratio".into()
+            ],
             &widths
         )
     );
@@ -110,22 +113,14 @@ fn ablation_dup_suppression() {
     let iters = 200_000u64;
     let mut results = Vec::new();
     for dup in [false, true] {
-        let cfg = RouterConfig { duplicate_suppression: dup, ..Default::default() };
-        let mut router = BorderRouter::new(
-            // Recreate with the fixture secrets via a throwaway router :
-            // use the fixture router and rebuild config by hand.
-            fx_sv(&fx),
-            fx_hop_key(&fx),
-            cfg,
-        );
+        let mut router =
+            DatapathBuilder::new(fx_sv(&fx), fx_hop_key(&fx)).duplicate_suppression(dup).build();
         // Unique packets (the realistic stream) — regenerate timestamps.
         let mut generator = fx.generator(true);
-        let mut pkts: Vec<HotLoopPacket> = (0..64)
+        let mut pkts: Vec<PacketBuf> = (0..64)
             .map(|i| {
-                HotLoopPacket::new(
-                    generator
-                        .generate(&[0u8; 500], hummingbird_bench::EPOCH_MS + i)
-                        .unwrap(),
+                PacketBuf::new(
+                    generator.generate(&[0u8; 500], hummingbird_bench::EPOCH_MS + i).unwrap(),
                 )
             })
             .collect();
@@ -161,8 +156,14 @@ fn ablation_agg_mac() {
     // separate-tag design would add 6 bytes (padded to 8 for alignment).
     let with_agg = FLYOVER_FIELD_LEN;
     let separate = FLYOVER_FIELD_LEN + 8;
-    println!("flyover hop field with aggregate MAC:  {with_agg} B ({} B over plain hop)", with_agg - HOP_FIELD_LEN);
-    println!("flyover hop field with separate tag:   {separate} B ({} B over plain hop)", separate - HOP_FIELD_LEN);
+    println!(
+        "flyover hop field with aggregate MAC:  {with_agg} B ({} B over plain hop)",
+        with_agg - HOP_FIELD_LEN
+    );
+    println!(
+        "flyover hop field with separate tag:   {separate} B ({} B over plain hop)",
+        separate - HOP_FIELD_LEN
+    );
     for h in [4usize, 16] {
         let per_pkt = (separate - with_agg) * h;
         let at_100g = per_pkt as f64 * 8.0 * (100e9 / (8.0 * 600.0)) / 1e9;

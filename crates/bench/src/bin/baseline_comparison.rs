@@ -12,6 +12,8 @@ use hummingbird::testbed::{Testbed, TestbedConfig};
 use hummingbird::PurchaseSpec;
 use hummingbird_baselines::helia::flexibility::{helia_slot_coverage, hummingbird_coverage};
 use hummingbird_baselines::{slot_of, HeliaService, SLOT_SECS};
+use hummingbird_bench::{DataplaneFixture, EngineKind, EPOCH_NS};
+use hummingbird_dataplane::forwarding_throughput;
 use hummingbird_wire::IsdAs;
 
 fn main() {
@@ -37,7 +39,9 @@ fn main() {
         );
         println!(
             "{:<28} {:>12} {:>12} {:>9.0}%   (Hummingbird, 1s granularity)",
-            "", want, hb_paid,
+            "",
+            want,
+            hb_paid,
             (hb_paid as f64 / want as f64 - 1.0) * 100.0
         );
     }
@@ -54,11 +58,7 @@ fn main() {
     let t0 = tb.cfg.start_unix_s;
     tb.stock_market(100_000, t0 + 86_400, t0 + 86_400 + 3600, 60, 100).unwrap();
     let mut client = tb.new_client("planner", 10_000);
-    let spec = PurchaseSpec {
-        start: t0 + 86_400,
-        end: t0 + 86_400 + 600,
-        bandwidth_kbps: 4_000,
-    };
+    let spec = PurchaseSpec { start: t0 + 86_400, end: t0 + 86_400 + 600, bandwidth_kbps: 4_000 };
     let grants = tb.acquire_path(&mut client, spec).unwrap();
     println!(
         "Hummingbird: bought + redeemed tomorrow's reservation today (start in {} h), key in hand",
@@ -95,6 +95,20 @@ fn main() {
     assert!(tb.acquire_path(&mut client, bad).is_err());
     assert_eq!(tb.control.ledger.balance(client.account), before);
     println!("Hummingbird: 3-hop purchase failed atomically; client balance unchanged.");
+
+    // ------------------------------------------------------------------
+    println!("\n-- 5. per-packet datapath cost, one interface through one `Datapath` trait --");
+    let fx = DataplaneFixture::new(4);
+    println!("{:<14} {:>14} {:>12}", "engine", "ns/pkt (1core)", "verdict class");
+    for kind in EngineKind::ALL {
+        let pkt = fx.engine_packet(kind, 500);
+        let t = forwarding_throughput(|| fx.engine(kind), &pkt, 1, 50_000, EPOCH_NS);
+        let class = match kind {
+            EngineKind::Hummingbird | EngineKind::Helia | EngineKind::Gateway => "priority",
+            EngineKind::Scion | EngineKind::Drkey => "best effort",
+        };
+        println!("{:<14} {:>14.0} {:>12}", kind.name(), t.ns_per_pkt(1), class);
+    }
 
     println!("\nsummary (paper §2): Hummingbird = Helia's per-hop flyovers");
     println!("+ negotiable size/start/duration + ahead-of-time setup + end-host keys");

@@ -17,10 +17,11 @@ fn main() {
     println!("(line rate {LINE_RATE_GBPS} Gbps; {physical} hardware threads available)\n");
 
     for flyover in [true, false] {
-        let label = if flyover { "Hummingbird (flyovers on all hops)" } else { "SCION best effort" };
+        let label =
+            if flyover { "Hummingbird (flyovers on all hops)" } else { "SCION best effort" };
         println!("--- {label} ---");
         let mut widths = vec![6usize];
-        widths.extend(std::iter::repeat(10).take(hop_counts.len()));
+        widths.extend(std::iter::repeat_n(10, hop_counts.len()));
         let mut header = vec!["cores".to_string()];
         header.extend(hop_counts.iter().map(|h| format!("h={h}")));
         println!("{}", row(&header, &widths));

@@ -21,7 +21,7 @@ fn main() {
         let label = if flyover { "Hummingbird" } else { "SCION best effort" };
         println!("--- {label} ---");
         let mut widths = vec![8usize];
-        widths.extend(std::iter::repeat(9).take(hop_counts.len()));
+        widths.extend(std::iter::repeat_n(9, hop_counts.len()));
         let mut header = vec!["payload".to_string()];
         header.extend(hop_counts.iter().map(|h| format!("h={h}")));
         println!("{}", row(&header, &widths));

@@ -24,7 +24,14 @@ fn main() {
     println!(
         "{}",
         row(
-            &["Hops".into(), "p5".into(), "median".into(), "p83".into(), "p95".into(), "mean".into()],
+            &[
+                "Hops".into(),
+                "p5".into(),
+                "median".into(),
+                "p83".into(),
+                "p95".into(),
+                "mean".into()
+            ],
             &widths
         )
     );
@@ -102,10 +109,7 @@ fn main() {
             )
         );
     }
-    let below_3s =
-        pooled.iter().filter(|&&p| p < 3000.0).count() as f64 / pooled.len() as f64;
-    println!(
-        "\npaper (Fig. 4): total < 3 s in 83% of measurements, largely independent of hops."
-    );
+    let below_3s = pooled.iter().filter(|&&p| p < 3000.0).count() as f64 / pooled.len() as f64;
+    println!("\npaper (Fig. 4): total < 3 s in 83% of measurements, largely independent of hops.");
     println!("measured: total < 3 s in {:.0}% of all measurements.", below_3s * 100.0);
 }

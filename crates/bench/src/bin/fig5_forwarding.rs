@@ -1,6 +1,7 @@
 //! Figure 5: border-router packet validation and forwarding throughput
-//! for different payload sizes and core counts, Hummingbird vs SCION
-//! best-effort.
+//! for different payload sizes and core counts, across every `Datapath`
+//! engine (Hummingbird vs SCION best-effort by default; add the Helia and
+//! DRKey baselines or the gateway with `--engine`).
 //!
 //! The paper reaches the 160 Gbps line rate with 4 cores at 1500 B and
 //! 32 cores at 100 B (AES-NI hardware). This software-AES reproduction is
@@ -8,24 +9,27 @@
 //! scaling up to the line-rate cap, (ii) throughput proportional to
 //! payload size, (iii) SCION ≈ 2.5x cheaper per packet than Hummingbird.
 //!
-//! Run with: `cargo run --release -p hummingbird-bench --bin fig5_forwarding`
+//! Run with: `cargo run --release -p hummingbird-bench --bin fig5_forwarding
+//! [-- --engine hummingbird|scion|helia|drkey|gateway|all]`
 
-use hummingbird_bench::{row, DataplaneFixture, EPOCH_NS};
+use hummingbird_bench::{engines_from_args, row, DataplaneFixture, EngineKind, EPOCH_NS};
 use hummingbird_dataplane::{forwarding_throughput, LINE_RATE_GBPS};
 
 fn main() {
+    let engines = engines_from_args(&[EngineKind::Hummingbird, EngineKind::Scion]);
     let cores_list = [1usize, 2, 4, 8, 16, 32];
     let payloads = [100usize, 500, 1000, 1500];
     let pkts_per_core: u64 = 200_000;
     let physical = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-    println!("Figure 5: border-router forwarding throughput [Gbps], line rate {LINE_RATE_GBPS}");
+    println!(
+        "Figure 5: forwarding throughput [Gbps] by Datapath engine, line rate {LINE_RATE_GBPS}"
+    );
     println!("(machine has {physical} hardware threads; rows beyond that oversubscribe)\n");
 
-    for flyover in [true, false] {
-        let label = if flyover { "Hummingbird (flyover on every hop)" } else { "SCION best effort" };
-        println!("--- {label} ---");
+    for kind in engines {
+        println!("--- engine: {} ---", kind.name());
         let mut widths = vec![6usize];
-        widths.extend(std::iter::repeat(10).take(payloads.len()));
+        widths.extend(std::iter::repeat_n(10, payloads.len()));
         let mut header = vec!["cores".to_string()];
         header.extend(payloads.iter().map(|p| format!("p={p}B")));
         println!("{}", row(&header, &widths));
@@ -33,9 +37,9 @@ fn main() {
         for &cores in &cores_list {
             let mut cells = vec![format!("{cores}")];
             for &payload in &payloads {
-                let pkt = fx.packet(payload, flyover);
+                let pkt = fx.engine_packet(kind, payload);
                 let t = forwarding_throughput(
-                    || fx.router(),
+                    || fx.engine(kind),
                     &pkt,
                     cores,
                     pkts_per_core / cores.max(1) as u64 * 4,
@@ -46,8 +50,8 @@ fn main() {
             println!("{}", row(&cells, &widths));
         }
         // Per-packet cost at one core (comparable to Table 3's totals).
-        let pkt = fx.packet(500, flyover);
-        let t = forwarding_throughput(|| fx.router(), &pkt, 1, pkts_per_core, EPOCH_NS);
+        let pkt = fx.engine_packet(kind, 500);
+        let t = forwarding_throughput(|| fx.engine(kind), &pkt, 1, pkts_per_core, EPOCH_NS);
         println!("single-core per-packet cost: {:.0} ns\n", t.ns_per_pkt(1));
     }
     println!("paper (Fig. 5): line rate at 4 cores/1500 B and 32 cores/100 B;");

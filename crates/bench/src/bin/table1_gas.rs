@@ -31,8 +31,8 @@ fn main() {
     );
 
     for hops in [1usize, 2, 4, 8, 16] {
-        let mut tb = Testbed::build(TestbedConfig { n_ases: hops, ..Default::default() })
-            .expect("testbed");
+        let mut tb =
+            Testbed::build(TestbedConfig { n_ases: hops, ..Default::default() }).expect("testbed");
         let t0 = tb.cfg.start_unix_s;
         // Large parent assets so the purchase needs the full worst-case
         // split: buy an interior window with partial bandwidth.
@@ -82,5 +82,7 @@ fn main() {
         );
     }
     println!("\npaper (Table 1): 1 hop 0.031 SUI/0.038 USD ... 16 hops 0.49 SUI/0.60 USD,");
-    println!("computation buckets 0.00075 SUI (1-4 hops), 0.0015 (8), 0.0030 (16); linear in hops.");
+    println!(
+        "computation buckets 0.00075 SUI (1-4 hops), 0.0015 (8), 0.0030 (16); linear in hops."
+    );
 }

@@ -66,9 +66,7 @@ fn main() {
         time_granularity: 60,
         min_bandwidth_kbps: 100,
     };
-    let rx = tb.services[0]
-        .issue_asset(&mut tb.control, template(0, Direction::Ingress))
-        .unwrap();
+    let rx = tb.services[0].issue_asset(&mut tb.control, template(0, Direction::Ingress)).unwrap();
     print_row("issue", &rx.gas, usd, &widths);
     let asset = rx.value;
 
@@ -89,15 +87,10 @@ fn main() {
     let ingress_asset = rx.value;
 
     // Redeem needs a matching egress asset.
-    let egress_asset = tb.services[0]
-        .issue_asset(&mut tb.control, template(0, Direction::Egress))
-        .unwrap()
-        .value;
+    let egress_asset =
+        tb.services[0].issue_asset(&mut tb.control, template(0, Direction::Egress)).unwrap().value;
     let eph = hummingbird_crypto::sig::SecretKey::generate(&mut rng);
-    let rx = tb
-        .control
-        .redeem(account, ingress_asset, egress_asset, eph.public())
-        .unwrap();
+    let rx = tb.control.redeem(account, ingress_asset, egress_asset, eph.public()).unwrap();
     print_row("redeem", &rx.gas, usd, &widths);
     let request = rx.value;
 
@@ -119,14 +112,8 @@ fn main() {
 
     // Four buy variants against four fresh listings.
     let variants: [(&str, PurchaseSpec); 4] = [
-        (
-            "buy (full)",
-            PurchaseSpec { start: t0, end: t0 + 10 * HOUR, bandwidth_kbps: 100_000 },
-        ),
-        (
-            "buy (split bw)",
-            PurchaseSpec { start: t0, end: t0 + 10 * HOUR, bandwidth_kbps: 40_000 },
-        ),
+        ("buy (full)", PurchaseSpec { start: t0, end: t0 + 10 * HOUR, bandwidth_kbps: 100_000 }),
+        ("buy (split bw)", PurchaseSpec { start: t0, end: t0 + 10 * HOUR, bandwidth_kbps: 40_000 }),
         (
             "buy (split time)",
             PurchaseSpec { start: t0 + HOUR, end: t0 + 2 * HOUR, bandwidth_kbps: 100_000 },

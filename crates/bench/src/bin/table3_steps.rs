@@ -8,10 +8,10 @@
 //!
 //! Run with: `cargo run --release -p hummingbird-bench --bin table3_steps`
 
-use hummingbird_bench::{row, DataplaneFixture, EPOCH_NS, EPOCH_S};
+use hummingbird_bench::{engines_from_args, row, DataplaneFixture, EngineKind, EPOCH_NS, EPOCH_S};
 use hummingbird_crypto::{aggregate_mac, AuthKey, FlyoverMacInput, ResInfo, SecretValue};
 use hummingbird_dataplane::policing::Policer;
-use hummingbird_dataplane::FwdClass;
+use hummingbird_dataplane::{Datapath, FwdClass, PacketBuf};
 use hummingbird_wire::common::{AddressHeader, CommonHeader, COMMON_HDR_LEN};
 use hummingbird_wire::meta::PathMetaHdr;
 use hummingbird_wire::scion_mac::{update_seg_id, HopMacInput, HopMacKey};
@@ -126,7 +126,10 @@ fn main() {
     results.push((
         "Compute aggregate MAC (XOR)",
         time_ns(|| {
-            black_box(aggregate_mac(black_box(&[1, 2, 3, 4, 5, 6]), black_box(&[9, 9, 9, 9, 9, 9])));
+            black_box(aggregate_mac(
+                black_box(&[1, 2, 3, 4, 5, 6]),
+                black_box(&[9, 9, 9, 9, 9, 9]),
+            ));
         }),
     ));
     let mut policer = Policer::paper_default();
@@ -143,24 +146,29 @@ fn main() {
         println!("{}", row(&[name.to_string(), format!("{ns:.0}")], &widths));
     }
 
-    // End-to-end pipeline cost (the Table 3 totals).
-    let mut router = fx.router();
-    let mut hot = hummingbird_dataplane::multicore::HotLoopPacket::new(fx.packet(500, true));
-    let hb_total = time_ns(|| {
-        black_box(router.process(hot.bytes_mut(), EPOCH_NS));
-        hot.reset();
-    });
-    let mut router = fx.router();
-    let mut hot = hummingbird_dataplane::multicore::HotLoopPacket::new(fx.packet(500, false));
-    let scion_total = time_ns(|| {
-        black_box(router.process(hot.bytes_mut(), EPOCH_NS));
-        hot.reset();
-    });
-    println!("{}", row(&["— total: SCION best-effort pipeline".into(), format!("{scion_total:.0}")], &widths));
-    println!("{}", row(&["— total: Hummingbird pipeline".into(), format!("{hb_total:.0}")], &widths));
-    println!(
-        "\nHummingbird/SCION per-packet cost ratio: {:.2}x (paper: 308/123 = 2.5x)",
-        hb_total / scion_total
-    );
+    // End-to-end pipeline cost per engine (the Table 3 totals), measured
+    // exclusively through the Datapath trait.
+    let engines = engines_from_args(&[EngineKind::Scion, EngineKind::Hummingbird]);
+    let mut totals = Vec::new();
+    for kind in engines {
+        let mut engine = fx.engine(kind);
+        let mut hot = PacketBuf::new(fx.engine_packet(kind, 500));
+        let total = time_ns(|| {
+            black_box(engine.process(hot.bytes_mut(), EPOCH_NS));
+            hot.reset();
+        });
+        println!(
+            "{}",
+            row(&[format!("— total: {} pipeline", kind.name()), format!("{total:.0}")], &widths)
+        );
+        totals.push((kind, total));
+    }
+    let find = |k: EngineKind| totals.iter().find(|(kind, _)| *kind == k).map(|(_, t)| *t);
+    if let (Some(hb), Some(scion)) = (find(EngineKind::Hummingbird), find(EngineKind::Scion)) {
+        println!(
+            "\nHummingbird/SCION per-packet cost ratio: {:.2}x (paper: 308/123 = 2.5x)",
+            hb / scion
+        );
+    }
     println!("paper totals: 123 ns SCION, +185 ns Hummingbird overhead (AES-NI hardware).");
 }

@@ -78,10 +78,7 @@ fn main() {
         i += 1;
         black_box(hb_gen.generate(&payload_1500, EPOCH_MS + i / 1000).unwrap());
     });
-    println!(
-        "{}",
-        row(&["Total SCION, 500 B payload".into(), format!("{scion_500:.0}")], &widths)
-    );
+    println!("{}", row(&["Total SCION, 500 B payload".into(), format!("{scion_500:.0}")], &widths));
     println!(
         "{}",
         row(&["Total Hummingbird, 500 B payload".into(), format!("{hb_500:.0}")], &widths)

@@ -5,9 +5,11 @@
 //! provides the common packet/router/market fixtures so the workloads are
 //! identical across experiments.
 
+use hummingbird_baselines::{slot_of, DrKeyDatapath, DrKeySender, HeliaDatapath, HeliaSender};
 use hummingbird_crypto::{ResInfo, SecretValue};
 use hummingbird_dataplane::{
-    forge_path, BeaconHop, BorderRouter, RouterConfig, SourceGenerator, SourceReservation,
+    forge_path, BeaconHop, BorderRouter, Datapath, Gateway, HostShare, RouterConfig,
+    SourceGenerator, SourceReservation,
 };
 use hummingbird_wire::scion_mac::HopMacKey;
 use hummingbird_wire::IsdAs;
@@ -18,6 +20,99 @@ pub const EPOCH_S: u64 = 1_700_000_000;
 pub const EPOCH_MS: u64 = EPOCH_S * 1000;
 /// Evaluation epoch in nanoseconds.
 pub const EPOCH_NS: u64 = EPOCH_S * 1_000_000_000;
+
+/// The DRKey master every benchmark baseline AS uses (hop 0).
+const DRKEY_MASTER: [u8; 16] = [0xB5; 16];
+
+/// Which [`Datapath`] engine a figure/table binary should drive.
+///
+/// Every packet-processing binary accepts `--engine
+/// hummingbird|scion|helia|drkey|gateway|all` (default: the binary's
+/// traditional engine set) and constructs engines exclusively through
+/// [`DataplaneFixture::engine`] + [`DataplaneFixture::engine_packet`] —
+/// the single place that knows concrete engine types.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EngineKind {
+    /// Hummingbird border router over flyover-tagged packets.
+    Hummingbird,
+    /// The same router over plain SCION best-effort packets.
+    Scion,
+    /// Helia-style fixed-slot baseline engine.
+    Helia,
+    /// DRKey-only source-authentication baseline engine.
+    Drkey,
+    /// The host-aggregating gateway (admission half).
+    Gateway,
+}
+
+impl EngineKind {
+    /// All sweepable engines.
+    pub const ALL: [EngineKind; 5] = [
+        EngineKind::Hummingbird,
+        EngineKind::Scion,
+        EngineKind::Helia,
+        EngineKind::Drkey,
+        EngineKind::Gateway,
+    ];
+
+    /// Stable display name (matches `Datapath::engine_name` plus the
+    /// workload-only `scion` variant).
+    pub fn name(&self) -> &'static str {
+        match self {
+            EngineKind::Hummingbird => "hummingbird",
+            EngineKind::Scion => "scion",
+            EngineKind::Helia => "helia",
+            EngineKind::Drkey => "drkey",
+            EngineKind::Gateway => "gateway",
+        }
+    }
+
+    fn parse(s: &str) -> Option<Vec<EngineKind>> {
+        match s {
+            "hummingbird" => Some(vec![EngineKind::Hummingbird]),
+            "scion" => Some(vec![EngineKind::Scion]),
+            "helia" => Some(vec![EngineKind::Helia]),
+            "drkey" => Some(vec![EngineKind::Drkey]),
+            "gateway" => Some(vec![EngineKind::Gateway]),
+            "all" => Some(EngineKind::ALL.to_vec()),
+            _ => None,
+        }
+    }
+}
+
+/// Parses `--engine <kind>` (repeatable, or `all`) from the process
+/// arguments; `default` applies when the flag is absent. Exits with a
+/// usage message on an unknown engine.
+pub fn engines_from_args(default: &[EngineKind]) -> Vec<EngineKind> {
+    let args: Vec<String> = std::env::args().collect();
+    let mut selected = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        let value = if args[i] == "--engine" && i + 1 < args.len() {
+            i += 1;
+            Some(args[i].clone())
+        } else {
+            args[i].strip_prefix("--engine=").map(str::to_owned)
+        };
+        if let Some(v) = value {
+            match EngineKind::parse(&v) {
+                Some(kinds) => selected.extend(kinds),
+                None => {
+                    eprintln!(
+                        "unknown engine '{v}'; expected hummingbird|scion|helia|drkey|gateway|all"
+                    );
+                    std::process::exit(2);
+                }
+            }
+        }
+        i += 1;
+    }
+    if selected.is_empty() {
+        default.to_vec()
+    } else {
+        selected
+    }
+}
 
 /// A self-contained data-plane fixture: one source path of `h` hops plus
 /// the matching per-AS secrets.
@@ -54,8 +149,7 @@ impl DataplaneFixture {
             })
             .collect();
         let path = forge_path(&hops, EPOCH_S as u32 - 100, 0x7777);
-        let mut generator =
-            SourceGenerator::new(IsdAs::new(1, 0x10), IsdAs::new(2, 0x20), path);
+        let mut generator = SourceGenerator::new(IsdAs::new(1, 0x10), IsdAs::new(2, 0x20), path);
         if with_reservations {
             for i in 0..self.h {
                 let (ingress, egress) = self.interfaces(i);
@@ -79,19 +173,91 @@ impl DataplaneFixture {
     /// A border router for hop 0 of this fixture (the hop every generated
     /// packet is validated at).
     pub fn router(&self) -> BorderRouter {
-        BorderRouter::new(
-            self.svs[0].clone(),
-            self.hop_keys[0].clone(),
-            RouterConfig::default(),
-        )
+        BorderRouter::new(self.svs[0].clone(), self.hop_keys[0].clone(), RouterConfig::default())
     }
 
     /// A serialized packet with `payload_len` bytes, ready for the router.
     pub fn packet(&self, payload_len: usize, with_reservations: bool) -> Vec<u8> {
         let mut generator = self.generator(with_reservations);
-        generator
-            .generate(&vec![0u8; payload_len], EPOCH_MS)
-            .expect("generation")
+        generator.generate(&vec![0u8; payload_len], EPOCH_MS).expect("generation")
+    }
+
+    /// The source / destination every fixture packet carries.
+    fn endpoints() -> (IsdAs, IsdAs) {
+        (IsdAs::new(1, 0x10), IsdAs::new(2, 0x20))
+    }
+
+    /// A hop-0 engine of the requested kind, type-erased behind
+    /// [`Datapath`] — the only constructor the figure binaries use.
+    pub fn engine(&self, kind: EngineKind) -> Box<dyn Datapath + Send> {
+        match kind {
+            EngineKind::Hummingbird | EngineKind::Scion => Box::new(self.router()),
+            EngineKind::Helia => Box::new(HeliaDatapath::new(
+                DRKEY_MASTER,
+                self.hop_keys[0].clone(),
+                RouterConfig::default(),
+            )),
+            EngineKind::Drkey => {
+                Box::new(DrKeyDatapath::new(DRKEY_MASTER, self.hop_keys[0].clone()))
+            }
+            EngineKind::Gateway => {
+                let reserved = self.generator(true);
+                let best_effort = self.generator(false);
+                let mut gw = Gateway::new(reserved, best_effort, 10_000_000);
+                // Host 1 = the 0.0.0.1 source host address every
+                // SourceGenerator-built packet carries.
+                gw.admit_host(1, HostShare { rate_kbps: 10_000_000 });
+                Box::new(gw)
+            }
+        }
+    }
+
+    /// A serialized `payload_len`-byte packet the matching
+    /// [`DataplaneFixture::engine`] accepts (stamped by that engine's own
+    /// sender model).
+    pub fn engine_packet(&self, kind: EngineKind, payload_len: usize) -> Vec<u8> {
+        let (src, dst) = Self::endpoints();
+        let payload = vec![0u8; payload_len];
+        match kind {
+            EngineKind::Hummingbird => self.packet(payload_len, true),
+            EngineKind::Scion | EngineKind::Gateway => self.packet(payload_len, false),
+            EngineKind::Helia => {
+                let path = self.beacon_path();
+                let mut sender = HeliaSender::new(src, dst, path);
+                let issuer = HeliaDatapath::new(
+                    DRKEY_MASTER,
+                    self.hop_keys[0].clone(),
+                    RouterConfig::default(),
+                );
+                let (ingress, egress) = self.interfaces(0);
+                let grant = issuer
+                    .issue_grant(src, slot_of(EPOCH_S), 1, 10_000_000, ingress, egress)
+                    .expect("encodable share");
+                sender.attach_grant(0, &grant).expect("matching interfaces");
+                sender.generate(&payload, EPOCH_MS).expect("generation")
+            }
+            EngineKind::Drkey => {
+                let path = self.beacon_path();
+                let mut engine = DrKeyDatapath::new(DRKEY_MASTER, self.hop_keys[0].clone());
+                let key = engine.host_key(src, [0, 0, 0, 1], EPOCH_S);
+                let mut sender = DrKeySender::new(src, dst, path);
+                let (ingress, egress) = self.interfaces(0);
+                sender
+                    .attach_host_key(0, ingress, egress, key, EPOCH_S)
+                    .expect("matching interfaces");
+                sender.generate(&payload, EPOCH_MS).expect("generation")
+            }
+        }
+    }
+
+    fn beacon_path(&self) -> hummingbird_wire::HummingbirdPath {
+        let hops: Vec<BeaconHop> = (0..self.h)
+            .map(|i| {
+                let (cons_ingress, cons_egress) = self.interfaces(i);
+                BeaconHop { key: self.hop_keys[i].clone(), cons_ingress, cons_egress }
+            })
+            .collect();
+        forge_path(&hops, EPOCH_S as u32 - 100, 0x7777)
     }
 }
 

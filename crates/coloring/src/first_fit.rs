@@ -96,10 +96,7 @@ impl FirstFit {
     /// same ResID overlap. Used by tests and debug assertions.
     pub fn is_valid(&self) -> bool {
         self.colors.iter().all(|actives| {
-            actives
-                .iter()
-                .enumerate()
-                .all(|(i, a)| actives[i + 1..].iter().all(|b| !a.overlaps(b)))
+            actives.iter().enumerate().all(|(i, a)| actives[i + 1..].iter().all(|b| !a.overlaps(b)))
         })
     }
 }

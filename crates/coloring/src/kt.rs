@@ -63,10 +63,8 @@ impl KiersteadTrotter {
         // First-Fit within the level.
         let mut sub = 0usize;
         loop {
-            let conflict = self
-                .entries
-                .iter()
-                .any(|e| e.level == level && e.sub == sub && e.iv.overlaps(&iv));
+            let conflict =
+                self.entries.iter().any(|e| e.level == level && e.sub == sub && e.iv.overlaps(&iv));
             if !conflict {
                 break;
             }

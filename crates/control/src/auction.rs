@@ -279,9 +279,7 @@ impl ControlPlane {
                 .iter()
                 .enumerate()
                 .filter_map(|(i, (_, b))| {
-                    b.revealed_amount
-                        .filter(|&a| a >= auction.reserve_price)
-                        .map(|a| (a, i))
+                    b.revealed_amount.filter(|&a| a >= auction.reserve_price).map(|a| (a, i))
                 })
                 .collect();
             ranked.sort_by(|a, b| b.cmp(a));
@@ -325,9 +323,7 @@ impl ControlPlane {
         let mut out: Vec<ObjectId> = self
             .ledger
             .objects()
-            .filter(|e| {
-                e.meta.type_tag == TAG_BID && e.meta.owner == Owner::Object(auction_id)
-            })
+            .filter(|e| e.meta.type_tag == TAG_BID && e.meta.owner == Owner::Object(auction_id))
             .map(|e| e.meta.id)
             .collect();
         out.sort();
@@ -402,8 +398,7 @@ mod tests {
     #[test]
     fn vickrey_winner_pays_second_price() {
         let mut w = setup();
-        let auction =
-            w.cp.create_auction(w.seller, w.asset, 1_000).unwrap().value;
+        let auction = w.cp.create_auction(w.seller, w.asset, 1_000).unwrap().value;
         let alice = bidder(&mut w, "alice");
         let bob = bidder(&mut w, "bob");
         let carol = bidder(&mut w, "carol");
@@ -420,16 +415,12 @@ mod tests {
             w.cp.reveal_bid(*who, auction, bid_id, *amount, salt).unwrap();
         }
         let seller_before = w.cp.ledger.balance(w.seller);
-        let outcome =
-            w.cp.settle_auction(w.seller, auction, &bid_ids).unwrap().value;
+        let outcome = w.cp.settle_auction(w.seller, auction, &bid_ids).unwrap().value;
         assert_eq!(outcome.winner.map(|(a, _)| a), Some(alice));
         assert_eq!(outcome.price, 30_000, "winner pays the second price");
         // Asset went to alice.
         let asset = outcome.winner.unwrap().1;
-        assert_eq!(
-            w.cp.ledger.object(asset).unwrap().meta.owner,
-            Owner::Address(alice)
-        );
+        assert_eq!(w.cp.ledger.object(asset).unwrap().meta.owner, Owner::Address(alice));
         // Seller received exactly the clearing price.
         assert!(w.cp.ledger.balance(w.seller) >= seller_before + 30_000);
         // Auction and bids were destroyed.
@@ -445,16 +436,12 @@ mod tests {
         let alice_start = w.cp.ledger.balance(alice);
         let bob_start = w.cp.ledger.balance(bob);
         let salt = [1u8; 32];
-        let a_bid = w
-            .cp
-            .commit_bid(alice, auction, bid_commitment(5_000, &salt, alice), 5_000)
-            .unwrap()
-            .value;
-        let b_bid = w
-            .cp
-            .commit_bid(bob, auction, bid_commitment(2_000, &salt, bob), 2_000)
-            .unwrap()
-            .value;
+        let a_bid =
+            w.cp.commit_bid(alice, auction, bid_commitment(5_000, &salt, alice), 5_000)
+                .unwrap()
+                .value;
+        let b_bid =
+            w.cp.commit_bid(bob, auction, bid_commitment(2_000, &salt, bob), 2_000).unwrap().value;
         w.cp.close_bidding(w.seller, auction).unwrap();
         w.cp.reveal_bid(alice, auction, a_bid, 5_000, salt).unwrap();
         w.cp.reveal_bid(bob, auction, b_bid, 2_000, salt).unwrap();
@@ -472,20 +459,16 @@ mod tests {
         let auction = w.cp.create_auction(w.seller, w.asset, 10_000).unwrap().value;
         let alice = bidder(&mut w, "alice");
         let salt = [2u8; 32];
-        let bid_id = w
-            .cp
-            .commit_bid(alice, auction, bid_commitment(5_000, &salt, alice), 5_000)
-            .unwrap()
-            .value;
+        let bid_id =
+            w.cp.commit_bid(alice, auction, bid_commitment(5_000, &salt, alice), 5_000)
+                .unwrap()
+                .value;
         w.cp.close_bidding(w.seller, auction).unwrap();
         w.cp.reveal_bid(alice, auction, bid_id, 5_000, salt).unwrap();
         let outcome = w.cp.settle_auction(w.seller, auction, &[bid_id]).unwrap().value;
         assert_eq!(outcome.winner, None, "below-reserve bid cannot win");
         // Asset returned to the seller.
-        assert_eq!(
-            w.cp.ledger.object(w.asset).unwrap().meta.owner,
-            Owner::Address(w.seller)
-        );
+        assert_eq!(w.cp.ledger.object(w.asset).unwrap().meta.owner, Owner::Address(w.seller));
     }
 
     #[test]
@@ -494,23 +477,21 @@ mod tests {
         let auction = w.cp.create_auction(w.seller, w.asset, 100).unwrap().value;
         let alice = bidder(&mut w, "alice");
         let salt = [3u8; 32];
-        let bid_id = w
-            .cp
-            .commit_bid(alice, auction, bid_commitment(5_000, &salt, alice), 5_000)
-            .unwrap()
-            .value;
+        let bid_id =
+            w.cp.commit_bid(alice, auction, bid_commitment(5_000, &salt, alice), 5_000)
+                .unwrap()
+                .value;
         w.cp.close_bidding(w.seller, auction).unwrap();
         // Revealing a different amount than committed is rejected.
         assert!(w.cp.reveal_bid(alice, auction, bid_id, 4_000, salt).is_err());
         // Revealing above the deposit is rejected even with a matching
         // commitment.
-        let auction2_asset = {
+        {
             // No second asset in this world; just verify the deposit rule
             // with a fresh commit in a new auction isn't needed — the
             // amount>deposit check precedes commitment verification.
             assert!(w.cp.reveal_bid(alice, auction, bid_id, 6_000, salt).is_err());
-        };
-        let _ = auction2_asset;
+        }
     }
 
     #[test]
@@ -519,11 +500,8 @@ mod tests {
         let auction = w.cp.create_auction(w.seller, w.asset, 100).unwrap().value;
         let alice = bidder(&mut w, "alice");
         let salt = [4u8; 32];
-        let bid_id = w
-            .cp
-            .commit_bid(alice, auction, bid_commitment(500, &salt, alice), 500)
-            .unwrap()
-            .value;
+        let bid_id =
+            w.cp.commit_bid(alice, auction, bid_commitment(500, &salt, alice), 500).unwrap().value;
         // Cannot reveal or settle during the commit phase.
         assert!(w.cp.reveal_bid(alice, auction, bid_id, 500, salt).is_err());
         assert!(w.cp.settle_auction(w.seller, auction, &[bid_id]).is_err());
@@ -532,10 +510,7 @@ mod tests {
         w.cp.close_bidding(w.seller, auction).unwrap();
         // No more commits after closing.
         let bob = bidder(&mut w, "bob");
-        assert!(w
-            .cp
-            .commit_bid(bob, auction, bid_commitment(900, &salt, bob), 900)
-            .is_err());
+        assert!(w.cp.commit_bid(bob, auction, bid_commitment(900, &salt, bob), 900).is_err());
     }
 
     #[test]
@@ -546,21 +521,16 @@ mod tests {
         let bob = bidder(&mut w, "bob");
         let bob_start = w.cp.ledger.balance(bob);
         let salt = [5u8; 32];
-        let a_bid = w
-            .cp
-            .commit_bid(alice, auction, bid_commitment(1_000, &salt, alice), 1_000)
-            .unwrap()
-            .value;
-        let b_bid = w
-            .cp
-            .commit_bid(bob, auction, bid_commitment(9_999, &salt, bob), 9_999)
-            .unwrap()
-            .value;
+        let a_bid =
+            w.cp.commit_bid(alice, auction, bid_commitment(1_000, &salt, alice), 1_000)
+                .unwrap()
+                .value;
+        let b_bid =
+            w.cp.commit_bid(bob, auction, bid_commitment(9_999, &salt, bob), 9_999).unwrap().value;
         w.cp.close_bidding(w.seller, auction).unwrap();
         // Bob never reveals — his (higher) bid cannot win.
         w.cp.reveal_bid(alice, auction, a_bid, 1_000, salt).unwrap();
-        let outcome =
-            w.cp.settle_auction(w.seller, auction, &[a_bid, b_bid]).unwrap().value;
+        let outcome = w.cp.settle_auction(w.seller, auction, &[a_bid, b_bid]).unwrap().value;
         assert_eq!(outcome.winner.map(|(a, _)| a), Some(alice));
         assert_eq!(outcome.price, 100, "single valid bid pays the reserve");
         // Bob's deposit came back (minus his own gas).

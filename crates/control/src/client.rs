@@ -140,9 +140,7 @@ impl Client {
     /// are not bound to network identities, so the key can simply be
     /// handed over — e.g. to the destination for a reverse path, App. C).
     pub fn export_reservation(&self, index: usize) -> Option<(IsdAs, ResInfo, [u8; 16])> {
-        self.granted
-            .get(index)
-            .map(|g| (g.as_id, g.res_info, g.key.to_bytes()))
+        self.granted.get(index).map(|g| (g.as_id, g.res_info, g.key.to_bytes()))
     }
 
     /// Imports a reservation shared by another party.

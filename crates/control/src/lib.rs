@@ -120,8 +120,7 @@ mod tests {
         let attacker = SecretKey::from_seed(b"attacker");
         let attacker_addr = Address::from_pubkey(&attacker.public());
         cp.faucet(attacker_addr, 10);
-        let bad_proof =
-            crate::pki::sign_registration(&attacker, as_id, attacker_addr, &mut rng);
+        let bad_proof = crate::pki::sign_registration(&attacker, as_id, attacker_addr, &mut rng);
         assert!(cp.register_as(attacker_addr, as_id, &bad_proof).is_err());
     }
 
@@ -138,11 +137,8 @@ mod tests {
     #[test]
     fn split_and_fuse_roundtrip() {
         let mut w = setup();
-        let asset = w
-            .service
-            .issue_asset(&mut w.cp, asset_template(Direction::Ingress, 1))
-            .unwrap()
-            .value;
+        let asset =
+            w.service.issue_asset(&mut w.cp, asset_template(Direction::Ingress, 1)).unwrap().value;
         let account = w.service.account;
         let (head, tail) = w.cp.split_time(account, asset, 2 * HOUR).unwrap().value;
         assert_eq!(w.cp.asset(head).unwrap().expiry_time, 2 * HOUR);
@@ -163,11 +159,8 @@ mod tests {
     #[test]
     fn split_respects_granularity() {
         let mut w = setup();
-        let asset = w
-            .service
-            .issue_asset(&mut w.cp, asset_template(Direction::Ingress, 1))
-            .unwrap()
-            .value;
+        let asset =
+            w.service.issue_asset(&mut w.cp, asset_template(Direction::Ingress, 1)).unwrap().value;
         let err = w.cp.split_time(w.service.account, asset, 90).unwrap_err();
         assert!(matches!(err, hummingbird_ledger::ExecError::Contract(_)));
     }
@@ -269,9 +262,7 @@ mod tests {
         let (l_in, l_eg) = list_pair(&mut w, 1, 2);
         let spec = PurchaseSpec { start: 0, end: HOUR, bandwidth_kbps: 4_000 };
         let mut rng = StdRng::seed_from_u64(8);
-        w.client
-            .buy_and_redeem_path(&mut w.cp, w.market, &[(l_in, l_eg, spec)], &mut rng)
-            .unwrap();
+        w.client.buy_and_redeem_path(&mut w.cp, w.market, &[(l_in, l_eg, spec)], &mut rng).unwrap();
         let pending = w.cp.pending_requests(w.service.account);
         assert_eq!(pending.len(), 1);
         let (req_id, req) = pending[0].clone();
@@ -319,8 +310,7 @@ mod tests {
         }
         w.service.process_requests(&mut w.cp, &mut w.rng).unwrap();
         w.client.collect_deliveries(&w.cp).unwrap();
-        let ids: Vec<u32> =
-            w.client.reservations().iter().map(|g| g.res_info.res_id).collect();
+        let ids: Vec<u32> = w.client.reservations().iter().map(|g| g.res_info.res_id).collect();
         assert_eq!(ids.len(), 3);
         let mut dedup = ids.clone();
         dedup.sort_unstable();
@@ -334,9 +324,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(11);
         let (l_in, l_eg) = list_pair(&mut w, 1, 2);
         let spec = PurchaseSpec { start: 0, end: HOUR, bandwidth_kbps: 4_000 };
-        w.client
-            .buy_and_redeem_path(&mut w.cp, w.market, &[(l_in, l_eg, spec)], &mut rng)
-            .unwrap();
+        w.client.buy_and_redeem_path(&mut w.cp, w.market, &[(l_in, l_eg, spec)], &mut rng).unwrap();
         w.service.process_requests(&mut w.cp, &mut w.rng).unwrap();
         let first_high = w.service.res_id_high_water(1).unwrap();
 
@@ -357,9 +345,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(12);
         let (l_in, l_eg) = list_pair(&mut w, 1, 2);
         let spec = PurchaseSpec { start: 0, end: HOUR, bandwidth_kbps: 4_000 };
-        w.client
-            .buy_and_redeem_path(&mut w.cp, w.market, &[(l_in, l_eg, spec)], &mut rng)
-            .unwrap();
+        w.client.buy_and_redeem_path(&mut w.cp, w.market, &[(l_in, l_eg, spec)], &mut rng).unwrap();
         w.service.process_requests(&mut w.cp, &mut w.rng).unwrap();
         w.client.collect_deliveries(&w.cp).unwrap();
 

@@ -74,8 +74,7 @@ impl ControlPlane {
             // Reading the asset checks the sender owns it.
             read_asset(ctx, asset_id)?;
             ctx.transfer(asset_id, Owner::Object(market))?;
-            let listing =
-                Listing { seller: ctx.sender(), asset: asset_id, price_per_kbps_sec };
+            let listing = Listing { seller: ctx.sender(), asset: asset_id, price_per_kbps_sec };
             Ok(ctx.create(Owner::Object(market), TAG_LISTING, listing.encode()))
         })
     }
@@ -112,8 +111,7 @@ impl ControlPlane {
             for hop in &hops {
                 let ingress = buy_inner(ctx, market, hop.ingress_listing, hop.spec)?;
                 let egress = buy_inner(ctx, market, hop.egress_listing, hop.spec)?;
-                let request =
-                    redeem_inner(ctx, &as_accounts, ingress, egress, hop.ephemeral_pk)?;
+                let request = redeem_inner(ctx, &as_accounts, ingress, egress, hop.ephemeral_pk)?;
                 requests.push(request);
             }
             Ok(requests)
@@ -126,9 +124,7 @@ impl ControlPlane {
         let mut out: Vec<(ObjectId, Listing, BandwidthAsset)> = self
             .ledger
             .objects()
-            .filter(|e| {
-                e.meta.type_tag == TAG_LISTING && e.meta.owner == Owner::Object(market)
-            })
+            .filter(|e| e.meta.type_tag == TAG_LISTING && e.meta.owner == Owner::Object(market))
             .filter_map(|e| {
                 let listing = Listing::decode(&e.data).ok()?;
                 let asset = self.asset(listing.asset)?;
@@ -185,12 +181,10 @@ pub(crate) fn buy_inner(
     if spec.start < asset.start_time || spec.end > asset.expiry_time {
         return Err(ExecError::Contract("purchase window outside the asset".into()));
     }
-    if (spec.start - asset.start_time) % asset.time_granularity != 0
-        || (asset.expiry_time - spec.end) % asset.time_granularity != 0
+    if !(spec.start - asset.start_time).is_multiple_of(asset.time_granularity)
+        || !(asset.expiry_time - spec.end).is_multiple_of(asset.time_granularity)
     {
-        return Err(ExecError::Contract(
-            "purchase window violates the time granularity".into(),
-        ));
+        return Err(ExecError::Contract("purchase window violates the time granularity".into()));
     }
     if spec.bandwidth_kbps < asset.min_bandwidth_kbps {
         return Err(ExecError::Contract("purchase below the minimum bandwidth".into()));

@@ -37,12 +37,7 @@ impl TrustAnchors {
     /// Verifies a registration possession proof: a signature by the AS
     /// certificate key over the binding of AS identity and on-chain
     /// account.
-    pub fn verify_registration(
-        &self,
-        as_id: IsdAs,
-        account: Address,
-        sig: &Signature,
-    ) -> bool {
+    pub fn verify_registration(&self, as_id: IsdAs, account: Address, sig: &Signature) -> bool {
         match self.key_of(as_id) {
             Some(pk) => pk.verify(&registration_challenge(as_id, account), sig),
             None => false,

@@ -76,11 +76,9 @@ impl ControlPlane {
                     ctx.write(id, TAG_GAS_COIN, data)?;
                     id
                 }
-                None => ctx.create(
-                    Owner::Address(sender),
-                    TAG_GAS_COIN,
-                    vec![0u8; GAS_COIN_PAYLOAD],
-                ),
+                None => {
+                    ctx.create(Owner::Address(sender), TAG_GAS_COIN, vec![0u8; GAS_COIN_PAYLOAD])
+                }
             };
             let value = f(ctx)?;
             Ok((value, coin))
@@ -266,11 +264,7 @@ impl ControlPlane {
             ctx.delete(request.ingress_asset)?;
             ctx.delete(request.egress_asset)?;
             ctx.delete(request_id)?;
-            Ok(ctx.create(
-                Owner::Address(request.requester),
-                TAG_DELIVERY,
-                delivery.encode(),
-            ))
+            Ok(ctx.create(Owner::Address(request.requester), TAG_DELIVERY, delivery.encode()))
         })
     }
 
@@ -283,10 +277,7 @@ impl ControlPlane {
         let mut out: Vec<(ObjectId, RedeemRequest)> = self
             .ledger
             .objects()
-            .filter(|e| {
-                e.meta.type_tag == TAG_REDEEM
-                    && e.meta.owner == Owner::Address(as_account)
-            })
+            .filter(|e| e.meta.type_tag == TAG_REDEEM && e.meta.owner == Owner::Address(as_account))
             .filter_map(|e| RedeemRequest::decode(&e.data).ok().map(|r| (e.meta.id, r)))
             .collect();
         out.sort_by_key(|(id, _)| *id);
@@ -298,12 +289,8 @@ impl ControlPlane {
         let mut out: Vec<(ObjectId, EncryptedReservation)> = self
             .ledger
             .objects()
-            .filter(|e| {
-                e.meta.type_tag == TAG_DELIVERY && e.meta.owner == Owner::Address(addr)
-            })
-            .filter_map(|e| {
-                EncryptedReservation::decode(&e.data).ok().map(|d| (e.meta.id, d))
-            })
+            .filter(|e| e.meta.type_tag == TAG_DELIVERY && e.meta.owner == Owner::Address(addr))
+            .filter_map(|e| EncryptedReservation::decode(&e.data).ok().map(|d| (e.meta.id, d)))
             .collect();
         out.sort_by_key(|(id, _)| *id);
         out
@@ -324,10 +311,7 @@ impl ControlPlane {
 // ----------------------------------------------------------------------
 
 /// Reads and decodes a bandwidth asset.
-pub(crate) fn read_asset(
-    ctx: &mut TxContext,
-    id: ObjectId,
-) -> Result<BandwidthAsset, ExecError> {
+pub(crate) fn read_asset(ctx: &mut TxContext, id: ObjectId) -> Result<BandwidthAsset, ExecError> {
     Ok(BandwidthAsset::decode(&ctx.read(id, TAG_ASSET)?)?)
 }
 
@@ -343,10 +327,8 @@ pub(crate) fn split_time_inner(
     if split_at <= asset.start_time || split_at >= asset.expiry_time {
         return Err(ExecError::Contract("split point outside the asset window".into()));
     }
-    if (split_at - asset.start_time) % asset.time_granularity != 0 {
-        return Err(ExecError::Contract(
-            "split point violates the time granularity".into(),
-        ));
+    if !(split_at - asset.start_time).is_multiple_of(asset.time_granularity) {
+        return Err(ExecError::Contract("split point violates the time granularity".into()));
     }
     let mut tail = asset.clone();
     tail.start_time = split_at;
@@ -371,9 +353,7 @@ pub(crate) fn split_bandwidth_inner(
     }
     let rest = asset.bandwidth_kbps - keep_kbps;
     if keep_kbps < asset.min_bandwidth_kbps || rest < asset.min_bandwidth_kbps {
-        return Err(ExecError::Contract(
-            "bandwidth split violates the minimum bandwidth".into(),
-        ));
+        return Err(ExecError::Contract("bandwidth split violates the minimum bandwidth".into()));
     }
     let mut tail = asset.clone();
     tail.bandwidth_kbps = rest;
@@ -401,9 +381,10 @@ pub(crate) fn redeem_inner(
             "ingress/egress assets do not match (AS, window, bandwidth)".into(),
         ));
     }
-    let as_account = as_accounts.get(&ingress.as_id).copied().ok_or_else(|| {
-        ExecError::Contract(format!("AS {} is not registered", ingress.as_id))
-    })?;
+    let as_account = as_accounts
+        .get(&ingress.as_id)
+        .copied()
+        .ok_or_else(|| ExecError::Contract(format!("AS {} is not registered", ingress.as_id)))?;
     let request = RedeemRequest {
         requester: ctx.sender(),
         ephemeral_pk,

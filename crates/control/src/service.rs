@@ -182,9 +182,9 @@ impl AsService {
         cp: &mut ControlPlane,
         asset: BandwidthAsset,
     ) -> CpResult<ObjectId> {
-        let token = self.auth_token.ok_or_else(|| {
-            ExecError::Contract("AS not registered: no auth token".into())
-        })?;
+        let token = self
+            .auth_token
+            .ok_or_else(|| ExecError::Contract("AS not registered: no auth token".into()))?;
         cp.issue(self.account, token, asset)
     }
 
@@ -231,23 +231,17 @@ impl AsService {
         rng: &mut R,
     ) -> Result<EncryptedReservation, ServiceError> {
         let asset = &request.asset;
-        let duration: u16 = asset
-            .duration()
-            .try_into()
-            .map_err(|_| ServiceError::DurationTooLong)?;
-        let res_start: u32 = asset
-            .start_time
-            .try_into()
-            .map_err(|_| ServiceError::StartTimeOutOfRange)?;
+        let duration: u16 =
+            asset.duration().try_into().map_err(|_| ServiceError::DurationTooLong)?;
+        let res_start: u32 =
+            asset.start_time.try_into().map_err(|_| ServiceError::StartTimeOutOfRange)?;
         // Grant at most the purchased bandwidth on the wire (round down).
         let bw_encoded =
             bwcls::encode_floor(asset.bandwidth_kbps).ok_or(ServiceError::BandwidthOutOfRange)?;
 
         let cap = self.res_id_cap;
-        let allocator = self
-            .allocators
-            .entry(asset.interface)
-            .or_insert_with(|| FirstFit::new(cap));
+        let allocator =
+            self.allocators.entry(asset.interface).or_insert_with(|| FirstFit::new(cap));
         let res_id = allocator
             .assign(Interval::new(asset.start_time, asset.expiry_time))
             .ok_or(ServiceError::ResIdsExhausted)?;

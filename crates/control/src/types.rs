@@ -89,7 +89,7 @@ impl BandwidthAsset {
         if self.time_granularity == 0 {
             return Err("time granularity must be positive".into());
         }
-        if self.duration() % self.time_granularity != 0 {
+        if !self.duration().is_multiple_of(self.time_granularity) {
             return Err("duration must be a multiple of the time granularity".into());
         }
         if self.min_bandwidth_kbps == 0 {
@@ -311,9 +311,7 @@ impl Listing {
 
     /// Price of a `[start, end)` window at `bw` kbps.
     pub fn price(&self, bw_kbps: u64, start: u64, end: u64) -> u64 {
-        self.price_per_kbps_sec
-            .saturating_mul(bw_kbps)
-            .saturating_mul(end.saturating_sub(start))
+        self.price_per_kbps_sec.saturating_mul(bw_kbps).saturating_mul(end.saturating_sub(start))
     }
 }
 

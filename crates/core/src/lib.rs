@@ -69,12 +69,12 @@ pub use hummingbird_wire as wire;
 
 // Most-used types at the crate root.
 pub use hummingbird_control::{
-    AsService, BandwidthAsset, Client, ControlPlane, Direction, GrantedReservation,
-    PurchaseSpec,
+    AsService, BandwidthAsset, Client, ControlPlane, Direction, GrantedReservation, PurchaseSpec,
 };
 pub use hummingbird_crypto::{AuthKey, ResInfo, SecretValue};
 pub use hummingbird_dataplane::{
-    BorderRouter, RouterConfig, SourceGenerator, SourceReservation, Verdict,
+    BorderRouter, Datapath, DatapathBuilder, DatapathStats, PacketBuf, RouterConfig,
+    SourceGenerator, SourceReservation, Verdict,
 };
 pub use hummingbird_ledger::{Address, ExecPath, Ledger, ObjectId};
 pub use hummingbird_netsim::{LinearTopology, LinkSpec, Simulator};
@@ -94,8 +94,7 @@ mod tests {
 
     #[test]
     fn full_stack_quickstart_flow() {
-        let mut tb =
-            Testbed::build(TestbedConfig { n_ases: 4, ..Default::default() }).unwrap();
+        let mut tb = Testbed::build(TestbedConfig { n_ases: 4, ..Default::default() }).unwrap();
         let t0 = tb.cfg.start_unix_s;
         tb.stock_market(100_000, t0 - 60, t0 + 3540, 60, 100).unwrap();
         let mut client = tb.new_client("alice", 1_000);

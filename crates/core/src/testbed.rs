@@ -8,8 +8,7 @@
 
 use hummingbird_control::pki::TrustAnchors;
 use hummingbird_control::{
-    AsService, BandwidthAsset, Client, ControlPlane, Direction, GrantedReservation,
-    PurchaseSpec,
+    AsService, BandwidthAsset, Client, ControlPlane, Direction, GrantedReservation, PurchaseSpec,
 };
 use hummingbird_crypto::sig::SecretKey;
 use hummingbird_dataplane::{RouterConfig, SourceGenerator, SourceReservation};
@@ -144,9 +143,7 @@ impl Testbed {
             sk[1] = i as u8;
             sk[15] = cfg.seed as u8;
             sv_keys.push(sk);
-            cert_keys.push(SecretKey::from_seed(
-                format!("as-cert-{}-{}", cfg.seed, i).as_bytes(),
-            ));
+            cert_keys.push(SecretKey::from_seed(format!("as-cert-{}-{}", cfg.seed, i).as_bytes()));
         }
 
         // PKI anchors + control plane.
@@ -159,8 +156,7 @@ impl Testbed {
         // AS services: register + become sellers.
         let mut services = Vec::with_capacity(n);
         for (i, ck) in cert_keys.into_iter().enumerate() {
-            let mut service =
-                AsService::new(Self::as_id(i), ck, sv_keys[i], cfg.res_id_cap);
+            let mut service = AsService::new(Self::as_id(i), ck, sv_keys[i], cfg.res_id_cap);
             control.faucet(service.account, 10_000);
             service.register(&mut control, &mut rng)?;
             services.push(service);
@@ -216,10 +212,8 @@ impl Testbed {
                 .issue_asset(&mut self.control, template(egress_if, Direction::Egress))?
                 .value;
             let price = self.cfg.price_per_kbps_sec;
-            let l_in =
-                self.control.create_listing(account, self.market, ing_asset, price)?.value;
-            let l_eg =
-                self.control.create_listing(account, self.market, eg_asset, price)?.value;
+            let l_in = self.control.create_listing(account, self.market, ing_asset, price)?.value;
+            let l_eg = self.control.create_listing(account, self.market, eg_asset, price)?.value;
             out.push((l_in, l_eg));
         }
         Ok(out)
@@ -273,8 +267,7 @@ impl Testbed {
             service.process_requests(&mut self.control, &mut self.rng)?;
         }
         client.collect_deliveries(&self.control)?;
-        let granted: Vec<GrantedReservation> =
-            client.reservations()[before..].to_vec();
+        let granted: Vec<GrantedReservation> = client.reservations()[before..].to_vec();
 
         // Order by hop (ingress interface order along the chain).
         let mut ordered = Vec::with_capacity(n);

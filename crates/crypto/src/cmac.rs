@@ -59,7 +59,7 @@ impl Cmac {
         let (full_blocks, last_complete) = if msg.is_empty() {
             (0, false)
         } else {
-            (n_blocks - 1, msg.len() % BLOCK_SIZE == 0)
+            (n_blocks - 1, msg.len().is_multiple_of(BLOCK_SIZE))
         };
 
         let mut x = [0u8; BLOCK_SIZE];
@@ -74,15 +74,15 @@ impl Cmac {
         let mut last = [0u8; BLOCK_SIZE];
         if last_complete {
             last.copy_from_slice(&msg[full_blocks * BLOCK_SIZE..]);
-            for j in 0..BLOCK_SIZE {
-                last[j] ^= self.k1[j];
+            for (b, k) in last.iter_mut().zip(self.k1.iter()) {
+                *b ^= k;
             }
         } else {
             let rem = &msg[full_blocks * BLOCK_SIZE..];
             last[..rem.len()].copy_from_slice(rem);
             last[rem.len()] = 0x80;
-            for j in 0..BLOCK_SIZE {
-                last[j] ^= self.k2[j];
+            for (b, k) in last.iter_mut().zip(self.k2.iter()) {
+                *b ^= k;
             }
         }
         for j in 0..BLOCK_SIZE {
@@ -106,9 +106,7 @@ mod tests {
     use super::*;
 
     fn hex(s: &str) -> Vec<u8> {
-        (0..s.len() / 2)
-            .map(|i| u8::from_str_radix(&s[2 * i..2 * i + 2], 16).unwrap())
-            .collect()
+        (0..s.len() / 2).map(|i| u8::from_str_radix(&s[2 * i..2 * i + 2], 16).unwrap()).collect()
     }
 
     fn rfc4493_key() -> [u8; 16] {
@@ -140,23 +138,19 @@ mod tests {
     #[test]
     fn rfc4493_example_3_40_bytes() {
         let cmac = Cmac::new(&rfc4493_key());
-        let msg = hex(
-            "6bc1bee22e409f96e93d7e117393172a\
+        let msg = hex("6bc1bee22e409f96e93d7e117393172a\
              ae2d8a571e03ac9c9eb76fac45af8e51\
-             30c81c46a35ce411",
-        );
+             30c81c46a35ce411");
         assert_eq!(cmac.mac(&msg).to_vec(), hex("dfa66747de9ae63030ca32611497c827"));
     }
 
     #[test]
     fn rfc4493_example_4_64_bytes() {
         let cmac = Cmac::new(&rfc4493_key());
-        let msg = hex(
-            "6bc1bee22e409f96e93d7e117393172a\
+        let msg = hex("6bc1bee22e409f96e93d7e117393172a\
              ae2d8a571e03ac9c9eb76fac45af8e51\
              30c81c46a35ce411e5fbc1191a0a52ef\
-             f69f2445df4f9b17ad2b417be66c3710",
-        );
+             f69f2445df4f9b17ad2b417be66c3710");
         assert_eq!(cmac.mac(&msg).to_vec(), hex("51f0bebf7e3b9d92fc49741779363cfe"));
     }
 

@@ -19,7 +19,6 @@
 
 use crate::aes::Aes128;
 
-
 /// Tag length ℓ_tag in bytes (§5.4: 6 bytes ⇒ ~2^47 online brute-force work).
 pub const TAG_LEN: usize = 6;
 
@@ -246,7 +245,7 @@ mod tests {
             ingress: 0x0102,
             egress: 0x0304,
             res_id: 0x3F_FFFF, // max 22-bit
-            bw_encoded: 0x3FF,  // max 10-bit
+            bw_encoded: 0x3FF, // max 10-bit
             res_start: 0xAABBCCDD,
             duration: 0x1122,
         };

@@ -98,10 +98,8 @@ pub fn seal<R: Rng + ?Sized>(recipient: &PublicKey, plaintext: &[u8], rng: &mut 
 pub fn open(recipient: &SecretKey, boxed: &SealedBox) -> Result<Vec<u8>, SealError> {
     let shared = recipient.dh(&boxed.ephemeral);
     let (enc_key, mac_key) = derive_keys(&shared, &boxed.ephemeral);
-    let full_tag = hmac_sha256(
-        &mac_key,
-        &mac_input(&boxed.ephemeral, &boxed.nonce, &boxed.ciphertext),
-    );
+    let full_tag =
+        hmac_sha256(&mac_key, &mac_input(&boxed.ephemeral, &boxed.nonce, &boxed.ciphertext));
     if !ct_eq(&full_tag[..16], &boxed.tag) {
         return Err(SealError::TagMismatch);
     }

@@ -9,8 +9,10 @@
 //! the *aggregate* stays within the reservation, and packet stamping on
 //! behalf of hosts.
 
+use crate::datapath::{Datapath, DatapathStats, DropReason, Verdict};
 use crate::policing::{transmission_time_ns, DEFAULT_BURST_TIME_NS};
 use crate::source::{GenError, SourceGenerator};
+use hummingbird_wire::common::{AddressHeader, CommonHeader, COMMON_HDR_LEN};
 use std::collections::HashMap;
 
 /// Identifier of an internal host behind the gateway.
@@ -48,6 +50,7 @@ pub struct Gateway {
     burst_ns: u64,
     aggregate_deadline: u64,
     hosts: HashMap<HostId, HostState>,
+    stats: DatapathStats,
 }
 
 struct HostState {
@@ -83,6 +86,7 @@ impl Gateway {
             burst_ns: DEFAULT_BURST_TIME_NS,
             aggregate_deadline: 0,
             hosts: HashMap::new(),
+            stats: DatapathStats::default(),
         }
     }
 
@@ -101,17 +105,17 @@ impl Gateway {
         self.hosts.len()
     }
 
-    /// Processes one packet from `host` at `now_ns`, stamping it onto the
-    /// reservation if both the host's share and the aggregate allow it.
-    pub fn send(&mut self, host: HostId, payload: &[u8], now_ns: u64) -> GatewayVerdict {
-        let now_ms = now_ns / 1_000_000;
-        let wire_estimate = (payload.len() + 200).min(u16::MAX as usize) as u16;
-
+    /// The admission decision shared by [`Gateway::send`] and the
+    /// [`Datapath`] impl: both the host's share and the aggregate token
+    /// bucket must admit `wire_len` bytes at `now_ns` (Algorithm 1 run
+    /// twice, host first so an over-share host cannot drain the
+    /// aggregate).
+    pub fn admit(&mut self, host: HostId, wire_len: u16, now_ns: u64) -> bool {
         let eligible = match self.hosts.get_mut(&host) {
             None => false,
             Some(state) => {
                 let ts = state.deadline.max(now_ns)
-                    + transmission_time_ns(wire_estimate, state.share.rate_kbps);
+                    + transmission_time_ns(wire_len, state.share.rate_kbps);
                 if ts <= now_ns + self.burst_ns {
                     state.deadline = ts;
                     true
@@ -120,18 +124,25 @@ impl Gateway {
                 }
             }
         };
-        let aggregate_ok = if eligible {
-            let ts = self.aggregate_deadline.max(now_ns)
-                + transmission_time_ns(wire_estimate, self.aggregate_rate_kbps);
-            if ts <= now_ns + self.burst_ns {
-                self.aggregate_deadline = ts;
-                true
-            } else {
-                false
-            }
+        if !eligible {
+            return false;
+        }
+        let ts = self.aggregate_deadline.max(now_ns)
+            + transmission_time_ns(wire_len, self.aggregate_rate_kbps);
+        if ts <= now_ns + self.burst_ns {
+            self.aggregate_deadline = ts;
+            true
         } else {
             false
-        };
+        }
+    }
+
+    /// Processes one packet from `host` at `now_ns`, stamping it onto the
+    /// reservation if both the host's share and the aggregate allow it.
+    pub fn send(&mut self, host: HostId, payload: &[u8], now_ns: u64) -> GatewayVerdict {
+        let now_ms = now_ns / 1_000_000;
+        let wire_estimate = (payload.len() + 200).min(u16::MAX as usize) as u16;
+        let aggregate_ok = self.admit(host, wire_estimate, now_ns);
 
         if aggregate_ok {
             match self.reserved.generate(payload, now_ms) {
@@ -144,6 +155,56 @@ impl Gateway {
                 Err(e) => GatewayVerdict::Failed(e),
             }
         }
+    }
+}
+
+/// The gateway as a [`Datapath`] engine: it processes *already serialized*
+/// packets arriving from internal hosts on their way onto the reserved
+/// uplink. The host is identified by the packet's source host address
+/// (`AddressHeader::src_host`, big-endian `u32` = [`HostId`]); the verdict
+/// classifies the packet onto the reservation ([`Verdict::Flyover`]) or
+/// demotes it locally ([`Verdict::BestEffort`]) — in both cases through
+/// egress interface 0, the gateway's single WAN uplink.
+///
+/// Unlike [`Gateway::send`] this path does not stamp flyover MACs (the
+/// bytes pass through unmodified); it is the admission half of the
+/// gateway, exposed uniformly so harnesses can sweep it alongside the
+/// router engines.
+impl Datapath for Gateway {
+    fn process(&mut self, pkt: &mut [u8], now_ns: u64) -> Verdict {
+        let verdict = (|| {
+            if CommonHeader::parse(pkt).is_err() {
+                return Verdict::Drop(DropReason::Malformed);
+            }
+            let Ok(addr) = AddressHeader::parse(&pkt[COMMON_HDR_LEN..]) else {
+                return Verdict::Drop(DropReason::Malformed);
+            };
+            let host = HostId::from_be_bytes(addr.src_host);
+            let known = self.hosts.contains_key(&host);
+            let wire_len = pkt.len().min(usize::from(u16::MAX)) as u16;
+            if known && self.admit(host, wire_len, now_ns) {
+                Verdict::Flyover { egress: 0 }
+            } else {
+                if known {
+                    self.stats.demoted_overuse += 1;
+                }
+                Verdict::BestEffort { egress: 0 }
+            }
+        })();
+        self.stats.record(verdict);
+        verdict
+    }
+
+    fn engine_name(&self) -> &'static str {
+        "gateway"
+    }
+
+    fn stats(&self) -> DatapathStats {
+        self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats = DatapathStats::default();
     }
 }
 
@@ -160,11 +221,8 @@ mod tests {
     const NOW_NS: u64 = NOW_MS * 1_000_000;
 
     fn make_gateway(aggregate_kbps: u64) -> Gateway {
-        let hops = vec![BeaconHop {
-            key: HopMacKey::new([1u8; 16]),
-            cons_ingress: 0,
-            cons_egress: 0,
-        }];
+        let hops =
+            vec![BeaconHop { key: HopMacKey::new([1u8; 16]), cons_ingress: 0, cons_egress: 0 }];
         let path = forge_path(&hops, (NOW_MS / 1000) as u32 - 10, 1);
         let src = IsdAs::new(1, 1);
         let dst = IsdAs::new(2, 2);

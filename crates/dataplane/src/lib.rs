@@ -13,13 +13,18 @@
 //!   computes flyover MACs for every reserved hop.
 //! * [`beacon`] — forges valid SCION paths (the beaconing substitute).
 //! * [`dup`] — optional duplicate suppression (§5.4 ablation).
-//! * [`multicore`] — crossbeam-based throughput harness for the Fig. 5/14
-//!   scaling experiments.
+//! * [`multicore`] — `std::thread`-based throughput harness for the
+//!   Fig. 5/14 scaling experiments, generic over any [`Datapath`] engine.
+//! * [`datapath`] — the unified batch-oriented [`Datapath`] trait that
+//!   every packet-processing engine (router, gateway, baselines)
+//!   implements, plus the shared [`Verdict`]/[`DropReason`]/
+//!   [`DatapathStats`] vocabulary and the [`DatapathBuilder`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod beacon;
+pub mod datapath;
 pub mod dup;
 pub mod gateway;
 pub mod multicore;
@@ -28,10 +33,13 @@ pub mod router;
 pub mod source;
 
 pub use beacon::{forge_path, BeaconHop};
+pub use datapath::{Datapath, DatapathBuilder, DatapathStats, DropReason, PacketBuf, Verdict};
 pub use gateway::{Gateway, GatewayStats, GatewayVerdict, HostShare};
-pub use multicore::{forwarding_throughput, generation_throughput, Throughput, LINE_RATE_GBPS};
+pub use multicore::{
+    forwarding_throughput, generation_throughput, Throughput, BATCH_SIZE, LINE_RATE_GBPS,
+};
 pub use policing::{FwdClass, Policer, DEFAULT_BURST_TIME_NS};
-pub use router::{BorderRouter, DropReason, RouterConfig, RouterStats, Verdict};
+pub use router::{BorderRouter, RouterConfig, RouterStats};
 pub use source::{GenError, SourceGenerator, SourceReservation};
 
 #[cfg(test)]
@@ -66,11 +74,9 @@ mod tests {
             })
             .collect();
         let path = forge_path(&hops, (NOW_MS / 1000) as u32 - 100, 0x1234);
-        let generator =
-            SourceGenerator::new(IsdAs::new(1, 0x10), IsdAs::new(2, 0x20), path);
-        let routers: Vec<BorderRouter> = (0..n)
-            .map(|i| BorderRouter::new(svs[i].clone(), hop_keys[i].clone(), cfg))
-            .collect();
+        let generator = SourceGenerator::new(IsdAs::new(1, 0x10), IsdAs::new(2, 0x20), path);
+        let routers: Vec<BorderRouter> =
+            (0..n).map(|i| BorderRouter::new(svs[i].clone(), hop_keys[i].clone(), cfg)).collect();
         TestNet { generator, routers, svs }
     }
 
@@ -98,9 +104,7 @@ mod tests {
                 duration: 600,
             };
             let key = net.svs[i].derive_key(&res_info);
-            net.generator
-                .attach_reservation(i, SourceReservation { res_info, key })
-                .unwrap();
+            net.generator.attach_reservation(i, SourceReservation { res_info, key }).unwrap();
         }
     }
 
@@ -130,15 +134,10 @@ mod tests {
             duration: 600,
         };
         let key = net.svs[1].derive_key(&res_info);
-        net.generator
-            .attach_reservation(1, SourceReservation { res_info, key })
-            .unwrap();
+        net.generator.attach_reservation(1, SourceReservation { res_info, key }).unwrap();
         let mut pkt = net.generator.generate(&[1u8; 200], NOW_MS).unwrap();
-        let verdicts: Vec<Verdict> = net
-            .routers
-            .iter_mut()
-            .map(|r| r.process(&mut pkt, NOW_NS))
-            .collect();
+        let verdicts: Vec<Verdict> =
+            net.routers.iter_mut().map(|r| r.process(&mut pkt, NOW_NS)).collect();
         assert!(matches!(verdicts[0], Verdict::BestEffort { .. }));
         assert!(verdicts[1].is_flyover());
         assert!(matches!(verdicts[2], Verdict::BestEffort { .. }));
@@ -171,9 +170,7 @@ mod tests {
         };
         let wrong_sv = SecretValue::new([0xAA; 16]);
         let key = wrong_sv.derive_key(&res_info);
-        net.generator
-            .attach_reservation(0, SourceReservation { res_info, key })
-            .unwrap();
+        net.generator.attach_reservation(0, SourceReservation { res_info, key }).unwrap();
         let mut pkt = net.generator.generate(&[0u8; 64], NOW_MS).unwrap();
         let verdict = net.routers[0].process(&mut pkt, NOW_NS);
         assert_eq!(verdict, Verdict::Drop(DropReason::BadMac));

@@ -2,15 +2,31 @@
 //!
 //! The paper drives its DPDK implementation with a Spirent traffic
 //! generator over 4×40 Gbps links. Here each core runs an independent
-//! router (or source generator) over an in-memory packet batch — the same
-//! per-packet work, scaled across threads with `crossbeam`.
+//! engine (or source generator) over an in-memory packet batch — the same
+//! per-packet work, scaled across threads with `std::thread::scope`.
+//!
+//! # Migration note
+//!
+//! [`forwarding_throughput`] used to be hard-wired to `BorderRouter`; it
+//! is now generic over any [`Datapath`] engine and drives the engine's
+//! batch path ([`Datapath::process_batch`]), so every figure binary can
+//! sweep engines with a `--engine` flag. `HotLoopPacket` moved to the
+//! shared API as [`crate::PacketBuf`] (a deprecated alias remains).
 
-use crate::router::BorderRouter;
+use crate::datapath::{Datapath, PacketBuf, Verdict};
 use crate::source::SourceGenerator;
 use std::time::Instant;
 
+/// Former name of [`PacketBuf`].
+#[deprecated(note = "renamed to hummingbird_dataplane::PacketBuf")]
+pub type HotLoopPacket = PacketBuf;
+
 /// The line rate of the paper's testbed: four 40 Gbps links.
 pub const LINE_RATE_GBPS: f64 = 160.0;
+
+/// Packets per [`Datapath::process_batch`] burst in the hot loop (a
+/// DPDK-ish burst size).
+pub const BATCH_SIZE: usize = 32;
 
 /// A throughput measurement.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -45,75 +61,47 @@ impl Throughput {
     }
 }
 
-/// A packet buffer that can be cheaply reset after the router mutates it
-/// in place (SegID, CurrHF, MAC replacement), so the hot loop measures
-/// router work rather than packet construction.
-pub struct HotLoopPacket {
-    bytes: Vec<u8>,
-    header_copy: Vec<u8>,
-    header_len: usize,
-}
-
-impl HotLoopPacket {
-    /// Wraps serialized packet bytes; `header_len` bytes are snapshotted.
-    pub fn new(bytes: Vec<u8>) -> Self {
-        // hdr_len is at byte 5, in 4-byte units.
-        let header_len = (4 * usize::from(bytes[5])).min(bytes.len());
-        let header_copy = bytes[..header_len].to_vec();
-        HotLoopPacket { bytes, header_copy, header_len }
-    }
-
-    /// Mutable view of the packet bytes.
-    pub fn bytes_mut(&mut self) -> &mut [u8] {
-        &mut self.bytes
-    }
-
-    /// Restores the pristine header.
-    #[inline]
-    pub fn reset(&mut self) {
-        self.bytes[..self.header_len].copy_from_slice(&self.header_copy);
-    }
-
-    /// Wire length in bytes.
-    pub fn wire_len(&self) -> usize {
-        self.bytes.len()
-    }
-}
-
-/// Measures border-router forwarding throughput: `cores` threads each
-/// process `pkts_per_core` copies of `packet` through their own router.
-pub fn forwarding_throughput<F>(
-    make_router: F,
+/// Measures forwarding throughput of any [`Datapath`] engine: `cores`
+/// threads each drive `pkts_per_core` copies of `packet` through their own
+/// engine instance in [`BATCH_SIZE`]-packet bursts via the batch path.
+pub fn forwarding_throughput<D, F>(
+    make_engine: F,
     packet: &[u8],
     cores: usize,
     pkts_per_core: u64,
     now_ns: u64,
 ) -> Throughput
 where
-    F: Fn() -> BorderRouter + Sync,
+    D: Datapath,
+    F: Fn() -> D + Sync,
 {
-    let seconds = crossbeam::thread::scope(|s| {
+    let seconds = std::thread::scope(|s| {
         let mut handles = Vec::with_capacity(cores);
         for _ in 0..cores {
-            let make_router = &make_router;
-            handles.push(s.spawn(move |_| {
-                let mut router = make_router();
-                let mut pkt = HotLoopPacket::new(packet.to_vec());
+            let make_engine = &make_engine;
+            handles.push(s.spawn(move || {
+                let mut engine = make_engine();
+                let batch_len = BATCH_SIZE.min(pkts_per_core.max(1) as usize);
+                let mut batch: Vec<PacketBuf> =
+                    (0..batch_len).map(|_| PacketBuf::new(packet.to_vec())).collect();
+                let mut verdicts: Vec<Verdict> = Vec::with_capacity(batch_len);
+                let mut remaining = pkts_per_core;
                 let start = Instant::now();
-                for _ in 0..pkts_per_core {
-                    let verdict = router.process(pkt.bytes_mut(), now_ns);
-                    debug_assert!(verdict.egress().is_some(), "{verdict:?}");
-                    pkt.reset();
+                while remaining > 0 {
+                    let n = (remaining as usize).min(batch_len);
+                    verdicts.clear();
+                    engine.process_batch(&mut batch[..n], now_ns, &mut verdicts);
+                    debug_assert!(verdicts.iter().all(|v| v.egress().is_some()), "{verdicts:?}");
+                    for pkt in &mut batch[..n] {
+                        pkt.reset();
+                    }
+                    remaining -= n as u64;
                 }
                 start.elapsed().as_secs_f64()
             }));
         }
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("worker panicked"))
-            .fold(0.0f64, f64::max)
-    })
-    .expect("scope");
+        handles.into_iter().map(|h| h.join().expect("worker panicked")).fold(0.0f64, f64::max)
+    });
     let packets = pkts_per_core * cores as u64;
     Throughput { packets, bits: packets * packet.len() as u64 * 8, seconds }
 }
@@ -132,13 +120,13 @@ where
 {
     let payload = vec![0u8; payload_len];
     let bits = std::sync::atomic::AtomicU64::new(0);
-    let seconds = crossbeam::thread::scope(|s| {
+    let seconds = std::thread::scope(|s| {
         let mut handles = Vec::with_capacity(cores);
         for _ in 0..cores {
             let make_generator = &make_generator;
             let payload = &payload;
             let bits = &bits;
-            handles.push(s.spawn(move |_| {
+            handles.push(s.spawn(move || {
                 let mut generator = make_generator();
                 let mut local_bits = 0u64;
                 let start = Instant::now();
@@ -146,9 +134,7 @@ where
                     // Advance the millisecond clock slowly so the per-ms
                     // counter provides uniqueness.
                     let now_ms = start_ms + i / 1000;
-                    let pkt = generator
-                        .generate(payload, now_ms)
-                        .expect("generation failed");
+                    let pkt = generator.generate(payload, now_ms).expect("generation failed");
                     local_bits += pkt.len() as u64 * 8;
                     std::hint::black_box(&pkt);
                 }
@@ -156,17 +142,9 @@ where
                 start.elapsed().as_secs_f64()
             }));
         }
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("worker panicked"))
-            .fold(0.0f64, f64::max)
-    })
-    .expect("scope");
-    Throughput {
-        packets: pkts_per_core * cores as u64,
-        bits: bits.into_inner(),
-        seconds,
-    }
+        handles.into_iter().map(|h| h.join().expect("worker panicked")).fold(0.0f64, f64::max)
+    });
+    Throughput { packets: pkts_per_core * cores as u64, bits: bits.into_inner(), seconds }
 }
 
 #[cfg(test)]

@@ -1,70 +1,33 @@
 //! The border-router packet pipeline (paper §4.3, Fig. 13, Algorithms 2-4).
 //!
-//! `process` operates in place on raw packet bytes, exactly like the DPDK
+//! Processing operates in place on raw packet bytes, exactly like the DPDK
 //! implementation the paper evaluates: parse the fixed headers, locate the
 //! current hop field, recompute MACs, police, and mutate the header
 //! (SegID chaining, CurrHF advance, AggMAC → HopFieldMAC replacement)
 //! before forwarding. No allocation on the hot path.
+//!
+//! # Migration note
+//!
+//! The `Verdict`/`DropReason`/stats vocabulary moved to
+//! [`crate::datapath`] (re-exported here for compatibility), and
+//! `BorderRouter::process` is no longer an inherent method: the router is
+//! driven through the [`Datapath`] trait
+//! (`use hummingbird_dataplane::Datapath;`). The monolithic
+//! `process_inner` was decomposed into the explicit, individually
+//! testable [`stages`] the [`crate::DatapathBuilder`] documents; baseline
+//! engines reuse the same stages with their own key-derivation rules.
 
+use crate::datapath::{Datapath, DatapathBuilder, DatapathStats};
 use crate::dup::DuplicateSuppressor;
-use crate::policing::{FwdClass, Policer, DEFAULT_BURST_TIME_NS};
-use hummingbird_crypto::{aggregate_mac, FlyoverMacInput, ResInfo, SecretValue};
-use hummingbird_wire::common::{AddressHeader, CommonHeader, ADDR_HDR_LEN, COMMON_HDR_LEN};
-use hummingbird_wire::hopfield::{
-    peek_flyover_bit, FlyoverHopField, HopField, InfoField, FLYOVER_FIELD_LEN, HOP_FIELD_LEN,
-    INFO_FIELD_LEN,
-};
-use hummingbird_wire::meta::{PathMetaHdr, FLYOVER_UNITS, HF_UNITS, META_HDR_LEN};
-use hummingbird_wire::scion_mac::{update_seg_id, HopMacInput, HopMacKey};
+use crate::policing::{Policer, DEFAULT_BURST_TIME_NS};
+use hummingbird_crypto::SecretValue;
+use hummingbird_wire::scion_mac::HopMacKey;
 
-/// Why a packet was dropped.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum DropReason {
-    /// Header shorter than declared or structurally broken.
-    Malformed,
-    /// The current hop field has expired (Algorithm 4 line 2).
-    ExpiredHopField,
-    /// Hop-field MAC (or aggregate MAC) verification failed.
-    BadMac,
-    /// `PayloadLen + 4·HdrLen` overflowed (Eq. 7d).
-    PktLenOverflow,
-    /// Duplicate packet (only with duplicate suppression enabled).
-    Duplicate,
-    /// The path has already been fully traversed.
-    PathConsumed,
-}
+pub use crate::datapath::{DropReason, Verdict};
 
-/// The router's forwarding decision.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum Verdict {
-    /// Drop the packet.
-    Drop(DropReason),
-    /// Forward with reservation priority through `egress`.
-    Flyover {
-        /// Egress interface.
-        egress: u16,
-    },
-    /// Forward best-effort through `egress`.
-    BestEffort {
-        /// Egress interface.
-        egress: u16,
-    },
-}
-
-impl Verdict {
-    /// The egress interface, if the packet is forwarded.
-    pub fn egress(&self) -> Option<u16> {
-        match self {
-            Verdict::Flyover { egress } | Verdict::BestEffort { egress } => Some(*egress),
-            Verdict::Drop(_) => None,
-        }
-    }
-
-    /// Whether the packet is forwarded with priority.
-    pub fn is_flyover(&self) -> bool {
-        matches!(self, Verdict::Flyover { .. })
-    }
-}
+/// Former name of [`DatapathStats`], kept for compatibility with
+/// pre-`Datapath` call sites.
+pub type RouterStats = DatapathStats;
 
 /// Router configuration.
 #[derive(Clone, Copy, Debug)]
@@ -93,266 +56,478 @@ impl Default for RouterConfig {
     }
 }
 
-/// Per-router counters.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub struct RouterStats {
-    /// Packets processed.
-    pub processed: u64,
-    /// Packets forwarded with priority.
-    pub flyover: u64,
-    /// Packets forwarded best-effort.
-    pub best_effort: u64,
-    /// Packets dropped.
-    pub dropped: u64,
-    /// Flyover packets demoted by the policer (overuse).
-    pub demoted_overuse: u64,
-    /// Flyover packets demoted for staleness / inactive reservation.
-    pub demoted_untimely: u64,
+pub mod stages {
+    //! The border-router pipeline as explicit, individually testable
+    //! stages — the decomposition [`crate::DatapathBuilder`] composes:
+    //!
+    //! 1. [`parse`] — structural validation, header extraction, hop-field
+    //!    location (Algorithm 2 prologue);
+    //! 2. [`flyover_inputs`] + [`candidate_hop_mac`] — flyover MAC
+    //!    re-derivation (Algorithm 3); the authentication key is a
+    //!    parameter, so baseline engines (Helia/DRKey) reuse the stage
+    //!    with their own key hierarchies;
+    //! 3. [`freshness`] — the `now − absTS ∈ [−δ, Δ+δ]` and
+    //!    reservation-activity checks (Algorithm 3 lines 12-17);
+    //! 4. [`verify_hop_mac`] — hop-field expiry and SCION MAC
+    //!    verification (Algorithm 4);
+    //! 5. [`duplicate_check`] — the optional §5.4 stage;
+    //! 6. [`advance`] — in-place header mutation: SegID chaining, AggMAC
+    //!    replacement, CurrHF/CurrINF advance (App. A.7);
+    //! 7. policing via [`crate::policing::Policer::check`] (Algorithm 1).
+
+    use super::{DropReason, RouterConfig};
+    use crate::dup::DuplicateSuppressor;
+    use hummingbird_crypto::{aggregate_mac, AuthKey, FlyoverMacInput, ResInfo, Tag};
+    use hummingbird_wire::common::{AddressHeader, CommonHeader, ADDR_HDR_LEN, COMMON_HDR_LEN};
+    use hummingbird_wire::hopfield::{
+        peek_flyover_bit, FlyoverHopField, HopField, InfoField, FLYOVER_FIELD_LEN, HOP_FIELD_LEN,
+        INFO_FIELD_LEN,
+    };
+    use hummingbird_wire::meta::{PathMetaHdr, FLYOVER_UNITS, HF_UNITS, META_HDR_LEN};
+    use hummingbird_wire::scion_mac::{update_seg_id, HopMacInput, HopMacKey};
+
+    /// The current hop field, either kind.
+    #[derive(Clone, Copy, Debug)]
+    pub enum HopKind {
+        /// A plain SCION hop field.
+        Plain(HopField),
+        /// A Hummingbird flyover hop field.
+        Flyover(FlyoverHopField),
+    }
+
+    impl HopKind {
+        /// Expiry byte of either kind.
+        pub fn exp_time(&self) -> u8 {
+            match self {
+                HopKind::Plain(h) => h.exp_time,
+                HopKind::Flyover(f) => f.exp_time,
+            }
+        }
+
+        /// Construction-direction ingress interface.
+        pub fn cons_ingress(&self) -> u16 {
+            match self {
+                HopKind::Plain(h) => h.cons_ingress,
+                HopKind::Flyover(f) => f.cons_ingress,
+            }
+        }
+
+        /// Construction-direction egress interface.
+        pub fn cons_egress(&self) -> u16 {
+            match self {
+                HopKind::Plain(h) => h.cons_egress,
+                HopKind::Flyover(f) => f.cons_egress,
+            }
+        }
+    }
+
+    /// Everything stage 1 learns about a packet.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Parsed {
+        /// Common header.
+        pub common: CommonHeader,
+        /// Address header.
+        pub addr: AddressHeader,
+        /// Path meta header.
+        pub meta: PathMetaHdr,
+        /// Info field governing the current hop.
+        pub info: InfoField,
+        /// Byte offset of that info field.
+        pub info_off: usize,
+        /// Byte offset of the current hop field.
+        pub hop_off: usize,
+        /// The current hop field.
+        pub hop: HopKind,
+    }
+
+    impl Parsed {
+        /// Whether the current hop field is a flyover.
+        pub fn is_flyover(&self) -> bool {
+            matches!(self.hop, HopKind::Flyover(_))
+        }
+    }
+
+    /// Stage 1: structural validation and header extraction.
+    pub fn parse(pkt: &[u8]) -> Result<Parsed, DropReason> {
+        let Ok(common) = CommonHeader::parse(pkt) else {
+            return Err(DropReason::Malformed);
+        };
+        let Ok(addr) = AddressHeader::parse(&pkt[COMMON_HDR_LEN..]) else {
+            return Err(DropReason::Malformed);
+        };
+        let path_start = COMMON_HDR_LEN + ADDR_HDR_LEN;
+        let Ok(meta) = PathMetaHdr::parse(&pkt[path_start..]) else {
+            return Err(DropReason::Malformed);
+        };
+        let hdr_len_bytes = 4 * usize::from(common.hdr_len);
+        if pkt.len() < hdr_len_bytes {
+            return Err(DropReason::Malformed);
+        }
+        if u16::from(meta.curr_hf) >= meta.total_hf_units() {
+            return Err(DropReason::PathConsumed);
+        }
+        let Ok((seg_idx, _)) = meta.segment_of_curr_hf() else {
+            return Err(DropReason::Malformed);
+        };
+        let info_off = path_start + META_HDR_LEN + INFO_FIELD_LEN * seg_idx;
+        // The declared segment layout may lie about the buffer length —
+        // index with a checked slice (found by the router fuzz tests).
+        let Some(info_bytes) = pkt.get(info_off..) else {
+            return Err(DropReason::Malformed);
+        };
+        let Ok(info) = InfoField::parse(info_bytes) else {
+            return Err(DropReason::Malformed);
+        };
+        let hop_off = path_start
+            + META_HDR_LEN
+            + INFO_FIELD_LEN * meta.num_inf()
+            + 4 * usize::from(meta.curr_hf);
+        if pkt.len() < hop_off + HOP_FIELD_LEN {
+            return Err(DropReason::Malformed);
+        }
+        let Ok(is_flyover) = peek_flyover_bit(&pkt[hop_off..]) else {
+            return Err(DropReason::Malformed);
+        };
+        let hop = if is_flyover {
+            if pkt.len() < hop_off + FLYOVER_FIELD_LEN {
+                return Err(DropReason::Malformed);
+            }
+            let Ok(fly) = FlyoverHopField::parse(&pkt[hop_off..]) else {
+                return Err(DropReason::Malformed);
+            };
+            HopKind::Flyover(fly)
+        } else {
+            let Ok(hf) = HopField::parse(&pkt[hop_off..]) else {
+                return Err(DropReason::Malformed);
+            };
+            HopKind::Plain(hf)
+        };
+        Ok(Parsed { common, addr, meta, info, info_off, hop_off, hop })
+    }
+
+    /// The key-independent inputs of the flyover MAC (stage 2).
+    #[derive(Clone, Copy, Debug)]
+    pub struct FlyoverInputs {
+        /// Reconstructed reservation parameters (Algorithm 3 line 2).
+        pub res_info: ResInfo,
+        /// The per-packet MAC input (Eq. 3 / 7a-7d).
+        pub mac_input: FlyoverMacInput,
+        /// Authenticated packet length.
+        pub pkt_len: u16,
+        /// The packet's aggregate MAC field.
+        pub agg_mac: Tag,
+    }
+
+    /// Stage 2a: reconstructs the reservation and MAC inputs of a flyover
+    /// hop field. Key derivation is left to the caller — Hummingbird
+    /// derives `A_i = PRF_SV(ResInfo)`, the baseline engines substitute
+    /// their own hierarchies over the same inputs.
+    pub fn flyover_inputs(parsed: &Parsed) -> Result<FlyoverInputs, DropReason> {
+        let HopKind::Flyover(fly) = parsed.hop else {
+            return Err(DropReason::Malformed);
+        };
+        // ResStart ← BaseTimestamp − ResStartOffset (Algo 3 line 2).
+        let res_start = parsed.meta.base_ts.wrapping_sub(u32::from(fly.res_start_offset));
+        let res_info = ResInfo {
+            ingress: fly.cons_ingress,
+            egress: fly.cons_egress,
+            res_id: fly.res_id,
+            bw_encoded: fly.bw,
+            res_start,
+            duration: fly.res_duration,
+        };
+        // PktLen with overflow check (Eq. 7d).
+        let Ok(pkt_len) = parsed.common.pkt_len() else {
+            return Err(DropReason::PktLenOverflow);
+        };
+        let mac_input = FlyoverMacInput {
+            dst_isd: parsed.addr.dst.isd,
+            dst_as: parsed.addr.dst.asn,
+            pkt_len,
+            res_start_offset: fly.res_start_offset,
+            millis_ts: parsed.meta.millis_ts,
+            counter: parsed.meta.counter,
+        };
+        Ok(FlyoverInputs { res_info, mac_input, pkt_len, agg_mac: fly.agg_mac })
+    }
+
+    /// Stage 2b: the candidate hop-field MAC of a flyover packet
+    /// (Algorithm 3 line 11): `AggMAC ⊕ MAC_{A_i}(...)`.
+    pub fn candidate_hop_mac(auth_key: &AuthKey, inputs: &FlyoverInputs) -> Tag {
+        let flyover_mac = auth_key.flyover_mac(&inputs.mac_input);
+        aggregate_mac(&flyover_mac, &inputs.agg_mac)
+    }
+
+    /// Stage 3: freshness and reservation-activity (Algorithm 3 lines
+    /// 12-17): the packet is eligible for priority iff
+    /// `now − absTS ∈ [−δ, Δ+δ]` and the reservation is active (no skew on
+    /// activity, App. A.7).
+    pub fn freshness(cfg: &RouterConfig, parsed: &Parsed, res_info: &ResInfo, now_ms: u64) -> bool {
+        let abs_ts_ms = parsed.meta.abs_ts_millis();
+        let delta = cfg.max_packet_age_ms;
+        let skew = cfg.max_clock_skew_ms;
+        let timely = now_ms + skew >= abs_ts_ms && abs_ts_ms + delta + skew >= now_ms;
+        let active = res_info.is_active_at((now_ms / 1000) as u32);
+        timely && active
+    }
+
+    /// Stage 4: hop-field expiry and SCION MAC verification (Algorithm 4).
+    /// On success returns the recomputed hop-field MAC (needed by
+    /// [`advance`] for SegID chaining and AggMAC replacement).
+    pub fn verify_hop_mac(
+        hop_key: &HopMacKey,
+        parsed: &Parsed,
+        candidate_mac: &Tag,
+        now_s: u64,
+    ) -> Result<Tag, DropReason> {
+        let expiry = crate::beacon::hop_field_expiry(parsed.info.timestamp, parsed.hop.exp_time());
+        if now_s >= expiry {
+            return Err(DropReason::ExpiredHopField);
+        }
+        let computed = hop_key.hop_mac(&HopMacInput {
+            seg_id: parsed.info.seg_id,
+            timestamp: parsed.info.timestamp,
+            exp_time: parsed.hop.exp_time(),
+            cons_ingress: parsed.hop.cons_ingress(),
+            cons_egress: parsed.hop.cons_egress(),
+        });
+        if computed != *candidate_mac {
+            return Err(DropReason::BadMac);
+        }
+        Ok(computed)
+    }
+
+    /// Stage 5 (optional, §5.4): duplicate suppression. Runs *after*
+    /// authentication so attackers cannot poison the filter with
+    /// unauthenticated junk.
+    pub fn duplicate_check(
+        dup: &mut DuplicateSuppressor,
+        parsed: &Parsed,
+        now_ns: u64,
+    ) -> Result<(), DropReason> {
+        let id =
+            (parsed.meta.base_ts, parsed.meta.millis_ts, parsed.meta.counter, parsed.addr.src.asn);
+        if dup.check_and_insert(id, now_ns) {
+            return Err(DropReason::Duplicate);
+        }
+        Ok(())
+    }
+
+    /// Stage 6: in-place header mutation — SegID chaining, AggMAC →
+    /// HopFieldMAC replacement for path reversal (App. A.7), and
+    /// CurrHF/CurrINF advance.
+    ///
+    /// Checked like [`parse`]: a buffer shorter than the offsets recorded
+    /// in `parsed` (possible only if the two come from different buffers)
+    /// is `Malformed`, never a panic.
+    pub fn advance(pkt: &mut [u8], parsed: &Parsed, computed: &Tag) -> Result<(), DropReason> {
+        let new_seg_id = update_seg_id(parsed.info.seg_id, computed);
+        pkt.get_mut(parsed.info_off + 2..parsed.info_off + 4)
+            .ok_or(DropReason::Malformed)?
+            .copy_from_slice(&new_seg_id.to_be_bytes());
+        if parsed.is_flyover() {
+            pkt.get_mut(parsed.hop_off + 6..parsed.hop_off + 12)
+                .ok_or(DropReason::Malformed)?
+                .copy_from_slice(computed);
+        }
+        let hop_units = if parsed.is_flyover() { FLYOVER_UNITS } else { HF_UNITS };
+        let mut new_meta = parsed.meta;
+        new_meta.curr_hf = parsed.meta.curr_hf + hop_units;
+        if u16::from(new_meta.curr_hf) < new_meta.total_hf_units() {
+            if let Ok((seg, _)) = new_meta.segment_of_curr_hf() {
+                new_meta.curr_inf = seg as u8;
+            }
+        }
+        let path_start = COMMON_HDR_LEN + ADDR_HDR_LEN;
+        let meta_buf = pkt.get_mut(path_start..).ok_or(DropReason::Malformed)?;
+        if new_meta.emit(meta_buf).is_err() {
+            return Err(DropReason::Malformed);
+        }
+        Ok(())
+    }
+
+    /// Outcome of [`run_pipeline`]: the verdict plus which demotion (if
+    /// any) produced it, so each engine keeps its own counters.
+    #[derive(Clone, Copy, Debug)]
+    pub struct PipelineOutcome {
+        /// The forwarding decision.
+        pub verdict: super::Verdict,
+        /// A policing demotion (Algorithm 1) produced the verdict.
+        pub demoted_overuse: bool,
+        /// A freshness/eligibility demotion produced the verdict.
+        pub demoted_untimely: bool,
+    }
+
+    /// The full stage driver shared by every engine built on this
+    /// pipeline (`BorderRouter` and the Helia/DRKey baselines): stages
+    /// 1-7 in order, with the two engine-specific points — authentication
+    /// key derivation and priority eligibility — as closures.
+    ///
+    /// `derive_key` maps a flyover hop to its authenticator (`A_i =
+    /// PRF_SV(ResInfo)` for Hummingbird, DRKey hierarchies for the
+    /// baselines); `eligible` decides priority-class eligibility (called
+    /// with `now_ms`; return `false` unconditionally for engines without
+    /// a priority class). `policer`/`dup` toggle the optional stages.
+    pub fn run_pipeline(
+        pkt: &mut [u8],
+        now_ns: u64,
+        hop_key: &HopMacKey,
+        policer: Option<&mut crate::policing::Policer>,
+        dup: Option<&mut DuplicateSuppressor>,
+        derive_key: impl FnOnce(&Parsed, &FlyoverInputs) -> AuthKey,
+        eligible: impl FnOnce(&Parsed, &FlyoverInputs, u64) -> bool,
+    ) -> PipelineOutcome {
+        use super::Verdict;
+        let now_ms = now_ns / 1_000_000;
+        let now_s = now_ms / 1000;
+        let drop = |r: DropReason| PipelineOutcome {
+            verdict: Verdict::Drop(r),
+            demoted_overuse: false,
+            demoted_untimely: false,
+        };
+
+        // Stage 1: parse.
+        let parsed = match parse(pkt) {
+            Ok(p) => p,
+            Err(r) => return drop(r),
+        };
+
+        // Stages 2-3: flyover MAC re-derivation + eligibility.
+        let (candidate_mac, priority) = if parsed.is_flyover() {
+            let inputs = match flyover_inputs(&parsed) {
+                Ok(i) => i,
+                Err(r) => return drop(r),
+            };
+            let auth_key = derive_key(&parsed, &inputs);
+            let candidate = candidate_hop_mac(&auth_key, &inputs);
+            let fresh = eligible(&parsed, &inputs, now_ms);
+            (candidate, fresh.then_some(inputs))
+        } else {
+            let HopKind::Plain(hf) = parsed.hop else { unreachable!() };
+            (hf.mac, None)
+        };
+
+        // Stage 4: hop-field expiry + SCION MAC verification.
+        let computed = match verify_hop_mac(hop_key, &parsed, &candidate_mac, now_s) {
+            Ok(tag) => tag,
+            Err(r) => return drop(r),
+        };
+
+        // Stage 5 (optional): duplicate suppression.
+        if let Some(dup) = dup {
+            if let Err(r) = duplicate_check(dup, &parsed, now_ns) {
+                return drop(r);
+            }
+        }
+
+        // Stage 6: in-place header mutation.
+        if let Err(r) = advance(pkt, &parsed, &computed) {
+            return drop(r);
+        }
+
+        // Stage 7: bandwidth monitoring (Algorithm 1).
+        let egress = parsed.hop.cons_egress();
+        match priority {
+            Some(inputs) => {
+                let admitted = match policer {
+                    Some(policer) => {
+                        let bw_kbps = hummingbird_wire::bwcls::decode(inputs.res_info.bw_encoded);
+                        policer.check(inputs.res_info.res_id, bw_kbps, inputs.pkt_len, now_ns)
+                            == crate::policing::FwdClass::Flyover
+                    }
+                    None => true,
+                };
+                if admitted {
+                    PipelineOutcome {
+                        verdict: Verdict::Flyover { egress },
+                        demoted_overuse: false,
+                        demoted_untimely: false,
+                    }
+                } else {
+                    PipelineOutcome {
+                        verdict: Verdict::BestEffort { egress },
+                        demoted_overuse: true,
+                        demoted_untimely: false,
+                    }
+                }
+            }
+            None => PipelineOutcome {
+                verdict: Verdict::BestEffort { egress },
+                demoted_overuse: false,
+                demoted_untimely: parsed.is_flyover(),
+            },
+        }
+    }
 }
 
 /// A Hummingbird-enabled border router of one AS.
+///
+/// Constructed directly or through [`crate::DatapathBuilder`]; driven
+/// through the [`Datapath`] trait.
 pub struct BorderRouter {
     sv: SecretValue,
     hop_key: HopMacKey,
     cfg: RouterConfig,
     policer: Policer,
     dup: Option<DuplicateSuppressor>,
-    stats: RouterStats,
-}
-
-enum FlyoverOutcome {
-    /// Timely, active reservation; candidate MAC to verify + policing info.
-    Eligible { res_id: u32, bw_kbps: u64, pkt_len: u16 },
-    /// Valid structure but stale timestamp or inactive reservation.
-    BestEffortOnly,
+    stats: DatapathStats,
 }
 
 impl BorderRouter {
     /// Creates a router with the AS's data-plane secrets.
     pub fn new(sv: SecretValue, hop_key: HopMacKey, cfg: RouterConfig) -> Self {
-        let dup = cfg
-            .duplicate_suppression
-            .then(|| {
-                let window_ns =
-                    (cfg.max_packet_age_ms + 2 * cfg.max_clock_skew_ms) * 1_000_000;
-                DuplicateSuppressor::new(window_ns, 1 << 20)
-            });
         BorderRouter {
             sv,
             hop_key,
             policer: Policer::new(cfg.policer_slots, cfg.burst_time_ns),
+            dup: DatapathBuilder::make_suppressor(&cfg),
             cfg,
-            dup,
-            stats: RouterStats::default(),
+            stats: DatapathStats::default(),
         }
     }
 
-    /// Counters.
-    pub fn stats(&self) -> RouterStats {
-        self.stats
+    /// The router's configuration.
+    pub fn config(&self) -> RouterConfig {
+        self.cfg
     }
 
-    /// Resets counters.
-    pub fn reset_stats(&mut self) {
-        self.stats = RouterStats::default();
+    /// Implements Algorithm 2 with Algorithms 1, 3, 4 as the explicit
+    /// [`stages`], via the shared [`stages::run_pipeline`] driver with
+    /// Hummingbird's key derivation: `A_i ← PRF_SV(ResInfo)` (including
+    /// the AES key extension).
+    fn process_inner(&mut self, pkt: &mut [u8], now_ns: u64) -> Verdict {
+        let BorderRouter { sv, hop_key, cfg, policer, dup, stats } = self;
+        let out = stages::run_pipeline(
+            pkt,
+            now_ns,
+            hop_key,
+            Some(policer),
+            dup.as_mut(),
+            |_, inputs| sv.derive_key(&inputs.res_info),
+            |parsed, inputs, now_ms| stages::freshness(cfg, parsed, &inputs.res_info, now_ms),
+        );
+        stats.demoted_overuse += u64::from(out.demoted_overuse);
+        stats.demoted_untimely += u64::from(out.demoted_untimely);
+        out.verdict
     }
+}
 
-    /// Processes one packet in place at time `now_ns` (Unix nanoseconds).
-    /// Implements Algorithm 2 with Algorithms 1, 3, 4 inlined.
-    pub fn process(&mut self, pkt: &mut [u8], now_ns: u64) -> Verdict {
-        self.stats.processed += 1;
+impl Datapath for BorderRouter {
+    fn process(&mut self, pkt: &mut [u8], now_ns: u64) -> Verdict {
         let verdict = self.process_inner(pkt, now_ns);
-        match verdict {
-            Verdict::Drop(_) => self.stats.dropped += 1,
-            Verdict::Flyover { .. } => self.stats.flyover += 1,
-            Verdict::BestEffort { .. } => self.stats.best_effort += 1,
-        }
+        self.stats.record(verdict);
         verdict
     }
 
-    fn process_inner(&mut self, pkt: &mut [u8], now_ns: u64) -> Verdict {
-        // --- Check packet size & parse fixed headers -------------------
-        let Ok(common) = CommonHeader::parse(pkt) else {
-            return Verdict::Drop(DropReason::Malformed);
-        };
-        let Ok(addr) = AddressHeader::parse(&pkt[COMMON_HDR_LEN..]) else {
-            return Verdict::Drop(DropReason::Malformed);
-        };
-        let path_start = COMMON_HDR_LEN + ADDR_HDR_LEN;
-        let Ok(meta) = PathMetaHdr::parse(&pkt[path_start..]) else {
-            return Verdict::Drop(DropReason::Malformed);
-        };
-        let hdr_len_bytes = 4 * usize::from(common.hdr_len);
-        if pkt.len() < hdr_len_bytes {
-            return Verdict::Drop(DropReason::Malformed);
-        }
-        if u16::from(meta.curr_hf) >= meta.total_hf_units() {
-            return Verdict::Drop(DropReason::PathConsumed);
-        }
+    fn engine_name(&self) -> &'static str {
+        "hummingbird"
+    }
 
-        // --- Locate current info field and hop field -------------------
-        let Ok((seg_idx, _)) = meta.segment_of_curr_hf() else {
-            return Verdict::Drop(DropReason::Malformed);
-        };
-        let info_off = path_start + META_HDR_LEN + INFO_FIELD_LEN * seg_idx;
-        // The declared segment layout may lie about the buffer length —
-        // index with a checked slice (found by the router fuzz tests).
-        let Some(info_bytes) = pkt.get(info_off..) else {
-            return Verdict::Drop(DropReason::Malformed);
-        };
-        let Ok(info) = InfoField::parse(info_bytes) else {
-            return Verdict::Drop(DropReason::Malformed);
-        };
-        let hop_off = path_start + META_HDR_LEN
-            + INFO_FIELD_LEN * meta.num_inf()
-            + 4 * usize::from(meta.curr_hf);
-        if pkt.len() < hop_off + HOP_FIELD_LEN {
-            return Verdict::Drop(DropReason::Malformed);
-        }
-        let Ok(is_flyover) = peek_flyover_bit(&pkt[hop_off..]) else {
-            return Verdict::Drop(DropReason::Malformed);
-        };
+    fn stats(&self) -> DatapathStats {
+        self.stats
+    }
 
-        let now_ms = now_ns / 1_000_000;
-        let now_s = now_ms / 1000;
-
-        // --- Flyover processing (Algorithm 3) ---------------------------
-        // Produces the candidate hop-field MAC for flyover packets and the
-        // policing parameters.
-        let (hf_generic, candidate_mac, flyover_outcome);
-        if is_flyover {
-            if pkt.len() < hop_off + FLYOVER_FIELD_LEN {
-                return Verdict::Drop(DropReason::Malformed);
-            }
-            let Ok(fly) = FlyoverHopField::parse(&pkt[hop_off..]) else {
-                return Verdict::Drop(DropReason::Malformed);
-            };
-            // ResStart ← BaseTimestamp − ResStartOffset (Algo 3 line 2).
-            let res_start = meta.base_ts.wrapping_sub(u32::from(fly.res_start_offset));
-            let res_info = ResInfo {
-                ingress: fly.cons_ingress,
-                egress: fly.cons_egress,
-                res_id: fly.res_id,
-                bw_encoded: fly.bw,
-                res_start,
-                duration: fly.res_duration,
-            };
-            // A_i ← PRF_SV(ResInfo); includes the AES key extension.
-            let auth_key = self.sv.derive_key(&res_info);
-            // PktLen with overflow check (Eq. 7d).
-            let Ok(pkt_len) = common.pkt_len() else {
-                return Verdict::Drop(DropReason::PktLenOverflow);
-            };
-            let mac_input = FlyoverMacInput {
-                dst_isd: addr.dst.isd,
-                dst_as: addr.dst.asn,
-                pkt_len,
-                res_start_offset: fly.res_start_offset,
-                millis_ts: meta.millis_ts,
-                counter: meta.counter,
-            };
-            let flyover_mac = auth_key.flyover_mac(&mac_input);
-            // Candidate hop-field MAC (Algo 3 line 11).
-            candidate_mac = aggregate_mac(&flyover_mac, &fly.agg_mac);
-
-            // Freshness check (Algo 3 lines 12-14): now − absTS ∈ [−δ, Δ+δ].
-            let abs_ts_ms = meta.abs_ts_millis();
-            let delta = self.cfg.max_packet_age_ms;
-            let skew = self.cfg.max_clock_skew_ms;
-            let timely = now_ms + skew >= abs_ts_ms && abs_ts_ms + delta + skew >= now_ms;
-            // Reservation active check (lines 15-17), no skew (App. A.7).
-            let active = res_info.is_active_at(now_s as u32);
-
-            flyover_outcome = if timely && active {
-                FlyoverOutcome::Eligible {
-                    res_id: fly.res_id,
-                    bw_kbps: hummingbird_wire::bwcls::decode(fly.bw),
-                    pkt_len,
-                }
-            } else {
-                FlyoverOutcome::BestEffortOnly
-            };
-            hf_generic = HopField {
-                flags: Default::default(),
-                exp_time: fly.exp_time,
-                cons_ingress: fly.cons_ingress,
-                cons_egress: fly.cons_egress,
-                mac: candidate_mac,
-            };
-        } else {
-            let Ok(hf) = HopField::parse(&pkt[hop_off..]) else {
-                return Verdict::Drop(DropReason::Malformed);
-            };
-            candidate_mac = hf.mac;
-            flyover_outcome = FlyoverOutcome::BestEffortOnly;
-            hf_generic = hf;
-        }
-
-        // --- Standard SCION processing (Algorithm 4) --------------------
-        // Hop-field expiry.
-        let expiry = crate::beacon::hop_field_expiry(info.timestamp, hf_generic.exp_time);
-        if now_s >= expiry {
-            return Verdict::Drop(DropReason::ExpiredHopField);
-        }
-        // Recompute the hop-field MAC and compare.
-        let computed = self.hop_key.hop_mac(&HopMacInput {
-            seg_id: info.seg_id,
-            timestamp: info.timestamp,
-            exp_time: hf_generic.exp_time,
-            cons_ingress: hf_generic.cons_ingress,
-            cons_egress: hf_generic.cons_egress,
-        });
-        if computed != candidate_mac {
-            return Verdict::Drop(DropReason::BadMac);
-        }
-
-        // Optional duplicate suppression (§5.4) — after authentication so
-        // attackers cannot poison the filter with unauthenticated junk.
-        if let Some(dup) = &mut self.dup {
-            let id = (meta.base_ts, meta.millis_ts, meta.counter, addr.src.asn);
-            if dup.check_and_insert(id, now_ns) {
-                return Verdict::Drop(DropReason::Duplicate);
-            }
-        }
-
-        // Mutations: SegID chaining, CurrHF/CurrINF advance, and for
-        // flyover hops replace AggMAC with the plain hop-field MAC so the
-        // path can be reversed (App. A.7).
-        let new_seg_id = update_seg_id(info.seg_id, &computed);
-        pkt[info_off + 2..info_off + 4].copy_from_slice(&new_seg_id.to_be_bytes());
-        if is_flyover {
-            pkt[hop_off + 6..hop_off + 12].copy_from_slice(&computed);
-        }
-        let hop_units = if is_flyover { FLYOVER_UNITS } else { HF_UNITS };
-        let mut new_meta = meta;
-        new_meta.curr_hf = meta.curr_hf + hop_units;
-        if u16::from(new_meta.curr_hf) < new_meta.total_hf_units() {
-            if let Ok((seg, _)) = new_meta.segment_of_curr_hf() {
-                new_meta.curr_inf = seg as u8;
-            }
-        }
-        if new_meta.emit(&mut pkt[path_start..]).is_err() {
-            return Verdict::Drop(DropReason::Malformed);
-        }
-
-        // --- Bandwidth monitoring (Algorithm 1) -------------------------
-        let egress = hf_generic.cons_egress;
-        match flyover_outcome {
-            FlyoverOutcome::Eligible { res_id, bw_kbps, pkt_len } => {
-                match self.policer.check(res_id, bw_kbps, pkt_len, now_ns) {
-                    FwdClass::Flyover => Verdict::Flyover { egress },
-                    FwdClass::BestEffort => {
-                        self.stats.demoted_overuse += 1;
-                        Verdict::BestEffort { egress }
-                    }
-                }
-            }
-            FlyoverOutcome::BestEffortOnly => {
-                if is_flyover {
-                    self.stats.demoted_untimely += 1;
-                }
-                Verdict::BestEffort { egress }
-            }
-        }
+    fn reset_stats(&mut self) {
+        self.stats = DatapathStats::default();
     }
 }

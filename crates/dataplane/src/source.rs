@@ -90,9 +90,7 @@ impl SourceGenerator {
         res: SourceReservation,
     ) -> Result<(), GenError> {
         let hop = self.base_path.hops.get(index).ok_or(GenError::NoSuchHop)?;
-        if hop.cons_ingress() != res.res_info.ingress
-            || hop.cons_egress() != res.res_info.egress
-        {
+        if hop.cons_ingress() != res.res_info.ingress || hop.cons_egress() != res.res_info.egress {
             return Err(GenError::InterfaceMismatch);
         }
         self.reservations[index] = Some(res);
@@ -238,14 +236,8 @@ mod tests {
         egress: u16,
         res_start: u32,
     ) -> SourceReservation {
-        let res_info = ResInfo {
-            ingress,
-            egress,
-            res_id: 5,
-            bw_encoded: 200,
-            res_start,
-            duration: 600,
-        };
+        let res_info =
+            ResInfo { ingress, egress, res_id: 5, bw_encoded: 200, res_start, duration: 600 };
         let key = sv.derive_key(&res_info);
         SourceReservation { res_info, key }
     }
@@ -291,10 +283,7 @@ mod tests {
         // Reservation starting in the future relative to send time.
         g.attach_reservation(0, reservation_for(&svs[0], 0, 1, 1_700_000_000)).unwrap();
         let too_early = 1_699_999_000_000; // 1000 s before start
-        assert_eq!(
-            g.generate(&[0], too_early),
-            Err(GenError::StartOffsetOutOfRange)
-        );
+        assert_eq!(g.generate(&[0], too_early), Err(GenError::StartOffsetOutOfRange));
         // More than 18 h after start is unencodable.
         let too_late = (1_700_000_000 + 70_000) * 1000;
         assert_eq!(g.generate(&[0], too_late), Err(GenError::StartOffsetOutOfRange));
@@ -314,11 +303,11 @@ mod tests {
     #[test]
     fn full_hop_count_of_flyovers() {
         let (mut g, svs) = make_gen(5);
-        for i in 0..5 {
+        for (i, sv) in svs.iter().enumerate() {
             let hop = g.base_path.hops[i];
             g.attach_reservation(
                 i,
-                reservation_for(&svs[i], hop.cons_ingress(), hop.cons_egress(), 1_700_000_000),
+                reservation_for(sv, hop.cons_ingress(), hop.cons_egress(), 1_700_000_000),
             )
             .unwrap();
         }

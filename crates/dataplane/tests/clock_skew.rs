@@ -10,8 +10,8 @@
 
 use hummingbird_crypto::{ResInfo, SecretValue};
 use hummingbird_dataplane::{
-    forge_path, BeaconHop, BorderRouter, RouterConfig, SourceGenerator, SourceReservation,
-    Verdict,
+    forge_path, BeaconHop, BorderRouter, Datapath, RouterConfig, SourceGenerator,
+    SourceReservation, Verdict,
 };
 use hummingbird_wire::scion_mac::HopMacKey;
 use hummingbird_wire::IsdAs;
@@ -30,8 +30,7 @@ fn fixture() -> Fixture {
     let sv = SecretValue::new([2u8; 16]);
     let hops = vec![BeaconHop { key: hop_key.clone(), cons_ingress: 0, cons_egress: 0 }];
     let path = forge_path(&hops, (SEND_MS / 1000) as u32 - 10, 3);
-    let mut generator =
-        SourceGenerator::new(IsdAs::new(1, 1), IsdAs::new(2, 2), path);
+    let mut generator = SourceGenerator::new(IsdAs::new(1, 1), IsdAs::new(2, 2), path);
     let res_info = ResInfo {
         ingress: 0,
         egress: 0,
@@ -95,11 +94,7 @@ fn old_packets_beyond_age_plus_skew_are_demoted() {
 #[test]
 fn tight_skew_config_shrinks_the_window() {
     // δ = 50 ms, Δ = 200 ms.
-    let cfg = RouterConfig {
-        max_packet_age_ms: 200,
-        max_clock_skew_ms: 50,
-        ..Default::default()
-    };
+    let cfg = RouterConfig { max_packet_age_ms: 200, max_clock_skew_ms: 50, ..Default::default() };
     let mut fx = fixture();
     // A fresh router per probe: the probes jump the clock backwards, which
     // would otherwise leave stale token-bucket deadlines behind.

@@ -224,12 +224,7 @@ impl<'l> TxContext<'l> {
     }
 
     /// Creates a fresh object, returning its ID.
-    pub fn create(
-        &mut self,
-        owner: Owner,
-        type_tag: &'static str,
-        data: Vec<u8>,
-    ) -> ObjectId {
+    pub fn create(&mut self, owner: Owner, type_tag: &'static str, data: Vec<u8>) -> ObjectId {
         self.charge(UNITS_PER_OP);
         let id = ObjectId::derive(&self.digest, self.created_count);
         self.created_count += 1;

@@ -54,9 +54,7 @@ impl LatencyModel {
     /// transactions complete (the response phase of Fig. 4: one delivery
     /// per on-path AS, measured until the last arrives).
     pub fn sample_parallel_fast<R: Rng + ?Sized>(&self, n: usize, rng: &mut R) -> f64 {
-        (0..n.max(1))
-            .map(|_| self.sample(ExecPath::FastPath, rng))
-            .fold(0.0, f64::max)
+        (0..n.max(1)).map(|_| self.sample(ExecPath::FastPath, rng)).fold(0.0, f64::max)
     }
 }
 
@@ -83,8 +81,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let cons: Vec<f64> =
             (0..500).map(|_| model.sample(ExecPath::Consensus, &mut rng)).collect();
-        let fast: Vec<f64> =
-            (0..500).map(|_| model.sample(ExecPath::FastPath, &mut rng)).collect();
+        let fast: Vec<f64> = (0..500).map(|_| model.sample(ExecPath::FastPath, &mut rng)).collect();
         let cons_med = percentile(cons, 0.5);
         let fast_med = percentile(fast, 0.5);
         assert!(cons_med > 2.0 * fast_med, "{cons_med} vs {fast_med}");
@@ -103,10 +100,7 @@ mod tests {
                 })
                 .collect();
             let p83 = percentile(totals.clone(), 0.83);
-            assert!(
-                (2300.0..3400.0).contains(&p83),
-                "p83 at {hops} hops = {p83}"
-            );
+            assert!((2300.0..3400.0).contains(&p83), "p83 at {hops} hops = {p83}");
             let med = percentile(totals, 0.5);
             assert!((2000.0..2900.0).contains(&med), "median at {hops} hops = {med}");
         }
@@ -117,10 +111,7 @@ mod tests {
         let model = LatencyModel::default();
         let mut rng = StdRng::seed_from_u64(3);
         let avg = |hops: usize, rng: &mut StdRng| -> f64 {
-            (0..1000)
-                .map(|_| model.sample_parallel_fast(hops, rng))
-                .sum::<f64>()
-                / 1000.0
+            (0..1000).map(|_| model.sample_parallel_fast(hops, rng)).sum::<f64>() / 1000.0
         };
         let a1 = avg(1, &mut rng);
         let a16 = avg(16, &mut rng);

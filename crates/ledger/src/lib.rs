@@ -91,11 +91,7 @@ impl Ledger {
     /// and gas is charged (gas fees are burned; rebates are minted back to
     /// the sender, mirroring Sui's storage-fund flow). On `Err`, no state
     /// changes at all.
-    pub fn execute<T, F>(
-        &mut self,
-        sender: Address,
-        f: F,
-    ) -> Result<TxReceipt<T>, ExecError>
+    pub fn execute<T, F>(&mut self, sender: Address, f: F) -> Result<TxReceipt<T>, ExecError>
     where
         F: FnOnce(&mut TxContext) -> Result<T, ExecError>,
     {
@@ -194,9 +190,7 @@ mod tests {
     fn non_owner_cannot_use_object() {
         let mut l = funded_ledger();
         let id = l
-            .execute(alice(), |ctx| {
-                Ok(ctx.create(Owner::Address(ctx.sender()), "test::T", vec![]))
-            })
+            .execute(alice(), |ctx| Ok(ctx.create(Owner::Address(ctx.sender()), "test::T", vec![])))
             .unwrap()
             .value;
         let err = l.execute(bob(), |ctx| ctx.read(id, "test::T")).unwrap_err();
@@ -324,9 +318,7 @@ mod tests {
     fn wrong_type_rejected() {
         let mut l = funded_ledger();
         let id = l
-            .execute(alice(), |ctx| {
-                Ok(ctx.create(Owner::Address(ctx.sender()), "test::A", vec![]))
-            })
+            .execute(alice(), |ctx| Ok(ctx.create(Owner::Address(ctx.sender()), "test::A", vec![])))
             .unwrap()
             .value;
         let err = l.execute(alice(), |ctx| ctx.read(id, "test::B")).unwrap_err();

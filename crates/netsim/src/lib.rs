@@ -65,15 +65,8 @@ mod tests {
             START_NS + run_s * SEC,
         );
         // Attacker: 30 Mbps best-effort flood (3× the bottleneck).
-        let attacker = topo.add_cbr_flow(
-            atk(),
-            dst(),
-            1000,
-            30_000,
-            None,
-            START_NS,
-            START_NS + run_s * SEC,
-        );
+        let attacker =
+            topo.add_cbr_flow(atk(), dst(), 1000, 30_000, None, START_NS, START_NS + run_s * SEC);
         topo.sim.run_until(START_NS + (run_s + 1) * SEC);
 
         let v = topo.sim.stats(victim);
@@ -97,12 +90,8 @@ mod tests {
     /// flood — this is the problem Hummingbird solves.
     #[test]
     fn without_reservation_victim_starves() {
-        let mut topo = LinearTopology::build(
-            3,
-            LinkSpec::default(),
-            START_NS,
-            RouterConfig::default(),
-        );
+        let mut topo =
+            LinearTopology::build(3, LinkSpec::default(), START_NS, RouterConfig::default());
         let run_s = 2;
         let victim = topo.add_cbr_flow(
             src(),
@@ -113,15 +102,8 @@ mod tests {
             START_NS,
             START_NS + run_s * SEC,
         );
-        let _attacker = topo.add_cbr_flow(
-            atk(),
-            dst(),
-            1000,
-            30_000,
-            None,
-            START_NS,
-            START_NS + run_s * SEC,
-        );
+        let _attacker =
+            topo.add_cbr_flow(atk(), dst(), 1000, 30_000, None, START_NS, START_NS + run_s * SEC);
         topo.sim.run_until(START_NS + (run_s + 1) * SEC);
         let v = topo.sim.stats(victim);
         assert!(
@@ -189,15 +171,8 @@ mod tests {
             START_NS + run_s * SEC,
         );
         // Congestion so demoted packets actually hurt.
-        let _flood = topo.add_cbr_flow(
-            atk(),
-            dst(),
-            1000,
-            30_000,
-            None,
-            START_NS,
-            START_NS + run_s * SEC,
-        );
+        let _flood =
+            topo.add_cbr_flow(atk(), dst(), 1000, 30_000, None, START_NS, START_NS + run_s * SEC);
         // Adversary duplicates every victim packet 20× at AS 0's ingress:
         // enough accepted copies pin the token bucket at the burst ceiling
         // so subsequent originals are demoted.
@@ -232,15 +207,8 @@ mod tests {
             START_NS,
             START_NS + run_s * SEC,
         );
-        let _flood = topo.add_cbr_flow(
-            atk(),
-            dst(),
-            1000,
-            30_000,
-            None,
-            START_NS,
-            START_NS + run_s * SEC,
-        );
+        let _flood =
+            topo.add_cbr_flow(atk(), dst(), 1000, 30_000, None, START_NS, START_NS + run_s * SEC);
         let tap = topo.sim.add_replay_tap(victim, topo.as_nodes[0], 19, 200_000);
         topo.sim.run_until(START_NS + (run_s + 1) * SEC);
 
@@ -319,15 +287,8 @@ mod tests {
             })
         };
         // Heavy cross traffic: 120 Mbps > the 100 Mbps links.
-        let _flood = topo.add_cbr_flow(
-            atk(),
-            dst(),
-            1000,
-            120_000,
-            None,
-            START_NS,
-            START_NS + run_s * SEC,
-        );
+        let _flood =
+            topo.add_cbr_flow(atk(), dst(), 1000, 120_000, None, START_NS, START_NS + run_s * SEC);
         topo.sim.run_until(START_NS + (run_s + 1) * SEC);
         let v = topo.sim.stats(victim);
         // Hop 0 is unreserved and congested: some victim loss is expected

@@ -12,11 +12,11 @@
 //! what creates the on-reservation-set adversary class (§5.1); this
 //! topology lets tests and examples exercise both with real packets.
 
-use crate::sim::{Flow, FlowId, Node, NodeId, Simulator};
 use crate::scenario::LinkSpec;
+use crate::sim::{Flow, FlowId, Node, NodeId, Simulator};
 use hummingbird_crypto::{ResInfo, SecretValue};
 use hummingbird_dataplane::{
-    forge_path, BeaconHop, BorderRouter, RouterConfig, SourceGenerator, SourceReservation,
+    forge_path, BeaconHop, DatapathBuilder, RouterConfig, SourceGenerator, SourceReservation,
 };
 use hummingbird_wire::bwcls;
 use hummingbird_wire::scion_mac::HopMacKey;
@@ -62,17 +62,14 @@ impl DiamondTopology {
     pub fn build(link: LinkSpec, start_ns: u64, cfg: RouterConfig) -> Self {
         let mut keys = HashMap::new();
         for (name, seed) in [("P", 0x11u8), ("Q", 0x22), ("T", 0x33)] {
-            keys.insert(
-                name,
-                (HopMacKey::new([seed; 16]), SecretValue::new([seed ^ 0xFF; 16])),
-            );
+            keys.insert(name, (HopMacKey::new([seed; 16]), SecretValue::new([seed ^ 0xFF; 16])));
         }
         let mut sim = Simulator::new(start_ns);
         let dest = sim.add_node(Node::Host);
         let router = |name: &str, local: Option<NodeId>| {
             let (hk, sv) = &keys[name];
             Node::Router {
-                router: BorderRouter::new(sv.clone(), hk.clone(), cfg),
+                router: DatapathBuilder::new(sv.clone(), hk.clone()).config(cfg).build_boxed(),
                 interfaces: HashMap::new(),
                 local,
             }
@@ -81,7 +78,8 @@ impl DiamondTopology {
         let as_q = sim.add_node(router("Q", None));
         let as_t = sim.add_node(router("T", Some(dest)));
         for from in [as_p, as_q] {
-            let l = sim.add_link(as_t, link.bandwidth_bps, link.propagation_ns, link.queue_cap_bytes);
+            let l =
+                sim.add_link(as_t, link.bandwidth_bps, link.propagation_ns, link.queue_cap_bytes);
             sim.connect_interface(from, BRANCH_EGRESS, l);
         }
         DiamondTopology {
@@ -194,8 +192,7 @@ impl DiamondTopology {
             Branch::P => self.as_p,
             Branch::Q => self.as_q,
         };
-        let interval_ns =
-            (payload_len as u64 * 8).saturating_mul(1_000_000) / rate_kbps.max(1);
+        let interval_ns = (payload_len as u64 * 8).saturating_mul(1_000_000) / rate_kbps.max(1);
         self.sim.add_flow(Flow { generator, entry, payload_len, interval_ns, start_ns, stop_ns })
     }
 }
@@ -225,10 +222,8 @@ mod tests {
     #[test]
     fn reservations_verify_on_both_hops() {
         let mut d = DiamondTopology::build(LinkSpec::default(), START_NS, RouterConfig::default());
-        let res_branch =
-            d.reservation_at_branch(Branch::P, 2_000, START_S as u32 - 5, u16::MAX);
-        let res_t =
-            d.reservation_at_t(Branch::P, 2_000, START_S as u32 - 5, u16::MAX, None);
+        let res_branch = d.reservation_at_branch(Branch::P, 2_000, START_S as u32 - 5, u16::MAX);
+        let res_t = d.reservation_at_t(Branch::P, 2_000, START_S as u32 - 5, u16::MAX, None);
         let src = IsdAs::new(1, 1);
         let dst = IsdAs::new(2, 2);
         let f = d.add_flow(
@@ -260,10 +255,8 @@ mod tests {
 
         // Full-path reservations for both flows, with *separate*
         // reservations at the shared AS T (the §5.4 mitigation).
-        let res_p_branch =
-            d.reservation_at_branch(Branch::P, 5_000, START_S as u32 - 5, u16::MAX);
-        let res_q_branch =
-            d.reservation_at_branch(Branch::Q, 5_000, START_S as u32 - 5, u16::MAX);
+        let res_p_branch = d.reservation_at_branch(Branch::P, 5_000, START_S as u32 - 5, u16::MAX);
+        let res_q_branch = d.reservation_at_branch(Branch::Q, 5_000, START_S as u32 - 5, u16::MAX);
         let res_p = d.reservation_at_t(Branch::P, 5_000, START_S as u32 - 5, u16::MAX, None);
         let res_q = d.reservation_at_t(Branch::Q, 5_000, START_S as u32 - 5, u16::MAX, None);
         let flow_p = d.add_flow(

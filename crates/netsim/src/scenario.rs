@@ -4,7 +4,8 @@
 use crate::sim::{Flow, FlowId, Node, NodeId, Simulator};
 use hummingbird_crypto::{ResInfo, SecretValue};
 use hummingbird_dataplane::{
-    forge_path, BeaconHop, BorderRouter, RouterConfig, SourceGenerator, SourceReservation,
+    forge_path, BeaconHop, Datapath, DatapathBuilder, RouterConfig, SourceGenerator,
+    SourceReservation,
 };
 use hummingbird_wire::bwcls;
 use hummingbird_wire::scion_mac::HopMacKey;
@@ -105,15 +106,16 @@ impl LinearTopology {
         assert!(n >= 1);
         assert_eq!(hop_key_bytes.len(), n);
         assert_eq!(sv_key_bytes.len(), n);
-        let hop_keys: Vec<HopMacKey> =
-            hop_key_bytes.into_iter().map(HopMacKey::new).collect();
+        let hop_keys: Vec<HopMacKey> = hop_key_bytes.into_iter().map(HopMacKey::new).collect();
         let svs: Vec<SecretValue> = sv_key_bytes.into_iter().map(SecretValue::new).collect();
         let mut sim = Simulator::new(start_ns);
         let dest_host = sim.add_node(Node::Host);
         let as_nodes: Vec<NodeId> = (0..n)
             .map(|i| {
                 sim.add_node(Node::Router {
-                    router: BorderRouter::new(svs[i].clone(), hop_keys[i].clone(), cfg),
+                    router: DatapathBuilder::new(svs[i].clone(), hop_keys[i].clone())
+                        .config(cfg)
+                        .build_boxed(),
                     interfaces: HashMap::new(),
                     local: if i == n - 1 { Some(dest_host) } else { None },
                 })
@@ -148,13 +150,26 @@ impl LinearTopology {
         self.as_nodes.len()
     }
 
+    /// A fresh, stand-alone [`Datapath`] engine with hop `i`'s secrets —
+    /// for probing packets outside the simulator (the in-simulator
+    /// engines live in the router nodes).
+    pub fn make_hop_engine(&self, hop: usize, cfg: RouterConfig) -> Box<dyn Datapath + Send> {
+        DatapathBuilder::new(self.svs[hop].clone(), self.hop_keys[hop].clone())
+            .config(cfg)
+            .build_boxed()
+    }
+
     /// Builds a fresh source generator over the chain's beaconed path.
     pub fn make_generator(&self, src: IsdAs, dst: IsdAs) -> SourceGenerator {
         let n = self.n_ases();
         let hops: Vec<BeaconHop> = (0..n)
             .map(|i| {
                 let (ingress, egress) = Self::interfaces(n, i);
-                BeaconHop { key: self.hop_keys[i].clone(), cons_ingress: ingress, cons_egress: egress }
+                BeaconHop {
+                    key: self.hop_keys[i].clone(),
+                    cons_ingress: ingress,
+                    cons_egress: egress,
+                }
             })
             .collect();
         SourceGenerator::new(src, dst, forge_path(&hops, self.info_ts, self.beta0))
@@ -211,13 +226,6 @@ impl LinearTopology {
         // higher due to headers, which the reservation margin absorbs.
         let interval_ns = (payload_len as u64 * 8).saturating_mul(1_000_000) / rate_kbps.max(1);
         let entry = self.as_nodes[0];
-        self.sim.add_flow(Flow {
-            generator,
-            entry,
-            payload_len,
-            interval_ns,
-            start_ns,
-            stop_ns,
-        })
+        self.sim.add_flow(Flow { generator, entry, payload_len, interval_ns, start_ns, stop_ns })
     }
 }

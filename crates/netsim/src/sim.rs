@@ -7,7 +7,7 @@
 //! contested link, so congestion and flooding cannot degrade it, while
 //! overuse is demoted by deterministic policing.
 
-use hummingbird_dataplane::{BorderRouter, SourceGenerator, Verdict};
+use hummingbird_dataplane::{Datapath, DatapathStats, SourceGenerator, Verdict};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 
@@ -89,11 +89,16 @@ impl Link {
 }
 
 /// What happens to packets arriving at a node.
+///
+/// (Migration note: `Router` used to hold a concrete
+/// `hummingbird_dataplane::BorderRouter`; it now holds any boxed
+/// [`Datapath`] engine, so simulations can mix Hummingbird routers,
+/// gateways and baseline engines in one topology.)
 pub enum Node {
     /// An AS border router: verifies, polices and forwards by interface.
     Router {
-        /// The Hummingbird border router (owns SV, hop key, policer).
-        router: BorderRouter,
+        /// The packet-processing engine (owns its keys and policer).
+        router: Box<dyn Datapath + Send>,
         /// Egress interface → link. Interface 0 delivers to `local`.
         interfaces: std::collections::HashMap<u16, LinkId>,
         /// Node receiving locally-delivered packets (the destination
@@ -257,7 +262,13 @@ impl Simulator {
 
     /// Registers an on-reservation-set replay adversary. The attacker's
     /// pseudo-flow gets its own stats slot, which is returned.
-    pub fn add_replay_tap(&mut self, victim: FlowId, inject_at: NodeId, copies: u32, delay_ns: u64) -> FlowId {
+    pub fn add_replay_tap(
+        &mut self,
+        victim: FlowId,
+        inject_at: NodeId,
+        copies: u32,
+        delay_ns: u64,
+    ) -> FlowId {
         let attacker_flow = self.stats.len();
         self.stats.push(FlowStats::default());
         self.taps.push(ReplayTap { victim, inject_at, copies, delay_ns, attacker_flow });
@@ -274,17 +285,33 @@ impl Simulator {
         self.now_ns
     }
 
-    /// Router statistics of a node, if it is a router.
-    pub fn router_stats(&self, node: NodeId) -> Option<hummingbird_dataplane::RouterStats> {
+    /// Engine statistics of a node, if it is a router.
+    pub fn router_stats(&self, node: NodeId) -> Option<DatapathStats> {
         match &self.nodes[node] {
             Node::Router { router, .. } => Some(router.stats()),
             _ => None,
         }
     }
 
-    /// Processes one packet synchronously through a node's border router,
-    /// outside the event loop (used by tests and examples to probe
-    /// verdicts without scheduling flows).
+    /// Swaps the packet-processing engine of a router node (e.g. to rerun
+    /// a scenario with a baseline engine): `Ok(previous_engine)` on a
+    /// router node, `Err(engine)` — handing the argument back — if the
+    /// node is not a router.
+    #[allow(clippy::result_large_err)]
+    pub fn replace_engine(
+        &mut self,
+        node: NodeId,
+        engine: Box<dyn Datapath + Send>,
+    ) -> Result<Box<dyn Datapath + Send>, Box<dyn Datapath + Send>> {
+        match &mut self.nodes[node] {
+            Node::Router { router, .. } => Ok(std::mem::replace(router, engine)),
+            _ => Err(engine),
+        }
+    }
+
+    /// Processes one packet synchronously through a node's engine, outside
+    /// the event loop (used by tests and examples to probe verdicts
+    /// without scheduling flows).
     pub fn process_at_router(
         &mut self,
         node: NodeId,
@@ -398,11 +425,8 @@ impl Simulator {
                         self.stats[pkt.flow].router_drops += 1;
                     }
                     Verdict::Flyover { egress } | Verdict::BestEffort { egress } => {
-                        let class = if verdict.is_flyover() {
-                            Class::Priority
-                        } else {
-                            Class::BestEffort
-                        };
+                        let class =
+                            if verdict.is_flyover() { Class::Priority } else { Class::BestEffort };
                         if egress == 0 {
                             // Local delivery at the destination AS.
                             if let Some(host) = *local {

@@ -82,10 +82,7 @@ fn shared_reservation_lets_the_replay_spill_over() {
 #[test]
 fn separate_reservations_isolate_the_victim() {
     let ratio = run(false);
-    assert!(
-        ratio > 0.99,
-        "victim with its own reservation must be unaffected, ratio {ratio}"
-    );
+    assert!(ratio > 0.99, "victim with its own reservation must be unaffected, ratio {ratio}");
 }
 
 #[test]

@@ -115,9 +115,7 @@ impl CommonHeader {
     /// Computes the authenticated packet length (Eq. 7d):
     /// `PktLen = PayloadLen + 4·HdrLen`, dropping the packet on overflow.
     pub fn pkt_len(&self) -> Result<u16> {
-        self.payload_len
-            .checked_add(4 * u16::from(self.hdr_len))
-            .ok_or(WireError::PktLenOverflow)
+        self.payload_len.checked_add(4 * u16::from(self.hdr_len)).ok_or(WireError::PktLenOverflow)
     }
 }
 

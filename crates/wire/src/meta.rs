@@ -54,11 +54,7 @@ impl PathMetaHdr {
         let hdr = PathMetaHdr {
             curr_inf: (word >> 30) as u8,
             curr_hf: ((word >> 22) & 0xff) as u8,
-            seg_len: [
-                ((word >> 14) & 0x7f) as u8,
-                ((word >> 7) & 0x7f) as u8,
-                (word & 0x7f) as u8,
-            ],
+            seg_len: [((word >> 14) & 0x7f) as u8, ((word >> 7) & 0x7f) as u8, (word & 0x7f) as u8],
             base_ts: u32::from_be_bytes([buf[4], buf[5], buf[6], buf[7]]),
             millis_ts: u16::from_be_bytes([buf[8], buf[9]]),
             counter: u16::from_be_bytes([buf[10], buf[11]]),
@@ -95,7 +91,7 @@ impl PathMetaHdr {
             if len > SEG_LEN_MAX {
                 return Err(WireError::FieldRange);
             }
-            if len > 0 && self.seg_len[..i].iter().any(|&prev| prev == 0) {
+            if len > 0 && self.seg_len[..i].contains(&0) {
                 return Err(WireError::SegmentGap);
             }
         }

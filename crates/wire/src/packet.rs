@@ -80,12 +80,7 @@ impl Packet {
         if buf.len() < payload_end {
             return Err(WireError::Truncated);
         }
-        Ok(Packet {
-            common,
-            addr,
-            path,
-            payload: buf[payload_start..payload_end].to_vec(),
-        })
+        Ok(Packet { common, addr, path, payload: buf[payload_start..payload_end].to_vec() })
     }
 }
 
@@ -213,9 +208,7 @@ mod tests {
     #[test]
     fn packet_roundtrip() {
         let builder = PacketBuilder::new(IsdAs::new(1, 10), IsdAs::new(2, 20));
-        let pkt = builder
-            .build(simple_path(4, &[1, 2]), vec![0xab; 500])
-            .unwrap();
+        let pkt = builder.build(simple_path(4, &[1, 2]), vec![0xab; 500]).unwrap();
         let bytes = pkt.to_bytes().unwrap();
         assert_eq!(Packet::parse(&bytes).unwrap(), pkt);
     }

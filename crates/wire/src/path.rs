@@ -2,10 +2,10 @@
 //! standard/flyover hop fields (Appendix A, Fig. 6).
 
 use crate::error::{Result, WireError};
+use crate::hopfield::InfoField;
 use crate::hopfield::{
     peek_flyover_bit, FlyoverHopField, HopField, FLYOVER_FIELD_LEN, HOP_FIELD_LEN, INFO_FIELD_LEN,
 };
-use crate::hopfield::InfoField;
 use crate::meta::{PathMetaHdr, FLYOVER_UNITS, HF_UNITS, META_HDR_LEN};
 
 /// Maximum number of hop fields in a path (per the SCION spec).
@@ -276,8 +276,7 @@ impl HummingbirdPath {
         for (i, seg) in segments.iter().enumerate() {
             seg_len[i] = (seg.len() * usize::from(HF_UNITS)) as u8;
         }
-        let hops: Vec<PathField> =
-            segments.into_iter().flatten().map(PathField::Hop).collect();
+        let hops: Vec<PathField> = segments.into_iter().flatten().map(PathField::Hop).collect();
         let meta = PathMetaHdr {
             curr_inf: 0,
             curr_hf: 0,
@@ -419,11 +418,7 @@ mod tests {
 
     #[test]
     fn empty_path_rejected() {
-        let path = HummingbirdPath {
-            meta: PathMetaHdr::default(),
-            info: vec![],
-            hops: vec![],
-        };
+        let path = HummingbirdPath { meta: PathMetaHdr::default(), info: vec![], hops: vec![] };
         assert_eq!(path.validate(), Err(WireError::EmptyPath));
     }
 }

@@ -46,11 +46,7 @@ impl ScionPathMeta {
         let meta = ScionPathMeta {
             curr_inf: (w >> 30) as u8,
             curr_hf: ((w >> 24) & 0x3f) as u8,
-            seg_len: [
-                ((w >> 12) & 0x3f) as u8,
-                ((w >> 6) & 0x3f) as u8,
-                (w & 0x3f) as u8,
-            ],
+            seg_len: [((w >> 12) & 0x3f) as u8, ((w >> 6) & 0x3f) as u8, (w & 0x3f) as u8],
         };
         meta.validate()?;
         Ok(meta)
@@ -80,7 +76,7 @@ impl ScionPathMeta {
             if len > 63 {
                 return Err(WireError::FieldRange);
             }
-            if len > 0 && self.seg_len[..i].iter().any(|&p| p == 0) {
+            if len > 0 && self.seg_len[..i].contains(&0) {
                 return Err(WireError::SegmentGap);
             }
         }
@@ -234,12 +230,7 @@ mod tests {
                 millis_ts: 1,
                 counter: 2,
             },
-            info: vec![InfoField {
-                peering: false,
-                cons_dir: true,
-                seg_id: 5,
-                timestamp: 100,
-            }],
+            info: vec![InfoField { peering: false, cons_dir: true, seg_id: 5, timestamp: 100 }],
             hops,
         }
     }
@@ -254,15 +245,9 @@ mod tests {
 
     #[test]
     fn scion_meta_rejects_gaps_and_ranges() {
-        assert!(ScionPathMeta { curr_inf: 3, curr_hf: 0, seg_len: [1, 0, 0] }
-            .validate()
-            .is_err());
-        assert!(ScionPathMeta { curr_inf: 0, curr_hf: 0, seg_len: [0, 1, 0] }
-            .validate()
-            .is_err());
-        assert!(ScionPathMeta { curr_inf: 0, curr_hf: 64, seg_len: [1, 0, 0] }
-            .validate()
-            .is_err());
+        assert!(ScionPathMeta { curr_inf: 3, curr_hf: 0, seg_len: [1, 0, 0] }.validate().is_err());
+        assert!(ScionPathMeta { curr_inf: 0, curr_hf: 0, seg_len: [0, 1, 0] }.validate().is_err());
+        assert!(ScionPathMeta { curr_inf: 0, curr_hf: 64, seg_len: [1, 0, 0] }.validate().is_err());
     }
 
     #[test]

@@ -42,8 +42,7 @@ impl<T: AsRef<[u8]>> PacketView<T> {
         let buf = self.buffer.as_ref();
         let common = CommonHeader::parse(buf)?;
         AddressHeader::parse(buf.get(COMMON_HDR_LEN..).ok_or(WireError::Truncated)?)?;
-        let meta =
-            PathMetaHdr::parse(buf.get(PATH_OFFSET..).ok_or(WireError::Truncated)?)?;
+        let meta = PathMetaHdr::parse(buf.get(PATH_OFFSET..).ok_or(WireError::Truncated)?)?;
         let hdr_len_bytes = 4 * usize::from(common.hdr_len);
         if buf.len() < hdr_len_bytes {
             return Err(WireError::Truncated);
@@ -91,9 +90,7 @@ impl<T: AsRef<[u8]>> PacketView<T> {
 
     /// Parses the path meta header.
     pub fn meta(&self) -> Result<PathMetaHdr> {
-        PathMetaHdr::parse(
-            self.buffer.as_ref().get(PATH_OFFSET..).ok_or(WireError::Truncated)?,
-        )
+        PathMetaHdr::parse(self.buffer.as_ref().get(PATH_OFFSET..).ok_or(WireError::Truncated)?)
     }
 
     /// Byte offset of the info field governing the current hop.
@@ -106,7 +103,9 @@ impl<T: AsRef<[u8]>> PacketView<T> {
     /// Byte offset of the current hop field.
     pub fn current_hop_offset(&self) -> Result<usize> {
         let meta = self.meta()?;
-        Ok(PATH_OFFSET + META_HDR_LEN + INFO_FIELD_LEN * meta.num_inf()
+        Ok(PATH_OFFSET
+            + META_HDR_LEN
+            + INFO_FIELD_LEN * meta.num_inf()
             + 4 * usize::from(meta.curr_hf))
     }
 
@@ -125,10 +124,7 @@ impl<T: AsRef<[u8]>> PacketView<T> {
     pub fn payload(&self) -> Result<&[u8]> {
         let start = self.payload_offset()?;
         let len = usize::from(self.common()?.payload_len);
-        self.buffer
-            .as_ref()
-            .get(start..start + len)
-            .ok_or(WireError::Truncated)
+        self.buffer.as_ref().get(start..start + len).ok_or(WireError::Truncated)
     }
 }
 
@@ -151,12 +147,7 @@ impl<T: AsRef<[u8]> + AsMut<[u8]>> PacketView<T> {
 
     /// Rewrites the path meta header.
     pub fn set_meta(&mut self, meta: &PathMetaHdr) -> Result<()> {
-        meta.emit(
-            self.buffer
-                .as_mut()
-                .get_mut(PATH_OFFSET..)
-                .ok_or(WireError::Truncated)?,
-        )
+        meta.emit(self.buffer.as_mut().get_mut(PATH_OFFSET..).ok_or(WireError::Truncated)?)
     }
 }
 

@@ -52,9 +52,8 @@ fn main() {
     let now_ms = t0 * 1000;
     let now_ns = t0 * 1_000_000_000;
 
-    let mut c2s = fwd
-        .make_reserved_generator(client_addr, server_addr, &fwd_grants)
-        .expect("c2s generator");
+    let mut c2s =
+        fwd.make_reserved_generator(client_addr, server_addr, &fwd_grants).expect("c2s generator");
     let mut pkt = c2s.generate(b"request: GET /quote", now_ms).expect("c2s pkt");
     let v = fwd.topo.sim.process_at_router(fwd.topo.as_nodes[0], &mut pkt, now_ns).unwrap();
     println!("client->server packet at first AS: {v:?}");

@@ -49,16 +49,10 @@ fn main() {
     println!("\n== Splitting in time and bandwidth ==");
     let rx = cp.split_time(service.account, asset, 2 * HOUR).expect("split_time");
     let (head, tail) = rx.value;
-    println!(
-        "split_time @2h: {:.5} SUI -> [0,2h) and [2h,10h)",
-        rx.gas.total_sui()
-    );
+    println!("split_time @2h: {:.5} SUI -> [0,2h) and [2h,10h)", rx.gas.total_sui());
     let rx = cp.split_bandwidth(service.account, head, 30_000).expect("split_bw");
     let (small, rest) = rx.value;
-    println!(
-        "split_bandwidth 30/70: {:.5} SUI -> 30 Mbps and 70 Mbps",
-        rx.gas.total_sui()
-    );
+    println!("split_bandwidth 30/70: {:.5} SUI -> 30 Mbps and 70 Mbps", rx.gas.total_sui());
 
     println!("\n== Fusing back (earns the storage rebate) ==");
     let rx = cp.fuse_bandwidth(service.account, small, rest).expect("fuse_bw");
@@ -76,11 +70,8 @@ fn main() {
     let market = cp.create_marketplace(service.account).expect("market").value;
     cp.register_seller(service.account, market).expect("seller");
     // Need an ingress asset too for a redeemable pair later.
-    let ingress = BandwidthAsset {
-        interface: 2,
-        direction: Direction::Ingress,
-        ..cp.asset(whole).unwrap()
-    };
+    let ingress =
+        BandwidthAsset { interface: 2, direction: Direction::Ingress, ..cp.asset(whole).unwrap() };
     let ingress_asset = service.issue_asset(&mut cp, ingress).expect("issue ing").value;
     let l_eg = cp.create_listing(service.account, market, whole, 2).expect("list").value;
     let l_in = cp.create_listing(service.account, market, ingress_asset, 2).expect("list").value;
@@ -96,7 +87,7 @@ fn main() {
     println!(
         "alice bought 10 Mbps x 1 h (split both dims): gas {:.5} SUI, price {:.4} SUI",
         rx.gas.total_sui(),
-        (cp.ledger.balance(service.account) - seller_before) as f64 / 1e9
+        sui(i128::from(cp.ledger.balance(service.account)) - i128::from(seller_before))
     );
     println!(
         "market now re-lists {} leftover pieces",

@@ -7,11 +7,14 @@
 //! 3. Each AS answers with a sealed `(ResInfo, A_K)` delivery (fast path).
 //! 4. The client authenticates packets with the keys; the simulated border
 //!    routers verify and prioritize them end to end.
+//! 5. The same packets are driven through a border router directly via
+//!    the [`hummingbird::Datapath`] trait — the one API every engine
+//!    (router, gateway, baselines) implements, single-packet and batch.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
 use hummingbird::testbed::{Testbed, TestbedConfig};
-use hummingbird::{IsdAs, PurchaseSpec};
+use hummingbird::{Datapath, IsdAs, PacketBuf, PurchaseSpec};
 
 fn main() {
     let cfg = TestbedConfig { n_ases: 5, ..Default::default() };
@@ -21,9 +24,7 @@ fn main() {
     println!("== Hummingbird quickstart: {n} ASes, linear path ==\n");
 
     // --- ASes stock the market --------------------------------------
-    let listings = tb
-        .stock_market(100_000, t0 - 60, t0 + 3540, 60, 100)
-        .expect("stock market");
+    let listings = tb.stock_market(100_000, t0 - 60, t0 + 3540, 60, 100).expect("stock market");
     println!(
         "ASes issued and listed {} assets (1 ingress + 1 egress per hop, 100 Mbps, 1 h)",
         listings.len() * 2
@@ -35,14 +36,8 @@ fn main() {
     let spec = PurchaseSpec { start: t0 - 60, end: t0 + 540, bandwidth_kbps: 4_000 };
     let grants = tb.acquire_path(&mut client, spec).expect("acquire path");
     let balance_after = tb.control.ledger.balance(client.account);
-    println!(
-        "\nclient bought + redeemed {} flyovers atomically (4 Mbps, 10 min)",
-        grants.len()
-    );
-    println!(
-        "  paid {:.4} SUI (price + gas)",
-        (balance_before - balance_after) as f64 / 1e9
-    );
+    println!("\nclient bought + redeemed {} flyovers atomically (4 Mbps, 10 min)", grants.len());
+    println!("  paid {:.4} SUI (price + gas)", (balance_before - balance_after) as f64 / 1e9);
     for (i, g) in grants.iter().enumerate() {
         println!(
             "  hop {i}: AS {} if {}->{} ResID {} start {} dur {}s",
@@ -89,4 +84,29 @@ fn main() {
     }
     assert_eq!(stats.delivered_pkts, stats.sent_pkts);
     println!("\nOK: every packet verified and forwarded with priority at all {n} ASes");
+
+    // --- The unified Datapath API ------------------------------------
+    // Everything above drove engines through the simulator; the same
+    // packets can be processed against any engine directly through the
+    // `Datapath` trait — here hop 0's router, batch-first.
+    let mut generator = tb.make_reserved_generator(src, dst, &grants).expect("generator");
+    let now_ns = t0 * 1_000_000_000;
+    let mut batch: Vec<PacketBuf> = (0..8)
+        .map(|i| PacketBuf::new(generator.generate(&[0u8; 200], t0 * 1000 + i).unwrap()))
+        .collect();
+    let mut verdicts = Vec::new();
+    let mut verdict_probe = |engine: &mut dyn Datapath| {
+        verdicts.clear();
+        engine.process_batch(&mut batch, now_ns, &mut verdicts);
+        verdicts.iter().filter(|v| v.is_flyover()).count()
+    };
+    let mut router = tb.topo.make_hop_engine(0, tb.cfg.router);
+    let priority = verdict_probe(router.as_mut());
+    println!(
+        "Datapath batch API: {} of {} packets verified with priority at a fresh hop-0 \"{}\" engine",
+        priority,
+        verdicts.len(),
+        router.engine_name(),
+    );
+    assert_eq!(priority, verdicts.len());
 }

@@ -6,6 +6,7 @@
 //! [`hummingbird`] core crate for the primary entry points.
 
 pub use hummingbird as core;
+pub use hummingbird_baselines as baselines;
 pub use hummingbird_control as control;
 pub use hummingbird_crypto as crypto;
 pub use hummingbird_dataplane as dataplane;

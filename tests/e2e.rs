@@ -12,10 +12,7 @@ fn sixteen_hop_path_acquisition_and_forwarding() {
     // The longest path the paper evaluates (Table 1, Fig. 4: 16 hops).
     let mut tb = Testbed::build(TestbedConfig {
         n_ases: 16,
-        link: hummingbird::LinkSpec {
-            bandwidth_bps: 100_000_000,
-            ..Default::default()
-        },
+        link: hummingbird::LinkSpec { bandwidth_bps: 100_000_000, ..Default::default() },
         ..Default::default()
     })
     .unwrap();
@@ -27,9 +24,8 @@ fn sixteen_hop_path_acquisition_and_forwarding() {
     assert_eq!(grants.len(), 16);
 
     // All 16 flyovers verify along the chain.
-    let generator = tb
-        .make_reserved_generator(IsdAs::new(1, 0xa), IsdAs::new(2, 0xb), &grants)
-        .unwrap();
+    let generator =
+        tb.make_reserved_generator(IsdAs::new(1, 0xa), IsdAs::new(2, 0xb), &grants).unwrap();
     let entry = tb.topo.as_nodes[0];
     let start_ns = t0 * SEC;
     let flow = tb.topo.sim.add_flow(hummingbird::netsim::Flow {
@@ -61,8 +57,7 @@ fn purchase_needs_consensus_delivery_rides_fast_path() {
     let spec = PurchaseSpec { start: t0 - 60, end: t0 + 540, bandwidth_kbps: 2_000 };
     let hops: Vec<_> = (0..tb.cfg.n_ases)
         .map(|i| {
-            let (ing_if, eg_if) =
-                hummingbird::LinearTopology::interfaces(tb.cfg.n_ases, i);
+            let (ing_if, eg_if) = hummingbird::LinearTopology::interfaces(tb.cfg.n_ases, i);
             let find = |interface: u16, dir: hummingbird::Direction| {
                 listings
                     .iter()
@@ -82,9 +77,7 @@ fn purchase_needs_consensus_delivery_rides_fast_path() {
         })
         .collect();
     let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(11);
-    let rx = client
-        .buy_and_redeem_path(&mut tb.control, tb.market, &hops, &mut rng)
-        .unwrap();
+    let rx = client.buy_and_redeem_path(&mut tb.control, tb.market, &hops, &mut rng).unwrap();
     assert_eq!(rx.path, ExecPath::Consensus, "market purchase touches a shared object");
 
     // Deliveries use owned objects only → fast path (paper §6.1).
@@ -94,10 +87,7 @@ fn purchase_needs_consensus_delivery_rides_fast_path() {
         as_id: Testbed::as_id(0),
         sealed: hummingbird_crypto::sealed::seal(&req.ephemeral_pk, b"test", &mut rng),
     };
-    let rx = tb
-        .control
-        .deliver_reservation(tb.services[0].account, req_id, delivery)
-        .unwrap();
+    let rx = tb.control.deliver_reservation(tb.services[0].account, req_id, delivery).unwrap();
     assert_eq!(rx.path, ExecPath::FastPath);
 }
 
@@ -107,11 +97,7 @@ fn gas_cost_scales_linearly_with_hops() {
     // path length (≈0.031 SUI per hop at the paper's prices).
     let mut per_hop_costs = Vec::new();
     for hops in [1usize, 2, 4, 8] {
-        let mut tb = Testbed::build(TestbedConfig {
-            n_ases: hops,
-            ..Default::default()
-        })
-        .unwrap();
+        let mut tb = Testbed::build(TestbedConfig { n_ases: hops, ..Default::default() }).unwrap();
         let t0 = tb.cfg.start_unix_s;
         tb.stock_market(100_000, t0 - 3600, t0 + 36_000, 60, 100).unwrap();
         let mut client = tb.new_client("alice", 10_000);
@@ -140,9 +126,8 @@ fn gas_cost_scales_linearly_with_hops() {
             })
             .collect();
         let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(13);
-        let rx = client
-            .buy_and_redeem_path(&mut tb.control, tb.market, &hop_list, &mut rng)
-            .unwrap();
+        let rx =
+            client.buy_and_redeem_path(&mut tb.control, tb.market, &hop_list, &mut rng).unwrap();
         let total_sui = rx.gas.total_sui();
         assert!(total_sui > 0.0);
         per_hop_costs.push(total_sui / hops as f64);
@@ -151,10 +136,7 @@ fn gas_cost_scales_linearly_with_hops() {
     // computation bucketing adds small steps).
     let min = per_hop_costs.iter().cloned().fold(f64::MAX, f64::min);
     let max = per_hop_costs.iter().cloned().fold(0.0, f64::max);
-    assert!(
-        max / min < 2.0,
-        "per-hop cost should be ~constant: {per_hop_costs:?}"
-    );
+    assert!(max / min < 2.0, "per-hop cost should be ~constant: {per_hop_costs:?}");
     // Magnitude: same order as the paper's 0.031 SUI per hop.
     assert!(
         (0.003..0.3).contains(&per_hop_costs[0]),
@@ -175,15 +157,10 @@ fn bundle_transfer_enables_reverse_traffic() {
     // Alice ships credentials to Bob; Bob's packets verify at the routers.
     let wire_bundle = ReservationBundle::from_grants(&grants).encode();
     let bob_grants = ReservationBundle::decode(&wire_bundle).unwrap().into_grants();
-    let mut bob_gen = tb
-        .make_reserved_generator(IsdAs::new(7, 0x77), IsdAs::new(2, 0xb), &bob_grants)
-        .unwrap();
+    let mut bob_gen =
+        tb.make_reserved_generator(IsdAs::new(7, 0x77), IsdAs::new(2, 0xb), &bob_grants).unwrap();
     let mut pkt = bob_gen.generate(&[0u8; 64], t0 * 1000).unwrap();
-    let v = tb
-        .topo
-        .sim
-        .process_at_router(tb.topo.as_nodes[0], &mut pkt, t0 * SEC)
-        .unwrap();
+    let v = tb.topo.sim.process_at_router(tb.topo.as_nodes[0], &mut pkt, t0 * SEC).unwrap();
     assert!(v.is_flyover());
 }
 

@@ -1,0 +1,195 @@
+//! Property tests for the unified `Datapath` API:
+//!
+//! 1. **Batch ≡ sequential** — for every engine, `process_batch` verdicts
+//!    are element-wise identical to sequential `process` calls on an
+//!    identically-configured engine (the contract that lets later PRs
+//!    amortize work across a burst without changing semantics).
+//! 2. **Owned ≡ zero-copy** — a `BorderRouter` reaches the same verdict
+//!    whether a packet's bytes are used directly, round-tripped through
+//!    the owned `Packet` repr, or wrapped in a checked zero-copy
+//!    `PacketView` first.
+
+use hummingbird::dataplane::{
+    forge_path, BeaconHop, Datapath, DatapathBuilder, PacketBuf, RouterConfig, SourceGenerator,
+    SourceReservation,
+};
+use hummingbird::{IsdAs, ResInfo, SecretValue};
+use hummingbird_baselines::{slot_of, DrKeyDatapath, HeliaDatapath, HeliaSender};
+use hummingbird_wire::scion_mac::HopMacKey;
+use hummingbird_wire::{Packet, PacketView};
+use proptest::prelude::*;
+
+const NOW_S: u64 = 1_700_000_096; // slot-aligned (divisible by 16)
+const NOW_MS: u64 = NOW_S * 1000;
+const NOW_NS: u64 = NOW_S * 1_000_000_000;
+
+fn hop_key(i: usize) -> HopMacKey {
+    HopMacKey::new([0x10 + i as u8; 16])
+}
+
+fn sv(i: usize) -> SecretValue {
+    SecretValue::new([0x60 + i as u8; 16])
+}
+
+fn interfaces(n: usize, i: usize) -> (u16, u16) {
+    (if i == 0 { 0 } else { 2 * i as u16 }, if i == n - 1 { 0 } else { 2 * i as u16 + 1 })
+}
+
+/// A mixed workload: `n_hops`-hop packets, hop 0 reserved on a subset,
+/// with a per-packet payload size and a corrupted-byte option so batches
+/// mix Flyover, BestEffort and Drop verdicts.
+fn workload(n_hops: usize, specs: &[(u16, bool, bool)]) -> Vec<Vec<u8>> {
+    let hops: Vec<BeaconHop> = (0..n_hops)
+        .map(|i| {
+            let (cons_ingress, cons_egress) = interfaces(n_hops, i);
+            BeaconHop { key: hop_key(i), cons_ingress, cons_egress }
+        })
+        .collect();
+    let path = forge_path(&hops, NOW_S as u32 - 100, 0x1234);
+    let (ing, eg) = interfaces(n_hops, 0);
+    let res_info = ResInfo {
+        ingress: ing,
+        egress: eg,
+        res_id: 9,
+        bw_encoded: 700,
+        res_start: NOW_S as u32 - 50,
+        duration: 600,
+    };
+    let key = sv(0).derive_key(&res_info);
+    let mut reserved = SourceGenerator::new(IsdAs::new(1, 0x10), IsdAs::new(2, 0x20), path.clone());
+    reserved.attach_reservation(0, SourceReservation { res_info, key }).unwrap();
+    let mut plain = SourceGenerator::new(IsdAs::new(1, 0x10), IsdAs::new(2, 0x20), path);
+
+    specs
+        .iter()
+        .enumerate()
+        .map(|(i, &(payload, with_res, corrupt))| {
+            let generator = if with_res { &mut reserved } else { &mut plain };
+            let mut bytes =
+                generator.generate(&vec![0u8; usize::from(payload)], NOW_MS + i as u64).unwrap();
+            if corrupt {
+                let idx = 56 + (i % 12);
+                bytes[idx] ^= 0x40;
+            }
+            bytes
+        })
+        .collect()
+}
+
+fn router() -> DatapathBuilder {
+    DatapathBuilder::new(sv(0), hop_key(0))
+}
+
+/// Asserts batch ≡ sequential on two identically-configured engines.
+fn assert_batch_matches_sequential(
+    mut batch_engine: Box<dyn Datapath + Send>,
+    mut seq_engine: Box<dyn Datapath + Send>,
+    packets: Vec<Vec<u8>>,
+) -> Result<(), String> {
+    let sequential: Vec<_> =
+        packets.iter().map(|p| seq_engine.process(&mut p.clone(), NOW_NS)).collect();
+    let mut bufs: Vec<PacketBuf> = packets.into_iter().map(PacketBuf::new).collect();
+    let mut batched = Vec::new();
+    batch_engine.process_batch(&mut bufs, NOW_NS, &mut batched);
+    prop_assert_eq!(&batched, &sequential, "batch verdicts diverge from sequential");
+    prop_assert_eq!(batch_engine.stats(), seq_engine.stats(), "stats diverge");
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// `process_batch` ≡ sequential `process` for the Hummingbird router,
+    /// across mixed flyover/best-effort/corrupted bursts — including the
+    /// stateful stages (policing shares one token bucket across the
+    /// burst; duplicate suppression sees the same stream).
+    #[test]
+    fn border_router_batch_equals_sequential(
+        n_hops in 1usize..5,
+        specs in prop::collection::vec((0u16..600, any::<bool>(), any::<bool>()), 1..24),
+        dup in any::<bool>(),
+    ) {
+        let packets = workload(n_hops, &specs);
+        let make = || router().duplicate_suppression(dup).build_boxed();
+        assert_batch_matches_sequential(make(), make(), packets)?;
+    }
+
+    /// The same batch contract holds for the baseline engines.
+    #[test]
+    fn baseline_engines_batch_equals_sequential(
+        specs in prop::collection::vec((0u16..400, any::<bool>(), any::<bool>()), 1..16),
+    ) {
+        let packets = workload(2, &specs);
+        let helia = || -> Box<dyn Datapath + Send> {
+            Box::new(HeliaDatapath::new([0xB5; 16], hop_key(0), RouterConfig::default()))
+        };
+        assert_batch_matches_sequential(helia(), helia(), packets.clone())?;
+        let drkey = || -> Box<dyn Datapath + Send> {
+            Box::new(DrKeyDatapath::new([0xB5; 16], hop_key(0)))
+        };
+        assert_batch_matches_sequential(drkey(), drkey(), packets)?;
+    }
+
+    /// Helia-stamped packets also verify batch ≡ sequential with verdicts
+    /// that actually reach the priority class.
+    #[test]
+    fn helia_stamped_batch_equals_sequential(
+        payloads in prop::collection::vec(0u16..400, 1..12),
+    ) {
+        let hops = vec![
+            BeaconHop { key: hop_key(0), cons_ingress: 0, cons_egress: 1 },
+            BeaconHop { key: hop_key(1), cons_ingress: 2, cons_egress: 0 },
+        ];
+        let path = forge_path(&hops, NOW_S as u32 - 100, 0x1234);
+        let src = IsdAs::new(1, 0x10);
+        let issuer = HeliaDatapath::new([0xB5; 16], hop_key(0), RouterConfig::default());
+        let grant = issuer.issue_grant(src, slot_of(NOW_S), 1, 1_000_000, 0, 1).unwrap();
+        let mut sender = HeliaSender::new(src, IsdAs::new(2, 0x20), path);
+        sender.attach_grant(0, &grant).unwrap();
+        let packets: Vec<Vec<u8>> = payloads
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| sender.generate(&vec![0u8; usize::from(p)], NOW_MS + i as u64).unwrap())
+            .collect();
+        let make = || -> Box<dyn Datapath + Send> {
+            Box::new(HeliaDatapath::new([0xB5; 16], hop_key(0), RouterConfig::default()))
+        };
+        let mut probe = make();
+        let v = probe.process(&mut packets[0].clone(), NOW_NS);
+        prop_assert!(v.is_flyover(), "stamped packet must prioritize: {:?}", v);
+        assert_batch_matches_sequential(make(), make(), packets)?;
+    }
+
+    /// A `BorderRouter` verdict is identical whether the packet bytes are
+    /// processed directly, reconstructed through the owned `Packet` repr,
+    /// or passed through a checked zero-copy `PacketView`.
+    #[test]
+    fn owned_and_view_paths_agree(
+        n_hops in 1usize..5,
+        payload in 0u16..600,
+        with_res in any::<bool>(),
+        corrupt in any::<bool>(),
+    ) {
+        let packets = workload(n_hops, &[(payload, with_res, corrupt)]);
+        let direct_bytes = packets[0].clone();
+
+        // Owned path: parse into the Repr types and re-serialize.
+        let owned_bytes = match Packet::parse(&direct_bytes) {
+            Ok(pkt) => pkt.to_bytes().unwrap(),
+            Err(_) => direct_bytes.clone(), // unparseable stays as-is
+        };
+        // Zero-copy path: checked view over the same buffer.
+        let view_bytes = match PacketView::new_checked(direct_bytes.clone()) {
+            Ok(view) => view.into_inner(),
+            Err(_) => direct_bytes.clone(),
+        };
+
+        let mut verdicts = Vec::new();
+        for bytes in [direct_bytes, owned_bytes, view_bytes] {
+            let mut engine = router().build();
+            verdicts.push(engine.process(&mut bytes.clone(), NOW_NS));
+        }
+        prop_assert_eq!(verdicts[0], verdicts[1], "owned Packet path diverged");
+        prop_assert_eq!(verdicts[0], verdicts[2], "PacketView path diverged");
+    }
+}

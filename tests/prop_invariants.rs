@@ -91,7 +91,7 @@ proptest! {
         }
         prop_assert!(kt.is_valid());
         let omega = max_overlap(&intervals) as u32;
-        prop_assert!(kt.high_water() + 1 <= 3 * omega, "KT exceeded 3ω");
+        prop_assert!(kt.high_water() < 3 * omega, "KT exceeded 3ω");
     }
 
     #[test]

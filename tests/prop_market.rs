@@ -68,14 +68,7 @@ impl Harness {
         cp.register_seller(service.account, market).unwrap();
         let buyer = Address::from_label("prop-buyer");
         cp.faucet(buyer, 1_000_000);
-        Harness {
-            cp,
-            service,
-            market,
-            buyer,
-            owned_assets: Vec::new(),
-            issued_bw_time: 0,
-        }
+        Harness { cp, service, market, buyer, owned_assets: Vec::new(), issued_bw_time: 0 }
     }
 
     /// Sum of bandwidth-time over every live asset on chain.

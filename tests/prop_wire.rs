@@ -74,14 +74,7 @@ fn arb_path() -> impl Strategy<Value = HummingbirdPath> {
                 hops.extend(seg.iter().copied());
             }
             HummingbirdPath {
-                meta: PathMetaHdr {
-                    curr_inf: 0,
-                    curr_hf: 0,
-                    seg_len,
-                    base_ts,
-                    millis_ts,
-                    counter,
-                },
+                meta: PathMetaHdr { curr_inf: 0, curr_hf: 0, seg_len, base_ts, millis_ts, counter },
                 info,
                 hops,
             }

@@ -6,7 +6,7 @@
 use hummingbird::dataplane::{
     forge_path, BeaconHop, BorderRouter, RouterConfig, SourceGenerator, SourceReservation,
 };
-use hummingbird::{IsdAs, ResInfo, SecretValue};
+use hummingbird::{Datapath, IsdAs, ResInfo, SecretValue};
 use hummingbird_wire::scion_mac::HopMacKey;
 use proptest::prelude::*;
 
@@ -35,7 +35,7 @@ fn valid_packet(n_hops: usize, payload: usize) -> Vec<u8> {
         .collect();
     let path = forge_path(&hops, (NOW_MS / 1000) as u32 - 100, 0x1234);
     let mut generator = SourceGenerator::new(IsdAs::new(1, 0x10), IsdAs::new(2, 0x20), path);
-    for i in 0..n_hops {
+    for (i, sv) in svs.iter().enumerate() {
         let (ingress, egress) = (
             if i == 0 { 0 } else { 2 * i as u16 },
             if i == n_hops - 1 { 0 } else { 2 * i as u16 + 1 },
@@ -48,7 +48,7 @@ fn valid_packet(n_hops: usize, payload: usize) -> Vec<u8> {
             res_start: (NOW_MS / 1000) as u32 - 50,
             duration: 600,
         };
-        let key = svs[i].derive_key(&res_info);
+        let key = sv.derive_key(&res_info);
         generator.attach_reservation(i, SourceReservation { res_info, key }).unwrap();
     }
     generator.generate(&vec![0u8; payload], NOW_MS).unwrap()

@@ -82,9 +82,7 @@ fn c1_delivered_keys_are_confidential() {
             .collect()
     };
     let mut rng = StdRng::seed_from_u64(9);
-    alice
-        .buy_and_redeem_path(&mut tb.control, tb.market, &hops, &mut rng)
-        .unwrap();
+    alice.buy_and_redeem_path(&mut tb.control, tb.market, &hops, &mut rng).unwrap();
     for service in tb.services.iter_mut() {
         service.process_requests(&mut tb.control, &mut rng).unwrap();
     }
@@ -118,11 +116,7 @@ fn c2_sybil_accounts_pay_full_market_price() {
         for s in 0..n_accounts {
             let mut sybil = tb.new_client(&format!("sybil-{s}"), 100_000);
             let before = tb.control.ledger.balance(sybil.account);
-            let spec = PurchaseSpec {
-                start: t0 - 60,
-                end: t0 + 3540,
-                bandwidth_kbps: per_account,
-            };
+            let spec = PurchaseSpec { start: t0 - 60, end: t0 + 3540, bandwidth_kbps: per_account };
             tb.acquire_path(&mut sybil, spec).unwrap();
             total_paid += before - tb.control.ledger.balance(sybil.account);
         }
@@ -132,10 +126,7 @@ fn c2_sybil_accounts_pay_full_market_price() {
     let four = price_for(4);
     // Splitting across Sybils is not cheaper (gas makes it strictly
     // worse; allow 1% numerical slack on the comparison).
-    assert!(
-        four as f64 >= one as f64 * 0.99,
-        "4 sybils paid {four} vs single {one}"
-    );
+    assert!(four as f64 >= one as f64 * 0.99, "4 sybils paid {four} vs single {one}");
 }
 
 /// D1: an adversary cannot *undetectably* shift a reservation to another
@@ -149,9 +140,8 @@ fn d1_reservation_stealing_breaks_the_tag() {
     let mut client = tb.new_client("alice", 1_000);
     let spec = PurchaseSpec { start: t0 - 60, end: t0 + 540, bandwidth_kbps: 2_000 };
     let grants = tb.acquire_path(&mut client, spec).unwrap();
-    let mut generator = tb
-        .make_reserved_generator(IsdAs::new(1, 0xa), IsdAs::new(2, 0xb), &grants)
-        .unwrap();
+    let mut generator =
+        tb.make_reserved_generator(IsdAs::new(1, 0xa), IsdAs::new(2, 0xb), &grants).unwrap();
     let node = tb.topo.as_nodes[0];
     let now = t0 * 1_000_000_000;
 
@@ -177,12 +167,8 @@ fn d1_reservation_stealing_breaks_the_tag() {
 /// redeem request fails rather than silently over-committing monitoring).
 #[test]
 fn d1_as_can_cap_monitored_reservations() {
-    let mut tb = Testbed::build(TestbedConfig {
-        n_ases: 1,
-        res_id_cap: 2,
-        ..Default::default()
-    })
-    .unwrap();
+    let mut tb =
+        Testbed::build(TestbedConfig { n_ases: 1, res_id_cap: 2, ..Default::default() }).unwrap();
     let t0 = tb.cfg.start_unix_s;
     tb.stock_market(100_000, t0 - 60, t0 + 3540, 60, 100).unwrap();
     let spec = PurchaseSpec { start: t0 - 60, end: t0 + 540, bandwidth_kbps: 1_000 };
@@ -197,9 +183,7 @@ fn d1_as_can_cap_monitored_reservations() {
     let err = tb.acquire_path(&mut c3, spec);
     assert!(matches!(
         err,
-        Err(hummingbird::TestbedError::Service(
-            hummingbird_control::ServiceError::ResIdsExhausted
-        ))
+        Err(hummingbird::TestbedError::Service(hummingbird_control::ServiceError::ResIdsExhausted))
     ));
 }
 
@@ -216,15 +200,10 @@ fn reservations_are_identity_free() {
 
     // A completely different sender (different SCION source) uses them.
     let other_src = IsdAs::new(9, 0x999);
-    let mut generator = tb
-        .make_reserved_generator(other_src, IsdAs::new(2, 0xb), &grants)
-        .unwrap();
+    let mut generator = tb.make_reserved_generator(other_src, IsdAs::new(2, 0xb), &grants).unwrap();
     let mut pkt = generator.generate(&[0u8; 100], t0 * 1000).unwrap();
-    let v = tb
-        .topo
-        .sim
-        .process_at_router(tb.topo.as_nodes[0], &mut pkt, t0 * 1_000_000_000)
-        .unwrap();
+    let v =
+        tb.topo.sim.process_at_router(tb.topo.as_nodes[0], &mut pkt, t0 * 1_000_000_000).unwrap();
     assert!(v.is_flyover(), "{v:?}");
 }
 
@@ -247,7 +226,9 @@ fn services_only_see_their_own_requests() {
                 listings
                     .iter()
                     .find(|(_, _, a)| {
-                        a.as_id == Testbed::as_id(i) && a.interface == interface && a.direction == dir
+                        a.as_id == Testbed::as_id(i)
+                            && a.interface == interface
+                            && a.direction == dir
                     })
                     .unwrap()
                     .0
@@ -260,9 +241,7 @@ fn services_only_see_their_own_requests() {
         })
         .collect();
     let mut rng = StdRng::seed_from_u64(3);
-    client
-        .buy_and_redeem_path(&mut tb.control, tb.market, &hops, &mut rng)
-        .unwrap();
+    client.buy_and_redeem_path(&mut tb.control, tb.market, &hops, &mut rng).unwrap();
     for (i, service) in tb.services.iter().enumerate() {
         let pending = tb.control.pending_requests(service.account);
         assert_eq!(pending.len(), 1, "exactly one request for AS {i}");
