@@ -44,6 +44,25 @@ fn bench_derivations(c: &mut Criterion) {
     g.bench_function("derive_auth_key_Ak", |b| {
         b.iter(|| std::hint::black_box(sv.derive_key(&info)))
     });
+    // One burst of 32 derivations: sequential vs the single-sweep batch
+    // path the router's process_batch override uses.
+    let infos: Vec<ResInfo> = (0..32).map(|i| ResInfo { res_id: 1 + i, ..info }).collect();
+    g.bench_function("derive_32_keys_sequential", |b| {
+        b.iter(|| {
+            for i in &infos {
+                std::hint::black_box(sv.derive_key(i));
+            }
+        })
+    });
+    g.bench_function("derive_32_keys_batch_sweep", |b| {
+        let mut scratch = Vec::new();
+        let mut keys = Vec::new();
+        b.iter(|| {
+            keys.clear();
+            sv.derive_keys_batch(&infos, &mut scratch, &mut keys);
+            std::hint::black_box(keys.len());
+        })
+    });
     let key = AuthKey::new([5u8; 16]);
     let input = FlyoverMacInput {
         dst_isd: 2,
@@ -75,6 +94,45 @@ fn bench_router(c: &mut Criterion) {
             });
         }
     }
+    g.finish();
+}
+
+fn bench_runtime(c: &mut Criterion) {
+    let mut g = c.benchmark_group("runtime");
+    let fx = DataplaneFixture::new(4);
+    // A 32-packet, 8-flow burst through the batch path: one engine vs the
+    // sharded facade (steering + run splitting on top of the same work).
+    let templates = fx.flow_packets(EngineKind::Hummingbird, 500, 8);
+    let make_burst = || -> Vec<PacketBuf> {
+        (0..32).map(|i| PacketBuf::new(templates[i % templates.len()].clone())).collect()
+    };
+    g.throughput(Throughput::Elements(32));
+    g.bench_function("process_batch_32_single", |b| {
+        let mut engine = fx.engine(EngineKind::Hummingbird);
+        let mut burst = make_burst();
+        let mut verdicts = Vec::with_capacity(32);
+        b.iter(|| {
+            verdicts.clear();
+            engine.process_batch(&mut burst, EPOCH_NS, &mut verdicts);
+            for p in &mut burst {
+                p.reset();
+            }
+            std::hint::black_box(verdicts.len())
+        })
+    });
+    g.bench_function("process_batch_32_sharded4", |b| {
+        let mut engine = fx.sharded_engine(EngineKind::Hummingbird, 4);
+        let mut burst = make_burst();
+        let mut verdicts = Vec::with_capacity(32);
+        b.iter(|| {
+            verdicts.clear();
+            engine.process_batch(&mut burst, EPOCH_NS, &mut verdicts);
+            for p in &mut burst {
+                p.reset();
+            }
+            std::hint::black_box(verdicts.len())
+        })
+    });
     g.finish();
 }
 
@@ -129,6 +187,6 @@ fn bench_wire(c: &mut Criterion) {
 criterion_group!(
     name = benches;
     config = Criterion::default().sample_size(60);
-    targets = bench_crypto, bench_derivations, bench_router, bench_source, bench_policing, bench_wire
+    targets = bench_crypto, bench_derivations, bench_router, bench_runtime, bench_source, bench_policing, bench_wire
 );
 criterion_main!(benches);

@@ -5,13 +5,20 @@
 //!    (competitive ratio in practice).
 //! 3. Duplicate suppression: router cost with the stage on vs off.
 //! 4. Aggregate MAC vs a separate tag field: header bytes saved.
+//! 5. Worker-ring runtime: per-core-clone vs RSS-sharded scaling, with
+//!    the null engine isolating the harness's own ring/dispatch cost.
 //!
-//! Run with: `cargo run --release -p hummingbird-bench --bin ablations`
+//! Run with: `cargo run --release -p hummingbird-bench --bin ablations
+//! [-- --cores 1,2,4] [--pkts <count>]`
 
-use hummingbird_bench::{row, DataplaneFixture, EPOCH_NS};
+use hummingbird_bench::{
+    cores_from_args, pkts_from_args, row, DataplaneFixture, EngineKind, EPOCH_NS,
+};
 use hummingbird_coloring::{color_optimal, max_overlap, FirstFit, Interval, KiersteadTrotter};
 use hummingbird_dataplane::policing::Policer;
-use hummingbird_dataplane::{Datapath, DatapathBuilder, PacketBuf};
+use hummingbird_dataplane::{
+    run_to_completion, Datapath, DatapathBuilder, PacketBuf, RuntimeConfig, RuntimeMode,
+};
 use hummingbird_wire::hopfield::{FLYOVER_FIELD_LEN, HOP_FIELD_LEN};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -23,6 +30,7 @@ fn main() {
     ablation_coloring();
     ablation_dup_suppression();
     ablation_agg_mac();
+    ablation_runtime_sharding();
 }
 
 fn ablation_policing_array() {
@@ -148,6 +156,62 @@ fn fx_sv(_fx: &DataplaneFixture) -> hummingbird_crypto::SecretValue {
 }
 fn fx_hop_key(_fx: &DataplaneFixture) -> hummingbird_wire::scion_mac::HopMacKey {
     hummingbird_wire::scion_mac::HopMacKey::new([0x31; 16])
+}
+
+fn ablation_runtime_sharding() {
+    println!("== Ablation 5: worker-ring runtime — clone vs sharded vs harness floor ==\n");
+    let fx = DataplaneFixture::new(4);
+    let cores_list = cores_from_args(&[1usize, 2, 4]);
+    let per_core = pkts_from_args(100_000);
+    let widths = [12usize, 8, 12, 12];
+    println!(
+        "{}",
+        row(
+            &["engine".into(), "cores".into(), "clone mpps".into(), "sharded mpps".into()],
+            &widths
+        )
+    );
+    // The null engine's rows are the harness floor: ring hops, burst
+    // bookkeeping and (sharded) dispatch with zero per-packet work.
+    for kind in [EngineKind::Null, EngineKind::Hummingbird] {
+        let templates = fx.flow_packets(kind, 500, 64);
+        for &cores in &cores_list {
+            let total = per_core * cores as u64;
+            let cfg = RuntimeConfig::new(cores);
+            let clone = run_to_completion(
+                &cfg,
+                RuntimeMode::PerCoreClone,
+                |_| fx.engine(kind),
+                &templates,
+                total,
+                EPOCH_NS,
+            )
+            .throughput();
+            let rss = run_to_completion(
+                &cfg,
+                RuntimeMode::Sharded,
+                |_| fx.engine(kind),
+                &templates,
+                total,
+                EPOCH_NS,
+            )
+            .throughput();
+            println!(
+                "{}",
+                row(
+                    &[
+                        kind.name().into(),
+                        format!("{cores}"),
+                        format!("{:.2}", clone.mpps()),
+                        format!("{:.2}", rss.mpps()),
+                    ],
+                    &widths
+                )
+            );
+        }
+    }
+    println!("\n(clone scales embarrassingly but polices nothing across cores; sharded");
+    println!(" pays one dispatcher thread for a single correctly-policed logical router.)\n");
 }
 
 fn ablation_agg_mac() {

@@ -106,6 +106,7 @@ fn main() {
         let class = match kind {
             EngineKind::Hummingbird | EngineKind::Helia | EngineKind::Gateway => "priority",
             EngineKind::Scion | EngineKind::Drkey => "best effort",
+            EngineKind::Null => "pass-through",
         };
         println!("{:<14} {:>14.0} {:>12}", kind.name(), t.ns_per_pkt(1), class);
     }

@@ -2,16 +2,17 @@
 //! 500 B payloads, as a function of core count and number of AS hops,
 //! Hummingbird vs SCION best-effort.
 //!
-//! Run with: `cargo run --release -p hummingbird-bench --bin fig14_generation`
+//! Run with: `cargo run --release -p hummingbird-bench --bin fig14_generation
+//! [-- --cores 1,2,4] [--pkts <count>]`
 
-use hummingbird_bench::{row, DataplaneFixture, EPOCH_MS};
+use hummingbird_bench::{cores_from_args, pkts_from_args, row, DataplaneFixture, EPOCH_MS};
 use hummingbird_dataplane::{generation_throughput, LINE_RATE_GBPS};
 
 fn main() {
-    let cores_list = [1usize, 2, 4, 8, 16, 32];
+    let cores_list = cores_from_args(&[1usize, 2, 4, 8, 16, 32]);
     let hop_counts = [1usize, 2, 4, 8, 16];
     let payload = 500usize;
-    let pkts: u64 = 100_000;
+    let pkts: u64 = pkts_from_args(100_000);
     let physical = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
     println!("Figure 14: source packet generation throughput [Gbps], payload {payload} B");
     println!("(line rate {LINE_RATE_GBPS} Gbps; {physical} hardware threads available)\n");

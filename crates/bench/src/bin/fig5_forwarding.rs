@@ -1,7 +1,8 @@
 //! Figure 5: border-router packet validation and forwarding throughput
 //! for different payload sizes and core counts, across every `Datapath`
 //! engine (Hummingbird vs SCION best-effort by default; add the Helia and
-//! DRKey baselines or the gateway with `--engine`).
+//! DRKey baselines, the gateway or the null calibration engine with
+//! `--engine`).
 //!
 //! The paper reaches the 160 Gbps line rate with 4 cores at 1500 B and
 //! 32 cores at 100 B (AES-NI hardware). This software-AES reproduction is
@@ -9,17 +10,30 @@
 //! scaling up to the line-rate cap, (ii) throughput proportional to
 //! payload size, (iii) SCION ≈ 2.5x cheaper per packet than Hummingbird.
 //!
+//! With `--sharded`, each engine additionally runs as **one logical
+//! router** on the worker-ring runtime: a dispatcher thread RSS-steers a
+//! 64-flow workload into per-core rings so every reservation is policed
+//! by exactly one shard — cross-core-correct policing, measured side by
+//! side with the per-core-clone mode on the same input.
+//!
 //! Run with: `cargo run --release -p hummingbird-bench --bin fig5_forwarding
-//! [-- --engine hummingbird|scion|helia|drkey|gateway|all]`
+//! [-- --engine hummingbird|scion|helia|drkey|gateway|null|all]
+//! [--sharded] [--cores 1,2,4] [--pkts <per-core count>]`
 
-use hummingbird_bench::{engines_from_args, row, DataplaneFixture, EngineKind, EPOCH_NS};
-use hummingbird_dataplane::{forwarding_throughput, LINE_RATE_GBPS};
+use hummingbird_bench::{
+    cores_from_args, engines_from_args, pkts_from_args, row, sharded_from_args, DataplaneFixture,
+    EngineKind, EPOCH_NS,
+};
+use hummingbird_dataplane::{
+    forwarding_throughput, run_to_completion, RuntimeConfig, RuntimeMode, LINE_RATE_GBPS,
+};
 
 fn main() {
     let engines = engines_from_args(&[EngineKind::Hummingbird, EngineKind::Scion]);
-    let cores_list = [1usize, 2, 4, 8, 16, 32];
+    let cores_list = cores_from_args(&[1usize, 2, 4, 8, 16, 32]);
     let payloads = [100usize, 500, 1000, 1500];
-    let pkts_per_core: u64 = 200_000;
+    let pkts_per_core: u64 = pkts_from_args(200_000);
+    let sharded = sharded_from_args();
     let physical = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
     println!(
         "Figure 5: forwarding throughput [Gbps] by Datapath engine, line rate {LINE_RATE_GBPS}"
@@ -53,7 +67,72 @@ fn main() {
         let pkt = fx.engine_packet(kind, 500);
         let t = forwarding_throughput(|| fx.engine(kind), &pkt, 1, pkts_per_core, EPOCH_NS);
         println!("single-core per-packet cost: {:.0} ns\n", t.ns_per_pkt(1));
+
+        if sharded {
+            sharded_comparison(&fx, kind, &cores_list, pkts_per_core);
+        }
+    }
+    if sharded {
+        println!("(sharded = one logical router: RSS dispatcher + per-core rings, every");
+        println!(" ResID policed by exactly one shard; clone = independent engine per core.");
+        println!(" The dispatcher needs a hardware thread of its own: with fewer than");
+        println!(" cores+1 hardware threads it timeshares and the ratio underestimates");
+        println!(" real hardware, where sharded matches or beats clone at 4+ cores.)\n");
     }
     println!("paper (Fig. 5): line rate at 4 cores/1500 B and 32 cores/100 B;");
     println!("123 ns per SCION packet, 308 ns per Hummingbird packet (AES-NI).");
+}
+
+/// Clone vs sharded runtime on the same 64-flow, 500 B workload.
+fn sharded_comparison(
+    fx: &DataplaneFixture,
+    kind: EngineKind,
+    cores_list: &[usize],
+    pkts_per_core: u64,
+) {
+    let templates = fx.flow_packets(kind, 500, 64);
+    let widths = [6usize, 12, 12, 10];
+    println!(
+        "{}",
+        row(&["cores".into(), "clone".into(), "sharded".into(), "ratio".into()], &widths)
+    );
+    for &cores in cores_list {
+        let total = pkts_per_core / cores.max(1) as u64 * 4 * cores as u64;
+        let mut cfg = RuntimeConfig::new(cores);
+        if kind == EngineKind::Gateway {
+            cfg.steering = hummingbird_dataplane::Steering::BySource;
+        }
+        let clone = run_to_completion(
+            &cfg,
+            RuntimeMode::PerCoreClone,
+            |_| fx.engine(kind),
+            &templates,
+            total,
+            EPOCH_NS,
+        )
+        .throughput();
+        let rss = run_to_completion(
+            &cfg,
+            RuntimeMode::Sharded,
+            |_| fx.engine(kind),
+            &templates,
+            total,
+            EPOCH_NS,
+        )
+        .throughput();
+        let ratio = if clone.gbps() > 0.0 { rss.gbps() / clone.gbps() } else { 0.0 };
+        println!(
+            "{}",
+            row(
+                &[
+                    format!("{cores}"),
+                    format!("{:.2}", clone.gbps_line_capped()),
+                    format!("{:.2}", rss.gbps_line_capped()),
+                    format!("{ratio:.2}x"),
+                ],
+                &widths
+            )
+        );
+    }
+    println!();
 }

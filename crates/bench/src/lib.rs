@@ -8,8 +8,8 @@
 use hummingbird_baselines::{slot_of, DrKeyDatapath, DrKeySender, HeliaDatapath, HeliaSender};
 use hummingbird_crypto::{ResInfo, SecretValue};
 use hummingbird_dataplane::{
-    forge_path, BeaconHop, BorderRouter, Datapath, Gateway, HostShare, RouterConfig,
-    SourceGenerator, SourceReservation,
+    forge_path, BeaconHop, BorderRouter, Datapath, Gateway, HostShare, NullEngine, RouterConfig,
+    ShardedRouter, SourceGenerator, SourceReservation, Steering,
 };
 use hummingbird_wire::scion_mac::HopMacKey;
 use hummingbird_wire::IsdAs;
@@ -27,10 +27,11 @@ const DRKEY_MASTER: [u8; 16] = [0xB5; 16];
 /// Which [`Datapath`] engine a figure/table binary should drive.
 ///
 /// Every packet-processing binary accepts `--engine
-/// hummingbird|scion|helia|drkey|gateway|all` (default: the binary's
-/// traditional engine set) and constructs engines exclusively through
-/// [`DataplaneFixture::engine`] + [`DataplaneFixture::engine_packet`] —
-/// the single place that knows concrete engine types.
+/// hummingbird|scion|helia|drkey|gateway|null|all` (default: the
+/// binary's traditional engine set) and constructs engines exclusively
+/// through [`DataplaneFixture::engine`] +
+/// [`DataplaneFixture::engine_packet`] — the single place that knows
+/// concrete engine types.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum EngineKind {
     /// Hummingbird border router over flyover-tagged packets.
@@ -43,16 +44,19 @@ pub enum EngineKind {
     Drkey,
     /// The host-aggregating gateway (admission half).
     Gateway,
+    /// Best-effort pass-through: measures the harness's own overhead.
+    Null,
 }
 
 impl EngineKind {
     /// All sweepable engines.
-    pub const ALL: [EngineKind; 5] = [
+    pub const ALL: [EngineKind; 6] = [
         EngineKind::Hummingbird,
         EngineKind::Scion,
         EngineKind::Helia,
         EngineKind::Drkey,
         EngineKind::Gateway,
+        EngineKind::Null,
     ];
 
     /// Stable display name (matches `Datapath::engine_name` plus the
@@ -64,6 +68,7 @@ impl EngineKind {
             EngineKind::Helia => "helia",
             EngineKind::Drkey => "drkey",
             EngineKind::Gateway => "gateway",
+            EngineKind::Null => "null",
         }
     }
 
@@ -74,6 +79,7 @@ impl EngineKind {
             "helia" => Some(vec![EngineKind::Helia]),
             "drkey" => Some(vec![EngineKind::Drkey]),
             "gateway" => Some(vec![EngineKind::Gateway]),
+            "null" => Some(vec![EngineKind::Null]),
             "all" => Some(EngineKind::ALL.to_vec()),
             _ => None,
         }
@@ -99,7 +105,8 @@ pub fn engines_from_args(default: &[EngineKind]) -> Vec<EngineKind> {
                 Some(kinds) => selected.extend(kinds),
                 None => {
                     eprintln!(
-                        "unknown engine '{v}'; expected hummingbird|scion|helia|drkey|gateway|all"
+                        "unknown engine '{v}'; expected \
+                         hummingbird|scion|helia|drkey|gateway|null|all"
                     );
                     std::process::exit(2);
                 }
@@ -112,6 +119,67 @@ pub fn engines_from_args(default: &[EngineKind]) -> Vec<EngineKind> {
     } else {
         selected
     }
+}
+
+/// The value of `--<name> <v>` / `--<name>=<v>` in the process
+/// arguments, if present.
+fn flag_value(name: &str) -> Option<String> {
+    let long = format!("--{name}");
+    let prefixed = format!("--{name}=");
+    let args: Vec<String> = std::env::args().collect();
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == long && i + 1 < args.len() {
+            return Some(args[i + 1].clone());
+        }
+        if let Some(v) = args[i].strip_prefix(&prefixed) {
+            return Some(v.to_owned());
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Whether the bare flag `--<name>` appears in the process arguments.
+pub fn flag_present(name: &str) -> bool {
+    let long = format!("--{name}");
+    std::env::args().any(|a| a == long)
+}
+
+/// Parses `--cores 1,2,4` (comma-separated list) from the process
+/// arguments; `default` applies when the flag is absent. Exits with a
+/// usage message on malformed input.
+pub fn cores_from_args(default: &[usize]) -> Vec<usize> {
+    let Some(v) = flag_value("cores") else { return default.to_vec() };
+    let parsed: Option<Vec<usize>> =
+        v.split(',').map(|p| p.trim().parse::<usize>().ok().filter(|&c| c > 0)).collect();
+    match parsed {
+        Some(cores) if !cores.is_empty() => cores,
+        _ => {
+            eprintln!("bad --cores '{v}'; expected a comma-separated list like 1,2,4");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Parses `--pkts <n>` (total per-core packet budget override, letting CI
+/// smoke-run the figures with tiny counts); `default` applies when the
+/// flag is absent.
+pub fn pkts_from_args(default: u64) -> u64 {
+    let Some(v) = flag_value("pkts") else { return default };
+    match v.parse::<u64>() {
+        Ok(n) => n,
+        Err(_) => {
+            eprintln!("bad --pkts '{v}'; expected an unsigned packet count");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Whether `--sharded` was passed (figure binaries add a sharded-runtime
+/// sweep next to the per-core-clone one).
+pub fn sharded_from_args() -> bool {
+    flag_present("sharded")
 }
 
 /// A self-contained data-plane fixture: one source path of `h` hops plus
@@ -209,7 +277,22 @@ impl DataplaneFixture {
                 gw.admit_host(1, HostShare { rate_kbps: 10_000_000 });
                 Box::new(gw)
             }
+            EngineKind::Null => Box::new(NullEngine::new()),
         }
+    }
+
+    /// One logical hop-0 router of `kind` sharded across `shards`
+    /// engines, with steering matched to how the engine keys its state
+    /// (by reservation for routers, by source for the gateway's per-host
+    /// buckets).
+    pub fn sharded_engine(&self, kind: EngineKind, shards: usize) -> ShardedRouter {
+        let steering =
+            if kind == EngineKind::Gateway { Steering::BySource } else { Steering::ByReservation };
+        ShardedRouter::new(
+            (0..shards.max(1)).map(|_| self.engine(kind)).collect(),
+            RouterConfig::default().policer_slots,
+            steering,
+        )
     }
 
     /// A serialized `payload_len`-byte packet the matching
@@ -220,7 +303,9 @@ impl DataplaneFixture {
         let payload = vec![0u8; payload_len];
         match kind {
             EngineKind::Hummingbird => self.packet(payload_len, true),
-            EngineKind::Scion | EngineKind::Gateway => self.packet(payload_len, false),
+            EngineKind::Scion | EngineKind::Gateway | EngineKind::Null => {
+                self.packet(payload_len, false)
+            }
             EngineKind::Helia => {
                 let path = self.beacon_path();
                 let mut sender = HeliaSender::new(src, dst, path);
@@ -248,6 +333,74 @@ impl DataplaneFixture {
                 sender.generate(&payload, EPOCH_MS).expect("generation")
             }
         }
+    }
+
+    /// A reserved generator whose hop-0 reservation uses `res_id` — the
+    /// knob flow-diverse workloads turn so different flows land in
+    /// different policing slots (and, sharded, on different shards).
+    fn reserved_generator_with_res0(&self, res_id: u32) -> SourceGenerator {
+        let mut generator = self.generator(true);
+        let (ingress, egress) = self.interfaces(0);
+        let res_info = ResInfo {
+            ingress,
+            egress,
+            res_id,
+            bw_encoded: 1000, // huge class so policing never bites
+            res_start: EPOCH_S as u32 - 50,
+            duration: 36_000,
+        };
+        let key = self.svs[0].derive_key(&res_info);
+        generator
+            .attach_reservation(0, SourceReservation { res_info, key })
+            .expect("interfaces match");
+        generator
+    }
+
+    /// `flows` distinct packet templates the hop-0 engine of `kind`
+    /// accepts, with flow identities spread so RSS steering can balance
+    /// them: reservation-bearing kinds get ResIDs spread evenly across
+    /// the policing array ([0, `policer_slots`)), plain kinds get
+    /// distinct per-packet timestamps (the duplicate-filter key the
+    /// plain flow hash covers). DRKey carries no reservation axis, so
+    /// its flows intentionally share one shard under reservation
+    /// steering — the engine-model skew the sharded sweep makes visible.
+    pub fn flow_packets(&self, kind: EngineKind, payload_len: usize, flows: usize) -> Vec<Vec<u8>> {
+        let flows = flows.max(1);
+        let slots = RouterConfig::default().policer_slots;
+        let payload = vec![0u8; payload_len];
+        (0..flows)
+            .map(|f| {
+                // 1 + f·step stays strictly inside [1, slots).
+                let step = slots.saturating_sub(2) / flows as u32;
+                let res_id = 1 + f as u32 * step;
+                match kind {
+                    EngineKind::Hummingbird => self
+                        .reserved_generator_with_res0(res_id)
+                        .generate(&payload, EPOCH_MS + f as u64)
+                        .expect("generation"),
+                    EngineKind::Scion | EngineKind::Gateway | EngineKind::Null => self
+                        .generator(false)
+                        .generate(&payload, EPOCH_MS + f as u64)
+                        .expect("generation"),
+                    EngineKind::Helia => {
+                        let (src, dst) = Self::endpoints();
+                        let (ingress, egress) = self.interfaces(0);
+                        let issuer = HeliaDatapath::new(
+                            DRKEY_MASTER,
+                            self.hop_keys[0].clone(),
+                            RouterConfig::default(),
+                        );
+                        let grant = issuer
+                            .issue_grant(src, slot_of(EPOCH_S), res_id, 10_000_000, ingress, egress)
+                            .expect("encodable share");
+                        let mut sender = HeliaSender::new(src, dst, self.beacon_path());
+                        sender.attach_grant(0, &grant).expect("matching interfaces");
+                        sender.generate(&payload, EPOCH_MS + f as u64).expect("generation")
+                    }
+                    EngineKind::Drkey => self.engine_packet(kind, payload_len),
+                }
+            })
+            .collect()
     }
 
     fn beacon_path(&self) -> hummingbird_wire::HummingbirdPath {
@@ -326,6 +479,34 @@ mod tests {
             let v = router.process(&mut pkt, EPOCH_NS);
             assert!(v.egress().is_some(), "h={h}: {v:?}");
         }
+    }
+
+    #[test]
+    fn flow_packets_verify_and_spread_across_shards() {
+        use hummingbird_dataplane::Verdict;
+        let fx = DataplaneFixture::new(2);
+        for kind in [EngineKind::Hummingbird, EngineKind::Helia, EngineKind::Scion] {
+            let flows = fx.flow_packets(kind, 300, 8);
+            assert_eq!(flows.len(), 8);
+            let mut sharded = fx.sharded_engine(kind, 4);
+            let mut single = fx.engine(kind);
+            for pkt in &flows {
+                let a = single.process(&mut pkt.clone(), EPOCH_NS);
+                let b = sharded.process(&mut pkt.clone(), EPOCH_NS);
+                assert_eq!(a, b, "{kind:?}");
+                assert!(a.egress().is_some(), "{kind:?}: {a:?}");
+            }
+            assert_eq!(single.stats(), sharded.stats(), "{kind:?}");
+            if kind != EngineKind::Scion {
+                // Reservation kinds must actually spread across shards.
+                let active = sharded.shard_stats().iter().filter(|s| s.processed > 0).count();
+                assert!(active > 1, "{kind:?} flows all landed on one shard");
+            }
+        }
+        // The null engine forwards anything, including flow templates.
+        let mut null = fx.engine(EngineKind::Null);
+        let pkt = fx.flow_packets(EngineKind::Null, 100, 2).remove(0);
+        assert_eq!(null.process(&mut pkt.clone(), EPOCH_NS), Verdict::BestEffort { egress: 0 });
     }
 
     #[test]

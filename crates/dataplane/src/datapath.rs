@@ -267,6 +267,47 @@ impl<D: Datapath + ?Sized> Datapath for Box<D> {
     }
 }
 
+/// A best-effort pass-through engine: no parsing, no verification, no
+/// policing — every packet is forwarded best-effort through egress 0.
+///
+/// Useful as the zero of the engine lattice: driving a harness (the
+/// multicore rig, the worker-ring runtime, a figure binary) with
+/// `--engine null` measures the harness's own overhead — ring hops,
+/// batch bookkeeping, buffer resets — so every other engine's cost can
+/// be read as "minus the null baseline". Stats are still tallied, so
+/// sharded/batched drivers can verify packet conservation.
+#[derive(Clone, Debug, Default)]
+pub struct NullEngine {
+    stats: DatapathStats,
+}
+
+impl NullEngine {
+    /// Creates the engine.
+    pub fn new() -> Self {
+        NullEngine::default()
+    }
+}
+
+impl Datapath for NullEngine {
+    fn process(&mut self, _pkt: &mut [u8], _now_ns: u64) -> Verdict {
+        let verdict = Verdict::BestEffort { egress: 0 };
+        self.stats.record(verdict);
+        verdict
+    }
+
+    fn engine_name(&self) -> &'static str {
+        "null"
+    }
+
+    fn stats(&self) -> DatapathStats {
+        self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats = DatapathStats::default();
+    }
+}
+
 /// Builds a [`BorderRouter`] by composing the pipeline stages explicitly.
 ///
 /// The pipeline is fixed in order — parse → flyover MAC re-derivation →
@@ -390,6 +431,21 @@ mod tests {
         assert!(cfg.duplicate_suppression);
         let router = b.build();
         assert_eq!(router.engine_name(), "hummingbird");
+    }
+
+    #[test]
+    fn null_engine_forwards_everything_best_effort() {
+        let mut null = NullEngine::new();
+        let v = null.process(&mut [0u8; 8], 0);
+        assert_eq!(v, Verdict::BestEffort { egress: 0 });
+        let mut batch: Vec<PacketBuf> = (0..5).map(|_| PacketBuf::new(vec![0u8; 64])).collect();
+        let mut out = Vec::new();
+        null.process_batch(&mut batch, 0, &mut out);
+        assert!(out.iter().all(|v| matches!(v, Verdict::BestEffort { egress: 0 })));
+        assert_eq!(null.stats().processed, 6);
+        assert_eq!(null.stats().best_effort, 6);
+        null.reset_stats();
+        assert_eq!(null.stats(), DatapathStats::default());
     }
 
     #[test]

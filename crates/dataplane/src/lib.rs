@@ -14,11 +14,17 @@
 //! * [`beacon`] — forges valid SCION paths (the beaconing substitute).
 //! * [`dup`] — optional duplicate suppression (§5.4 ablation).
 //! * [`multicore`] — `std::thread`-based throughput harness for the
-//!   Fig. 5/14 scaling experiments, generic over any [`Datapath`] engine.
+//!   Fig. 5/14 scaling experiments, generic over any [`Datapath`] engine
+//!   (now one configuration of the [`runtime`]).
+//! * [`runtime`] — the sharded worker-ring runtime: bounded SPSC rings
+//!   model NIC queues, an RSS-style flow hash steers each reservation to
+//!   the one shard that polices it, and the [`ShardedRouter`] facade
+//!   exposes the whole thing as a single [`Datapath`] engine.
 //! * [`datapath`] — the unified batch-oriented [`Datapath`] trait that
 //!   every packet-processing engine (router, gateway, baselines)
 //!   implements, plus the shared [`Verdict`]/[`DropReason`]/
-//!   [`DatapathStats`] vocabulary and the [`DatapathBuilder`].
+//!   [`DatapathStats`] vocabulary, the [`DatapathBuilder`], and the
+//!   [`NullEngine`] calibration engine.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -30,16 +36,23 @@ pub mod gateway;
 pub mod multicore;
 pub mod policing;
 pub mod router;
+pub mod runtime;
 pub mod source;
 
 pub use beacon::{forge_path, BeaconHop};
-pub use datapath::{Datapath, DatapathBuilder, DatapathStats, DropReason, PacketBuf, Verdict};
+pub use datapath::{
+    Datapath, DatapathBuilder, DatapathStats, DropReason, NullEngine, PacketBuf, Verdict,
+};
 pub use gateway::{Gateway, GatewayStats, GatewayVerdict, HostShare};
 pub use multicore::{
     forwarding_throughput, generation_throughput, Throughput, BATCH_SIZE, LINE_RATE_GBPS,
 };
 pub use policing::{FwdClass, Policer, DEFAULT_BURST_TIME_NS};
 pub use router::{BorderRouter, RouterConfig, RouterStats};
+pub use runtime::{
+    run_to_completion, RuntimeConfig, RuntimeMode, RuntimeReport, ShardMap, ShardReport,
+    ShardedRouter, Steering,
+};
 pub use source::{GenError, SourceGenerator, SourceReservation};
 
 #[cfg(test)]

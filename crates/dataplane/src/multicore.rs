@@ -1,25 +1,27 @@
 //! Multi-core throughput harness (paper §7.1-7.2, Figs. 5/14).
 //!
 //! The paper drives its DPDK implementation with a Spirent traffic
-//! generator over 4×40 Gbps links. Here each core runs an independent
-//! engine (or source generator) over an in-memory packet batch — the same
-//! per-packet work, scaled across threads with `std::thread::scope`.
+//! generator over 4×40 Gbps links. Here the [`crate::runtime`] worker-
+//! ring runtime supplies the cores: [`forwarding_throughput`] is the
+//! per-core-clone configuration of [`crate::runtime::run_to_completion`]
+//! (each core drives its own engine through its own NIC-model ring), and
+//! the sharded configuration — one logical router with RSS steering and
+//! correct cross-core policing — is reached through the same entry point
+//! with [`crate::runtime::RuntimeMode::Sharded`].
 //!
 //! # Migration note
 //!
-//! [`forwarding_throughput`] used to be hard-wired to `BorderRouter`; it
-//! is now generic over any [`Datapath`] engine and drives the engine's
-//! batch path ([`Datapath::process_batch`]), so every figure binary can
-//! sweep engines with a `--engine` flag. `HotLoopPacket` moved to the
-//! shared API as [`crate::PacketBuf`] (a deprecated alias remains).
+//! [`forwarding_throughput`] used to be hard-wired to `BorderRouter` and
+//! to a thread-private batch loop; it is generic over any [`Datapath`]
+//! engine and now runs on the worker-ring runtime. Engines that drop
+//! traffic are measurable — drops are tallied in the runtime report, not
+//! asserted away. The deprecated `HotLoopPacket` alias is gone: use
+//! [`crate::PacketBuf`].
 
-use crate::datapath::{Datapath, PacketBuf, Verdict};
+use crate::datapath::Datapath;
+use crate::runtime::{run_to_completion, RuntimeConfig, RuntimeMode};
 use crate::source::SourceGenerator;
 use std::time::Instant;
-
-/// Former name of [`PacketBuf`].
-#[deprecated(note = "renamed to hummingbird_dataplane::PacketBuf")]
-pub type HotLoopPacket = PacketBuf;
 
 /// The line rate of the paper's testbed: four 40 Gbps links.
 pub const LINE_RATE_GBPS: f64 = 160.0;
@@ -40,8 +42,12 @@ pub struct Throughput {
 }
 
 impl Throughput {
-    /// Aggregate throughput in Gbps.
+    /// Aggregate throughput in Gbps (0 for an instantaneous or empty
+    /// run — tiny smoke runs must not report `inf`/`NaN`).
     pub fn gbps(&self) -> f64 {
+        if self.seconds <= 0.0 {
+            return 0.0;
+        }
         self.bits as f64 / self.seconds / 1e9
     }
 
@@ -50,20 +56,30 @@ impl Throughput {
         self.gbps().min(LINE_RATE_GBPS)
     }
 
-    /// Million packets per second.
+    /// Million packets per second (0 for an instantaneous or empty run).
     pub fn mpps(&self) -> f64 {
+        if self.seconds <= 0.0 {
+            return 0.0;
+        }
         self.packets as f64 / self.seconds / 1e6
     }
 
-    /// Average nanoseconds per packet per core.
+    /// Average nanoseconds per packet per core (0 for an empty run).
     pub fn ns_per_pkt(&self, cores: usize) -> f64 {
+        if self.packets == 0 {
+            return 0.0;
+        }
         self.seconds * 1e9 * cores as f64 / self.packets as f64
     }
 }
 
 /// Measures forwarding throughput of any [`Datapath`] engine: `cores`
-/// threads each drive `pkts_per_core` copies of `packet` through their own
-/// engine instance in [`BATCH_SIZE`]-packet bursts via the batch path.
+/// worker shards each drive `pkts_per_core` copies of `packet` through
+/// their own engine instance in [`BATCH_SIZE`]-packet bursts via the
+/// batch path — the [`RuntimeMode::PerCoreClone`] configuration of the
+/// worker-ring runtime. Engines that drop traffic are measured, not
+/// rejected (drop counts live in the runtime report; use
+/// [`run_to_completion`] directly to inspect them).
 pub fn forwarding_throughput<D, F>(
     make_engine: F,
     packet: &[u8],
@@ -75,35 +91,20 @@ where
     D: Datapath,
     F: Fn() -> D + Sync,
 {
-    let seconds = std::thread::scope(|s| {
-        let mut handles = Vec::with_capacity(cores);
-        for _ in 0..cores {
-            let make_engine = &make_engine;
-            handles.push(s.spawn(move || {
-                let mut engine = make_engine();
-                let batch_len = BATCH_SIZE.min(pkts_per_core.max(1) as usize);
-                let mut batch: Vec<PacketBuf> =
-                    (0..batch_len).map(|_| PacketBuf::new(packet.to_vec())).collect();
-                let mut verdicts: Vec<Verdict> = Vec::with_capacity(batch_len);
-                let mut remaining = pkts_per_core;
-                let start = Instant::now();
-                while remaining > 0 {
-                    let n = (remaining as usize).min(batch_len);
-                    verdicts.clear();
-                    engine.process_batch(&mut batch[..n], now_ns, &mut verdicts);
-                    debug_assert!(verdicts.iter().all(|v| v.egress().is_some()), "{verdicts:?}");
-                    for pkt in &mut batch[..n] {
-                        pkt.reset();
-                    }
-                    remaining -= n as u64;
-                }
-                start.elapsed().as_secs_f64()
-            }));
-        }
-        handles.into_iter().map(|h| h.join().expect("worker panicked")).fold(0.0f64, f64::max)
-    });
-    let packets = pkts_per_core * cores as u64;
-    Throughput { packets, bits: packets * packet.len() as u64 * 8, seconds }
+    let cores = cores.max(1);
+    let mut cfg = RuntimeConfig::new(cores);
+    cfg.batch_size = BATCH_SIZE.min(pkts_per_core.max(1) as usize);
+    cfg.ring_capacity = cfg.batch_size.max(2);
+    let templates = [packet.to_vec()];
+    let report = run_to_completion(
+        &cfg,
+        RuntimeMode::PerCoreClone,
+        |_| make_engine(),
+        &templates,
+        pkts_per_core * cores as u64,
+        now_ns,
+    );
+    report.throughput()
 }
 
 /// Measures source traffic-generation throughput: `cores` threads each
@@ -163,5 +164,33 @@ mod tests {
     fn line_rate_cap() {
         let t = Throughput { packets: 1, bits: 400_000_000_000, seconds: 1.0 };
         assert!((t.gbps_line_capped() - LINE_RATE_GBPS).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_duration_and_zero_packets_are_finite() {
+        // Tiny smoke runs can complete inside the clock resolution; the
+        // arithmetic must stay finite instead of reporting inf/NaN.
+        let t = Throughput { packets: 10, bits: 8_000, seconds: 0.0 };
+        assert_eq!(t.gbps(), 0.0);
+        assert_eq!(t.gbps_line_capped(), 0.0);
+        assert_eq!(t.mpps(), 0.0);
+        let empty = Throughput { packets: 0, bits: 0, seconds: 1.0 };
+        assert_eq!(empty.ns_per_pkt(4), 0.0);
+        assert!(t.gbps().is_finite() && empty.mpps().is_finite());
+    }
+
+    #[test]
+    fn drop_heavy_engines_are_measurable() {
+        // Garbage traffic through a real router: every packet drops, and
+        // the harness measures it instead of asserting.
+        use crate::datapath::DatapathBuilder;
+        use hummingbird_crypto::SecretValue;
+        use hummingbird_wire::scion_mac::HopMacKey;
+        let make =
+            || DatapathBuilder::new(SecretValue::new([9; 16]), HopMacKey::new([4; 16])).build();
+        let junk = vec![0u8; 128];
+        let t = forwarding_throughput(make, &junk, 2, 500, 1);
+        assert_eq!(t.packets, 1_000);
+        assert!(t.gbps().is_finite());
     }
 }

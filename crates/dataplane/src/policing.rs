@@ -84,6 +84,18 @@ impl Policer {
         }
     }
 
+    /// Touches the deadline slot of `res_id` so it is cache-resident when
+    /// [`check`](Policer::check) runs — the batch path calls this for a
+    /// whole burst between key derivation and policing, mirroring the
+    /// DPDK prefetch the paper's router issues per burst. A no-op for
+    /// out-of-range ResIDs.
+    #[inline]
+    pub fn pre_touch(&self, res_id: u32) {
+        if let Some(slot) = self.ts_array.get(res_id as usize) {
+            std::hint::black_box(*slot);
+        }
+    }
+
     /// Resets one slot (e.g. when a ResID is recycled across reservations).
     pub fn reset(&mut self, res_id: u32) {
         if let Some(slot) = self.ts_array.get_mut(res_id as usize) {

@@ -17,10 +17,10 @@
 //! testable [`stages`] the [`crate::DatapathBuilder`] documents; baseline
 //! engines reuse the same stages with their own key-derivation rules.
 
-use crate::datapath::{Datapath, DatapathBuilder, DatapathStats};
+use crate::datapath::{Datapath, DatapathBuilder, DatapathStats, PacketBuf};
 use crate::dup::DuplicateSuppressor;
 use crate::policing::{Policer, DEFAULT_BURST_TIME_NS};
-use hummingbird_crypto::SecretValue;
+use hummingbird_crypto::{AuthKey, ResInfo, SecretValue};
 use hummingbird_wire::scion_mac::HopMacKey;
 
 pub use crate::datapath::{DropReason, Verdict};
@@ -358,23 +358,38 @@ pub mod stages {
         pub demoted_untimely: bool,
     }
 
-    /// The full stage driver shared by every engine built on this
-    /// pipeline (`BorderRouter` and the Helia/DRKey baselines): stages
-    /// 1-7 in order, with the two engine-specific points — authentication
-    /// key derivation and priority eligibility — as closures.
+    /// Stages 1-2a as one read-only unit: structural parsing plus, for
+    /// flyover hops, reconstruction of the key-derivation and MAC inputs.
     ///
-    /// `derive_key` maps a flyover hop to its authenticator (`A_i =
-    /// PRF_SV(ResInfo)` for Hummingbird, DRKey hierarchies for the
-    /// baselines); `eligible` decides priority-class eligibility (called
-    /// with `now_ms`; return `false` unconditionally for engines without
-    /// a priority class). `policer`/`dup` toggle the optional stages.
-    pub fn run_pipeline(
+    /// This is the half of the pipeline that needs no authentication key,
+    /// so batch paths run it over a whole burst first, derive every
+    /// burst key in one AES sweep, and then drive [`complete`] per
+    /// packet. `Ok((parsed, None))` means a plain SCION hop.
+    pub fn prepare(pkt: &[u8]) -> Result<(Parsed, Option<FlyoverInputs>), DropReason> {
+        let parsed = parse(pkt)?;
+        let inputs = if parsed.is_flyover() { Some(flyover_inputs(&parsed)?) } else { None };
+        Ok((parsed, inputs))
+    }
+
+    /// Stages 2b-7, given [`prepare`]d state and a pre-derived
+    /// authentication key: candidate-MAC aggregation, eligibility,
+    /// hop-field verification, optional duplicate suppression, in-place
+    /// header mutation, and policing.
+    ///
+    /// `flyover` pairs the prepared MAC inputs with the hop's
+    /// authenticator and must be `Some` exactly when [`prepare`] returned
+    /// flyover inputs; `eligible` decides priority-class eligibility
+    /// (called with `now_ms`; constant `false` for engines without a
+    /// priority class).
+    #[allow(clippy::too_many_arguments)] // the pipeline's full stage set
+    pub fn complete(
         pkt: &mut [u8],
         now_ns: u64,
         hop_key: &HopMacKey,
         policer: Option<&mut crate::policing::Policer>,
         dup: Option<&mut DuplicateSuppressor>,
-        derive_key: impl FnOnce(&Parsed, &FlyoverInputs) -> AuthKey,
+        parsed: &Parsed,
+        flyover: Option<(&FlyoverInputs, &AuthKey)>,
         eligible: impl FnOnce(&Parsed, &FlyoverInputs, u64) -> bool,
     ) -> PipelineOutcome {
         use super::Verdict;
@@ -386,42 +401,40 @@ pub mod stages {
             demoted_untimely: false,
         };
 
-        // Stage 1: parse.
-        let parsed = match parse(pkt) {
-            Ok(p) => p,
-            Err(r) => return drop(r),
-        };
-
-        // Stages 2-3: flyover MAC re-derivation + eligibility.
-        let (candidate_mac, priority) = if parsed.is_flyover() {
-            let inputs = match flyover_inputs(&parsed) {
-                Ok(i) => i,
-                Err(r) => return drop(r),
-            };
-            let auth_key = derive_key(&parsed, &inputs);
-            let candidate = candidate_hop_mac(&auth_key, &inputs);
-            let fresh = eligible(&parsed, &inputs, now_ms);
-            (candidate, fresh.then_some(inputs))
-        } else {
-            let HopKind::Plain(hf) = parsed.hop else { unreachable!() };
-            (hf.mac, None)
+        // Stages 2b-3: flyover MAC aggregation + eligibility.
+        let (candidate_mac, priority) = match flyover {
+            Some((inputs, auth_key)) => {
+                let candidate = candidate_hop_mac(auth_key, inputs);
+                let fresh = eligible(parsed, inputs, now_ms);
+                (candidate, fresh.then_some(inputs))
+            }
+            None => {
+                // A flyover hop without its derived key breaks the
+                // prepare/complete contract; fail closed rather than
+                // panic on packet content.
+                let HopKind::Plain(hf) = parsed.hop else {
+                    debug_assert!(false, "flyover hop completed without its auth key");
+                    return drop(DropReason::Malformed);
+                };
+                (hf.mac, None)
+            }
         };
 
         // Stage 4: hop-field expiry + SCION MAC verification.
-        let computed = match verify_hop_mac(hop_key, &parsed, &candidate_mac, now_s) {
+        let computed = match verify_hop_mac(hop_key, parsed, &candidate_mac, now_s) {
             Ok(tag) => tag,
             Err(r) => return drop(r),
         };
 
         // Stage 5 (optional): duplicate suppression.
         if let Some(dup) = dup {
-            if let Err(r) = duplicate_check(dup, &parsed, now_ns) {
+            if let Err(r) = duplicate_check(dup, parsed, now_ns) {
                 return drop(r);
             }
         }
 
         // Stage 6: in-place header mutation.
-        if let Err(r) = advance(pkt, &parsed, &computed) {
+        if let Err(r) = advance(pkt, parsed, &computed) {
             return drop(r);
         }
 
@@ -458,6 +471,57 @@ pub mod stages {
             },
         }
     }
+
+    /// The full stage driver shared by every engine built on this
+    /// pipeline (`BorderRouter` and the Helia/DRKey baselines): stages
+    /// 1-7 in order — [`prepare`], per-packet key derivation, then
+    /// [`complete`] — with the two engine-specific points —
+    /// authentication key derivation and priority eligibility — as
+    /// closures.
+    ///
+    /// `derive_key` maps a flyover hop to its authenticator (`A_i =
+    /// PRF_SV(ResInfo)` for Hummingbird, DRKey hierarchies for the
+    /// baselines); `eligible` decides priority-class eligibility (called
+    /// with `now_ms`; return `false` unconditionally for engines without
+    /// a priority class). `policer`/`dup` toggle the optional stages.
+    pub fn run_pipeline(
+        pkt: &mut [u8],
+        now_ns: u64,
+        hop_key: &HopMacKey,
+        policer: Option<&mut crate::policing::Policer>,
+        dup: Option<&mut DuplicateSuppressor>,
+        derive_key: impl FnOnce(&Parsed, &FlyoverInputs) -> AuthKey,
+        eligible: impl FnOnce(&Parsed, &FlyoverInputs, u64) -> bool,
+    ) -> PipelineOutcome {
+        let (parsed, inputs) = match prepare(pkt) {
+            Ok(prep) => prep,
+            Err(r) => {
+                return PipelineOutcome {
+                    verdict: super::Verdict::Drop(r),
+                    demoted_overuse: false,
+                    demoted_untimely: false,
+                }
+            }
+        };
+        let auth_key = inputs.as_ref().map(|i| derive_key(&parsed, i));
+        let flyover = inputs.as_ref().zip(auth_key.as_ref());
+        complete(pkt, now_ns, hop_key, policer, dup, &parsed, flyover, eligible)
+    }
+}
+
+/// Reusable per-burst scratch of the batched
+/// [`Datapath::process_batch`] override, so steady-state bursts allocate
+/// nothing once the vectors reach burst size.
+#[derive(Default)]
+struct BatchScratch {
+    /// Per-packet outcome of the read-only pipeline half.
+    prepared: Vec<Result<(stages::Parsed, Option<stages::FlyoverInputs>), DropReason>>,
+    /// The burst's flyover reservations, in packet order.
+    res_infos: Vec<ResInfo>,
+    /// KDF input blocks (reused by `derive_keys_batch`).
+    kdf_blocks: Vec<[u8; 16]>,
+    /// One derived `A_i` per entry of `res_infos`.
+    keys: Vec<AuthKey>,
 }
 
 /// A Hummingbird-enabled border router of one AS.
@@ -471,6 +535,7 @@ pub struct BorderRouter {
     policer: Policer,
     dup: Option<DuplicateSuppressor>,
     stats: DatapathStats,
+    batch: BatchScratch,
 }
 
 impl BorderRouter {
@@ -483,6 +548,7 @@ impl BorderRouter {
             dup: DatapathBuilder::make_suppressor(&cfg),
             cfg,
             stats: DatapathStats::default(),
+            batch: BatchScratch::default(),
         }
     }
 
@@ -496,7 +562,7 @@ impl BorderRouter {
     /// Hummingbird's key derivation: `A_i ← PRF_SV(ResInfo)` (including
     /// the AES key extension).
     fn process_inner(&mut self, pkt: &mut [u8], now_ns: u64) -> Verdict {
-        let BorderRouter { sv, hop_key, cfg, policer, dup, stats } = self;
+        let BorderRouter { sv, hop_key, cfg, policer, dup, stats, batch: _ } = self;
         let out = stages::run_pipeline(
             pkt,
             now_ns,
@@ -517,6 +583,69 @@ impl Datapath for BorderRouter {
         let verdict = self.process_inner(pkt, now_ns);
         self.stats.record(verdict);
         verdict
+    }
+
+    /// The batched Algorithm 2: the read-only pipeline half runs over the
+    /// whole burst first, every `A_i` of the burst is derived in **one
+    /// AES sweep** ([`SecretValue::derive_keys_batch`]) and the policer
+    /// slots the burst will hit are pre-touched, then the stateful stages
+    /// (verification, duplicate suppression, header mutation, policing)
+    /// run per packet in input order — so verdicts and stats stay
+    /// element-wise identical to sequential [`Datapath::process`] calls
+    /// (the contract `tests/prop_datapath.rs` enforces).
+    fn process_batch(&mut self, pkts: &mut [PacketBuf], now_ns: u64, out: &mut Vec<Verdict>) {
+        let BorderRouter { sv, hop_key, cfg, policer, dup, stats, batch } = self;
+        let BatchScratch { prepared, res_infos, kdf_blocks, keys } = batch;
+        prepared.clear();
+        res_infos.clear();
+        keys.clear();
+
+        // Pass 1 (read-only): parse + flyover-input reconstruction.
+        for pkt in pkts.iter() {
+            let prep = stages::prepare(pkt.as_bytes());
+            if let Ok((_, Some(inputs))) = &prep {
+                res_infos.push(inputs.res_info);
+            }
+            prepared.push(prep);
+        }
+
+        // The amortized per-burst work: one AES sweep over every key
+        // derivation, then a prefetch pass over the policing slots.
+        sv.derive_keys_batch(res_infos, kdf_blocks, keys);
+        for info in res_infos.iter() {
+            policer.pre_touch(info.res_id);
+        }
+
+        // Pass 2 (stateful, in input order).
+        out.reserve(pkts.len());
+        let mut next_key = keys.iter();
+        for (pkt, prep) in pkts.iter_mut().zip(prepared.drain(..)) {
+            let verdict = match prep {
+                Err(r) => Verdict::Drop(r),
+                Ok((parsed, inputs)) => {
+                    let flyover = inputs
+                        .as_ref()
+                        .map(|i| (i, next_key.next().expect("one key per flyover hop")));
+                    let outcome = stages::complete(
+                        pkt.bytes_mut(),
+                        now_ns,
+                        hop_key,
+                        Some(&mut *policer),
+                        dup.as_mut(),
+                        &parsed,
+                        flyover,
+                        |parsed, inputs, now_ms| {
+                            stages::freshness(cfg, parsed, &inputs.res_info, now_ms)
+                        },
+                    );
+                    stats.demoted_overuse += u64::from(outcome.demoted_overuse);
+                    stats.demoted_untimely += u64::from(outcome.demoted_untimely);
+                    outcome.verdict
+                }
+            };
+            stats.record(verdict);
+            out.push(verdict);
+        }
     }
 
     fn engine_name(&self) -> &'static str {

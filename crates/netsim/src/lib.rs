@@ -86,6 +86,39 @@ mod tests {
         assert!(a.queue_drops > 0, "flood must overflow the best-effort queue");
     }
 
+    /// The same D2 flooding scenario with the entry router swapped for a
+    /// 4-shard [`hummingbird_dataplane::ShardedRouter`] via
+    /// `replace_engine`: the sharded facade is a drop-in node engine and
+    /// the QoS property is unchanged.
+    #[test]
+    fn sharded_router_node_preserves_flood_protection() {
+        let cfg = RouterConfig::default();
+        let mut topo = LinearTopology::build(3, LinkSpec::default(), START_NS, cfg);
+        let entry = topo.as_nodes[0];
+        let sharded = topo.make_sharded_hop_engine(0, cfg, 4);
+        topo.sim.replace_engine(entry, sharded).ok().expect("entry node is a router");
+        let run_s = 2;
+        let victim = topo.add_cbr_flow(
+            src(),
+            dst(),
+            1000,
+            2_000,
+            Some(3_000),
+            START_NS,
+            START_NS + run_s * SEC,
+        );
+        let attacker =
+            topo.add_cbr_flow(atk(), dst(), 1000, 30_000, None, START_NS, START_NS + run_s * SEC);
+        topo.sim.run_until(START_NS + (run_s + 1) * SEC);
+        let v = topo.sim.stats(victim);
+        let a = topo.sim.stats(attacker);
+        assert!(v.delivery_ratio() > 0.99, "sharded node: ratio {}", v.delivery_ratio());
+        assert!(a.goodput_kbps(run_s as f64) < 9_000.0);
+        // The facade aggregates stats across its shards like one router.
+        let rs = topo.sim.router_stats(entry).unwrap();
+        assert_eq!(rs.processed, v.sent_pkts + a.sent_pkts, "every packet counted once");
+    }
+
     /// Baseline: the same victim *without* a reservation is starved by the
     /// flood — this is the problem Hummingbird solves.
     #[test]

@@ -4,7 +4,7 @@
 use crate::sim::{Flow, FlowId, Node, NodeId, Simulator};
 use hummingbird_crypto::{ResInfo, SecretValue};
 use hummingbird_dataplane::{
-    forge_path, BeaconHop, Datapath, DatapathBuilder, RouterConfig, SourceGenerator,
+    forge_path, BeaconHop, Datapath, DatapathBuilder, RouterConfig, ShardedRouter, SourceGenerator,
     SourceReservation,
 };
 use hummingbird_wire::bwcls;
@@ -157,6 +157,22 @@ impl LinearTopology {
         DatapathBuilder::new(self.svs[hop].clone(), self.hop_keys[hop].clone())
             .config(cfg)
             .build_boxed()
+    }
+
+    /// Hop `i`'s router sharded across `shards` engines behind the
+    /// [`ShardedRouter`] facade — a drop-in for
+    /// [`Simulator::replace_engine`], so any scenario can rerun with a
+    /// multi-core router node and identical verdicts (the facade steers
+    /// every ResID to the one shard that polices it).
+    pub fn make_sharded_hop_engine(
+        &self,
+        hop: usize,
+        cfg: RouterConfig,
+        shards: usize,
+    ) -> Box<dyn Datapath + Send> {
+        Box::new(ShardedRouter::from_fn(shards, cfg.policer_slots, |_| {
+            self.make_hop_engine(hop, cfg)
+        }))
     }
 
     /// Builds a fresh source generator over the chain's beaconed path.

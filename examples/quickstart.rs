@@ -95,18 +95,35 @@ fn main() {
         .map(|i| PacketBuf::new(generator.generate(&[0u8; 200], t0 * 1000 + i).unwrap()))
         .collect();
     let mut verdicts = Vec::new();
+    // Returns (priority verdicts, batch size) for any engine.
     let mut verdict_probe = |engine: &mut dyn Datapath| {
         verdicts.clear();
+        for pkt in &mut batch {
+            pkt.reset(); // engines advance the header in place
+        }
         engine.process_batch(&mut batch, now_ns, &mut verdicts);
-        verdicts.iter().filter(|v| v.is_flyover()).count()
+        (verdicts.iter().filter(|v| v.is_flyover()).count(), verdicts.len())
     };
     let mut router = tb.topo.make_hop_engine(0, tb.cfg.router);
-    let priority = verdict_probe(router.as_mut());
+    let (priority, total) = verdict_probe(router.as_mut());
     println!(
         "Datapath batch API: {} of {} packets verified with priority at a fresh hop-0 \"{}\" engine",
         priority,
-        verdicts.len(),
+        total,
         router.engine_name(),
     );
-    assert_eq!(priority, verdicts.len());
+    assert_eq!(priority, total);
+
+    // --- Sharded runtime facade --------------------------------------
+    // The same trait also fronts a whole multi-core router: a
+    // `ShardedRouter` RSS-steers each reservation to the one shard that
+    // polices it, and behaves observably like the single engine above.
+    let mut sharded = tb.topo.make_sharded_hop_engine(0, tb.cfg.router, 4);
+    let (priority, total) = verdict_probe(sharded.as_mut());
+    println!(
+        "Sharded runtime: the same {} packets verified with priority across a 4-shard \"{}\" router",
+        priority,
+        sharded.engine_name(),
+    );
+    assert_eq!(priority, total);
 }
