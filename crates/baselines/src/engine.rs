@@ -22,8 +22,8 @@
 use crate::drkey::{epoch_of, DrKeySecret, EPOCH_SECS};
 use crate::helia::{slot_key, slot_of, SLOT_SECS};
 use hummingbird_crypto::aes::Aes128;
-use hummingbird_crypto::{AuthKey, ResInfo};
-use hummingbird_dataplane::router::{stages, RouterConfig};
+use hummingbird_crypto::{AuthKey, AuthKeyCache, ResInfo};
+use hummingbird_dataplane::router::{stages, RouterConfig, DEFAULT_AUTH_KEY_CACHE_SLOTS};
 use hummingbird_dataplane::{
     Datapath, DatapathStats, GenError, Policer, SourceGenerator, SourceReservation, Verdict,
 };
@@ -62,10 +62,13 @@ pub struct HeliaDatapath {
     hop_key: HopMacKey,
     cfg: RouterConfig,
     policer: Policer,
-    /// Last `(source AS, slot, res_id, bw)` → expanded packet key, so
-    /// consecutive packets of one flow skip the DRKey derivation chain
-    /// (a real Helia router holds per-grant keys for the whole slot).
-    key_cache: Option<((IsdAs, u64, u32, u16), AuthKey)>,
+    /// `(source AS, slot, res_id, bw)` → expanded packet key: the same
+    /// [`AuthKeyCache`] the Hummingbird router uses, instantiated over
+    /// Helia's grant identity, so consecutive packets of one flow skip
+    /// the DRKey derivation chain *and* the AES key expansion (a real
+    /// Helia router holds per-grant keys for the whole slot). `None`
+    /// when `cfg.auth_key_cache_slots == 0`.
+    key_cache: Option<AuthKeyCache<(IsdAs, u64, u32, u16)>>,
     stats: DatapathStats,
 }
 
@@ -76,8 +79,9 @@ impl HeliaDatapath {
             drkey_master,
             hop_key,
             policer: Policer::new(cfg.policer_slots, cfg.burst_time_ns),
+            key_cache: (cfg.auth_key_cache_slots > 0)
+                .then(|| AuthKeyCache::new(cfg.auth_key_cache_slots as usize)),
             cfg,
-            key_cache: None,
             stats: DatapathStats::default(),
         }
     }
@@ -136,19 +140,12 @@ impl HeliaDatapath {
                 let slot = u64::from(inputs.res_info.res_start) / SLOT_SECS;
                 let id =
                     (parsed.addr.src, slot, inputs.res_info.res_id, inputs.res_info.bw_encoded);
+                let derive = || {
+                    AuthKey::new(helia_packet_key(drkey_master, parsed.addr.src, slot, id.2, id.3))
+                };
                 match key_cache {
-                    Some((cached_id, key)) if *cached_id == id => key.clone(),
-                    _ => {
-                        let key = AuthKey::new(helia_packet_key(
-                            drkey_master,
-                            parsed.addr.src,
-                            slot,
-                            id.2,
-                            id.3,
-                        ));
-                        *key_cache = Some((id, key.clone()));
-                        key
-                    }
+                    Some(cache) => cache.get_or_derive(&id, derive).clone(),
+                    None => derive(),
                 }
             },
             |parsed, inputs, now_ms| {
@@ -174,11 +171,19 @@ impl Datapath for HeliaDatapath {
     }
 
     fn stats(&self) -> DatapathStats {
-        self.stats
+        let mut stats = self.stats;
+        if let Some(cache) = &self.key_cache {
+            stats.key_cache_hits = cache.hits();
+            stats.key_cache_misses = cache.misses();
+        }
+        stats
     }
 
     fn reset_stats(&mut self) {
         self.stats = DatapathStats::default();
+        if let Some(cache) = &mut self.key_cache {
+            cache.reset_counters();
+        }
     }
 }
 
@@ -261,13 +266,24 @@ pub struct DrKeyDatapath {
     hop_key: HopMacKey,
     /// Cached epoch secret (derives lazily; rotates with the clock).
     epoch_secret: Option<(u64, DrKeySecret)>,
+    /// `(source AS, host, epoch)` → expanded host key, so the AES key
+    /// expansion of `K_{A→B:H}` runs once per host per epoch instead of
+    /// once per packet (the shared [`AuthKeyCache`] over the PISKES key
+    /// identity).
+    host_key_cache: AuthKeyCache<(IsdAs, [u8; 4], u64)>,
     stats: DatapathStats,
 }
 
 impl DrKeyDatapath {
     /// Creates the engine with the AS's DRKey master and SCION hop key.
     pub fn new(drkey_master: [u8; 16], hop_key: HopMacKey) -> Self {
-        DrKeyDatapath { drkey_master, hop_key, epoch_secret: None, stats: DatapathStats::default() }
+        DrKeyDatapath {
+            drkey_master,
+            hop_key,
+            epoch_secret: None,
+            host_key_cache: AuthKeyCache::new(DEFAULT_AUTH_KEY_CACHE_SLOTS as usize),
+            stats: DatapathStats::default(),
+        }
     }
 
     /// The host key this engine accepts for `(src, host)` at `now_s` —
@@ -283,8 +299,9 @@ impl DrKeyDatapath {
     /// authenticated packet — flyover-tagged or plain — rides best
     /// effort.
     fn process_inner(&mut self, pkt: &mut [u8], now_ns: u64) -> Verdict {
-        let DrKeyDatapath { drkey_master, hop_key, epoch_secret, stats: _ } = self;
+        let DrKeyDatapath { drkey_master, hop_key, epoch_secret, host_key_cache, stats: _ } = self;
         let now_s = now_ns / 1_000_000_000;
+        let epoch = epoch_of(now_s);
         let out = stages::run_pipeline(
             pkt,
             now_ns,
@@ -292,8 +309,13 @@ impl DrKeyDatapath {
             None,
             None,
             |parsed, _| {
-                let sv = cached_epoch_secret(epoch_secret, drkey_master, epoch_of(now_s));
-                AuthKey::new(sv.as_to_host(parsed.addr.src, parsed.addr.src_host))
+                let id = (parsed.addr.src, parsed.addr.src_host, epoch);
+                host_key_cache
+                    .get_or_derive(&id, || {
+                        let sv = cached_epoch_secret(epoch_secret, drkey_master, epoch);
+                        AuthKey::new(sv.as_to_host(parsed.addr.src, parsed.addr.src_host))
+                    })
+                    .clone()
             },
             |_, _, _| false,
         );
@@ -313,11 +335,15 @@ impl Datapath for DrKeyDatapath {
     }
 
     fn stats(&self) -> DatapathStats {
-        self.stats
+        let mut stats = self.stats;
+        stats.key_cache_hits = self.host_key_cache.hits();
+        stats.key_cache_misses = self.host_key_cache.misses();
+        stats
     }
 
     fn reset_stats(&mut self) {
         self.stats = DatapathStats::default();
+        self.host_key_cache.reset_counters();
     }
 }
 

@@ -4,12 +4,68 @@
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use hummingbird_bench::{DataplaneFixture, EngineKind, EPOCH_MS, EPOCH_NS, EPOCH_S};
-use hummingbird_crypto::aes::Aes128;
+use hummingbird_crypto::aes::{bytewise::ByteAes128, Aes128, AesBackend};
 use hummingbird_crypto::cmac::Cmac;
 use hummingbird_crypto::sha256::Sha256;
-use hummingbird_crypto::{AuthKey, FlyoverMacInput, ResInfo, SecretValue};
+use hummingbird_crypto::{
+    flyover_tags_batch, ni_available, AuthKey, AuthKeyCache, FlyoverMacInput, ResInfo, SecretValue,
+};
 use hummingbird_dataplane::policing::Policer;
 use hummingbird_dataplane::{Datapath, PacketBuf};
+
+/// Single-block AES across the three implementations: the retired
+/// byte-oriented core (the "before" reference), the portable T-table
+/// backend, and AES-NI where the CPU supports it. The acceptance bar for
+/// this PR is soft ≥ 5× the byte-oriented reference, with `ni` faster
+/// still.
+fn bench_aes_backends(c: &mut Criterion) {
+    let mut g = c.benchmark_group("aes_backends");
+    let key = [7u8; 16];
+    let byte = ByteAes128::new(&key);
+    g.bench_function("block_bytewise_reference", |b| {
+        let mut block = [0u8; 16];
+        b.iter(|| {
+            byte.encrypt_block(&mut block);
+            std::hint::black_box(&block);
+        })
+    });
+    let mut backends = vec![AesBackend::Soft];
+    if ni_available() {
+        backends.push(AesBackend::Ni);
+    }
+    for backend in backends {
+        let aes = Aes128::with_backend(&key, backend);
+        g.bench_function(format!("block_{}", backend.name()), |b| {
+            let mut block = [0u8; 16];
+            b.iter(|| {
+                aes.encrypt_block(&mut block);
+                std::hint::black_box(&block);
+            })
+        });
+        // Interleaved multi-block vs a single-block loop: the win of
+        // keeping 4-8 independent blocks in flight.
+        g.bench_function(format!("blocks32_loop_{}", backend.name()), |b| {
+            let mut blocks = [[0u8; 16]; 32];
+            b.iter(|| {
+                for block in blocks.iter_mut() {
+                    aes.encrypt_block(block);
+                }
+                std::hint::black_box(&blocks);
+            })
+        });
+        g.bench_function(format!("blocks32_interleaved_{}", backend.name()), |b| {
+            let mut blocks = [[0u8; 16]; 32];
+            b.iter(|| {
+                aes.encrypt_blocks(&mut blocks);
+                std::hint::black_box(&blocks);
+            })
+        });
+        g.bench_function(format!("key_expansion_{}", backend.name()), |b| {
+            b.iter(|| std::hint::black_box(Aes128::with_backend(&[9u8; 16], backend)))
+        });
+    }
+    g.finish();
+}
 
 fn bench_crypto(c: &mut Criterion) {
     let mut g = c.benchmark_group("crypto");
@@ -26,6 +82,7 @@ fn bench_crypto(c: &mut Criterion) {
     });
     let cmac = Cmac::new(&[7u8; 16]);
     g.bench_function("cmac_one_block", |b| b.iter(|| std::hint::black_box(cmac.mac(&[0u8; 16]))));
+    g.bench_function("cmac_two_blocks", |b| b.iter(|| std::hint::black_box(cmac.mac(&[0u8; 32]))));
     g.bench_function("sha256_64B", |b| b.iter(|| std::hint::black_box(Sha256::digest(&[0u8; 64]))));
     g.finish();
 }
@@ -63,6 +120,15 @@ fn bench_derivations(c: &mut Criterion) {
             std::hint::black_box(keys.len());
         })
     });
+    // Cached vs uncached `A_i` resolution: the per-packet cost once the
+    // reservation's expanded schedule is resident.
+    g.bench_function("derive_auth_key_cached", |b| {
+        let mut cache: AuthKeyCache = AuthKeyCache::new(1024);
+        cache.get_or_derive(&info, || sv.derive_key(&info));
+        b.iter(|| {
+            std::hint::black_box(cache.get_or_derive(&info, || sv.derive_key(&info)).to_bytes())
+        })
+    });
     let key = AuthKey::new([5u8; 16]);
     let input = FlyoverMacInput {
         dst_isd: 2,
@@ -73,6 +139,29 @@ fn bench_derivations(c: &mut Criterion) {
         counter: 2,
     };
     g.bench_function("flyover_mac", |b| b.iter(|| std::hint::black_box(key.flyover_mac(&input))));
+    // One burst of 32 per-packet tags, each under its own key: sequential
+    // vs the multi-key sweep fused into the router's batch pass 1.
+    let keys: Vec<AuthKey> =
+        (0..32).map(|i| sv.derive_key(&ResInfo { res_id: 1 + i, ..info })).collect();
+    let key_refs: Vec<&AuthKey> = keys.iter().collect();
+    let inputs: Vec<FlyoverMacInput> =
+        (0..32).map(|i| FlyoverMacInput { counter: i, ..input }).collect();
+    g.bench_function("flyover_tags_32_sequential", |b| {
+        b.iter(|| {
+            for (k, i) in key_refs.iter().zip(&inputs) {
+                std::hint::black_box(k.flyover_mac(i));
+            }
+        })
+    });
+    g.bench_function("flyover_tags_32_batch_sweep", |b| {
+        let mut scratch = Vec::new();
+        let mut tags = Vec::new();
+        b.iter(|| {
+            tags.clear();
+            flyover_tags_batch(&key_refs, &inputs, &mut scratch, &mut tags);
+            std::hint::black_box(tags.len());
+        })
+    });
     g.finish();
 }
 
@@ -187,6 +276,6 @@ fn bench_wire(c: &mut Criterion) {
 criterion_group!(
     name = benches;
     config = Criterion::default().sample_size(60);
-    targets = bench_crypto, bench_derivations, bench_router, bench_runtime, bench_source, bench_policing, bench_wire
+    targets = bench_aes_backends, bench_crypto, bench_derivations, bench_router, bench_runtime, bench_source, bench_policing, bench_wire
 );
 criterion_main!(benches);

@@ -18,11 +18,17 @@
 //!
 //! Run with: `cargo run --release -p hummingbird-bench --bin fig5_forwarding
 //! [-- --engine hummingbird|scion|helia|drkey|gateway|null|all]
-//! [--sharded] [--cores 1,2,4] [--pkts <per-core count>]`
+//! [--sharded] [--cores 1,2,4] [--pkts <per-core count>]
+//! [--json <path>]`
+//!
+//! Every run also writes the measured ns/pkt + Mpps points to
+//! `BENCH_hotpath.json` (schema in `hummingbird_bench::json`) so the
+//! hot-path perf trajectory is tracked machine-readably across PRs;
+//! `--json <path>` overrides the output location.
 
 use hummingbird_bench::{
-    cores_from_args, engines_from_args, pkts_from_args, row, sharded_from_args, DataplaneFixture,
-    EngineKind, EPOCH_NS,
+    cores_from_args, engines_from_args, pkts_from_args, row, sharded_from_args, write_hotpath_json,
+    BenchRecord, DataplaneFixture, EngineKind, EPOCH_NS,
 };
 use hummingbird_dataplane::{
     forwarding_throughput, run_to_completion, RuntimeConfig, RuntimeMode, LINE_RATE_GBPS,
@@ -34,12 +40,19 @@ fn main() {
     let payloads = [100usize, 500, 1000, 1500];
     let pkts_per_core: u64 = pkts_from_args(200_000);
     let sharded = sharded_from_args();
+    let json_path = std::env::args()
+        .skip_while(|a| a != "--json")
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_hotpath.json".to_string());
     let physical = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let backend = hummingbird_crypto::active_backend().name();
     println!(
         "Figure 5: forwarding throughput [Gbps] by Datapath engine, line rate {LINE_RATE_GBPS}"
     );
-    println!("(machine has {physical} hardware threads; rows beyond that oversubscribe)\n");
+    println!("(machine has {physical} hardware threads; rows beyond that oversubscribe)");
+    println!("(AES backend: {backend})\n");
 
+    let mut records: Vec<BenchRecord> = Vec::new();
     for kind in engines {
         println!("--- engine: {} ---", kind.name());
         let mut widths = vec![6usize];
@@ -60,6 +73,14 @@ fn main() {
                     EPOCH_NS,
                 );
                 cells.push(format!("{:.2}", t.gbps_line_capped()));
+                records.push(BenchRecord {
+                    engine: kind.name(),
+                    mode: "clone",
+                    cores,
+                    payload_b: payload,
+                    ns_per_pkt: t.ns_per_pkt(cores),
+                    mpps: t.mpps(),
+                });
             }
             println!("{}", row(&cells, &widths));
         }
@@ -69,8 +90,12 @@ fn main() {
         println!("single-core per-packet cost: {:.0} ns\n", t.ns_per_pkt(1));
 
         if sharded {
-            sharded_comparison(&fx, kind, &cores_list, pkts_per_core);
+            sharded_comparison(&fx, kind, &cores_list, pkts_per_core, &mut records);
         }
+    }
+    match write_hotpath_json(&json_path, backend, physical, &records) {
+        Ok(()) => println!("wrote {} records to {json_path}\n", records.len()),
+        Err(e) => eprintln!("could not write {json_path}: {e}"),
     }
     if sharded {
         println!("(sharded = one logical router: RSS dispatcher + per-core rings, every");
@@ -89,6 +114,7 @@ fn sharded_comparison(
     kind: EngineKind,
     cores_list: &[usize],
     pkts_per_core: u64,
+    records: &mut Vec<BenchRecord>,
 ) {
     let templates = fx.flow_packets(kind, 500, 64);
     let widths = [6usize, 12, 12, 10];
@@ -121,6 +147,14 @@ fn sharded_comparison(
         )
         .throughput();
         let ratio = if clone.gbps() > 0.0 { rss.gbps() / clone.gbps() } else { 0.0 };
+        records.push(BenchRecord {
+            engine: kind.name(),
+            mode: "sharded",
+            cores,
+            payload_b: 500,
+            ns_per_pkt: rss.ns_per_pkt(cores),
+            mpps: rss.mpps(),
+        });
         println!(
             "{}",
             row(

@@ -1,0 +1,153 @@
+//! Machine-readable benchmark output: `BENCH_hotpath.json`.
+//!
+//! The figure binaries print human-readable tables; this module emits the
+//! same hot-path numbers as a small JSON document so the performance
+//! trajectory can be tracked across PRs (one run is checked in at the
+//! repository root as the trajectory seed).
+//!
+//! # Schema (`schema = 1`)
+//!
+//! ```json
+//! {
+//!   "schema": 1,
+//!   "bench": "hotpath",
+//!   "aes_backend": "ni",          // active AES backend: "soft" | "ni"
+//!   "hardware_threads": 8,        // available parallelism of the host
+//!   "records": [
+//!     {
+//!       "engine": "hummingbird",  // EngineKind name
+//!       "mode": "clone",          // "clone" | "sharded"
+//!       "cores": 1,               // worker cores driving the engine
+//!       "payload_b": 500,         // payload bytes per packet
+//!       "ns_per_pkt": 308.2,      // per-core-seconds per packet
+//!       "mpps": 3.24              // aggregate million packets / second
+//!     }
+//!   ]
+//! }
+//! ```
+//!
+//! `ns_per_pkt` / `mpps` are `null` when a degenerate run (zero
+//! duration) produced a non-finite value — consumers should drop such
+//! points rather than read them as zeros.
+//!
+//! No JSON library exists in the offline build environment, so the writer
+//! is hand-rolled for exactly this shape; all strings it emits are
+//! engine/backend identifiers (lowercase ASCII, no escaping needed).
+
+use std::io::Write as _;
+
+/// One measured (engine, mode, cores, payload) point.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BenchRecord {
+    /// Engine name (`EngineKind::name`).
+    pub engine: &'static str,
+    /// Runtime layout: `clone` (independent engine per core) or
+    /// `sharded` (RSS dispatcher + per-shard workers).
+    pub mode: &'static str,
+    /// Worker cores driving the engine.
+    pub cores: usize,
+    /// Payload bytes per packet.
+    pub payload_b: usize,
+    /// Nanoseconds of core time per packet.
+    pub ns_per_pkt: f64,
+    /// Aggregate throughput in million packets per second.
+    pub mpps: f64,
+}
+
+/// Formats a float with enough precision for trend tracking while
+/// keeping the file diff-friendly (3 decimal places, no exponent).
+/// Non-finite values (a zero-duration degenerate run) serialize as
+/// `null` so trend tooling rejects the point instead of reading it as
+/// a genuine zero.
+fn num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.3}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Serializes `records` to the `BENCH_hotpath.json` schema.
+pub fn hotpath_json(aes_backend: &str, hardware_threads: usize, records: &[BenchRecord]) -> String {
+    let mut out = String::with_capacity(256 + records.len() * 128);
+    out.push_str("{\n");
+    out.push_str("  \"schema\": 1,\n");
+    out.push_str("  \"bench\": \"hotpath\",\n");
+    out.push_str(&format!("  \"aes_backend\": \"{aes_backend}\",\n"));
+    out.push_str(&format!("  \"hardware_threads\": {hardware_threads},\n"));
+    out.push_str("  \"records\": [");
+    for (i, r) in records.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        out.push_str(&format!(
+            "    {{\"engine\": \"{}\", \"mode\": \"{}\", \"cores\": {}, \"payload_b\": {}, \
+             \"ns_per_pkt\": {}, \"mpps\": {}}}",
+            r.engine,
+            r.mode,
+            r.cores,
+            r.payload_b,
+            num(r.ns_per_pkt),
+            num(r.mpps),
+        ));
+    }
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+/// Writes the document to `path` (atomically enough for a benchmark:
+/// truncate + write).
+pub fn write_hotpath_json(
+    path: &str,
+    aes_backend: &str,
+    hardware_threads: usize,
+    records: &[BenchRecord],
+) -> std::io::Result<()> {
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(hotpath_json(aes_backend, hardware_threads, records).as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_shape_is_stable() {
+        let records = [
+            BenchRecord {
+                engine: "hummingbird",
+                mode: "clone",
+                cores: 1,
+                payload_b: 500,
+                ns_per_pkt: 308.25,
+                mpps: 3.2446,
+            },
+            BenchRecord {
+                engine: "scion",
+                mode: "sharded",
+                cores: 4,
+                payload_b: 100,
+                ns_per_pkt: 123.0,
+                mpps: f64::NAN,
+            },
+        ];
+        let doc = hotpath_json("ni", 8, &records);
+        assert!(doc.starts_with("{\n  \"schema\": 1,"));
+        assert!(doc.contains("\"aes_backend\": \"ni\""));
+        assert!(doc.contains("\"hardware_threads\": 8"));
+        assert!(doc.contains(
+            "{\"engine\": \"hummingbird\", \"mode\": \"clone\", \"cores\": 1, \
+             \"payload_b\": 500, \"ns_per_pkt\": 308.250, \"mpps\": 3.245}"
+        ));
+        // Non-finite values degrade to null (rejectable), never NaN.
+        assert!(doc.contains("\"mpps\": null"));
+        assert!(!doc.contains("NaN"));
+        // Balanced braces/brackets (cheap well-formedness check).
+        assert_eq!(doc.matches('{').count(), doc.matches('}').count());
+        assert_eq!(doc.matches('[').count(), doc.matches(']').count());
+    }
+
+    #[test]
+    fn empty_record_set_is_valid() {
+        let doc = hotpath_json("soft", 1, &[]);
+        assert!(doc.contains("\"records\": [\n  ]"));
+    }
+}

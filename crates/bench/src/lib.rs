@@ -4,6 +4,15 @@
 //! paper's evaluation (see DESIGN.md's experiment index); this library
 //! provides the common packet/router/market fixtures so the workloads are
 //! identical across experiments.
+//!
+//! Besides the human-readable tables, the forwarding binaries emit
+//! `BENCH_hotpath.json` ([`json`] documents the schema) so ns/pkt and
+//! Mpps per engine, AES backend, and core count are tracked machine-
+//! readably across PRs.
+
+pub mod json;
+
+pub use json::{hotpath_json, write_hotpath_json, BenchRecord};
 
 use hummingbird_baselines::{slot_of, DrKeyDatapath, DrKeySender, HeliaDatapath, HeliaSender};
 use hummingbird_crypto::{ResInfo, SecretValue};

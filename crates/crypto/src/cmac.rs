@@ -54,13 +54,34 @@ impl Cmac {
     }
 
     /// Computes the 16-byte CMAC tag over `msg`.
+    ///
+    /// Messages that fit one block — the hop-field MAC's common case —
+    /// take a fast path of exactly one XOR and one block encryption
+    /// (what the paper's §5.4 / DPDK implementation does for its
+    /// single-block PRF inputs): CMAC degenerates to `E(M ⊕ K1)` for a
+    /// complete block and `E(pad(M) ⊕ K2)` otherwise.
     pub fn mac(&self, msg: &[u8]) -> [u8; BLOCK_SIZE] {
+        if msg.len() <= BLOCK_SIZE {
+            let mut x = [0u8; BLOCK_SIZE];
+            if msg.len() == BLOCK_SIZE {
+                for (b, (m, k)) in x.iter_mut().zip(msg.iter().zip(self.k1.iter())) {
+                    *b = m ^ k;
+                }
+            } else {
+                x[..msg.len()].copy_from_slice(msg);
+                x[msg.len()] = 0x80;
+                for (b, k) in x.iter_mut().zip(self.k2.iter()) {
+                    *b ^= k;
+                }
+            }
+            self.cipher.encrypt_block(&mut x);
+            return x;
+        }
+
+        // General path: more than one block (the fast path above handled
+        // empty and single-block messages).
         let n_blocks = msg.len().div_ceil(BLOCK_SIZE);
-        let (full_blocks, last_complete) = if msg.is_empty() {
-            (0, false)
-        } else {
-            (n_blocks - 1, msg.len().is_multiple_of(BLOCK_SIZE))
-        };
+        let (full_blocks, last_complete) = (n_blocks - 1, msg.len().is_multiple_of(BLOCK_SIZE));
 
         let mut x = [0u8; BLOCK_SIZE];
         for i in 0..full_blocks {
@@ -152,6 +173,48 @@ mod tests {
              30c81c46a35ce411e5fbc1191a0a52ef\
              f69f2445df4f9b17ad2b417be66c3710");
         assert_eq!(cmac.mac(&msg).to_vec(), hex("51f0bebf7e3b9d92fc49741779363cfe"));
+    }
+
+    /// RFC 4493 §2.4 as literally as possible, without the single-block
+    /// fast path — the oracle for `mac`'s two code paths.
+    fn reference_cmac(cmac: &Cmac, msg: &[u8]) -> [u8; BLOCK_SIZE] {
+        let n = msg.len().div_ceil(BLOCK_SIZE).max(1);
+        let complete = !msg.is_empty() && msg.len().is_multiple_of(BLOCK_SIZE);
+        let mut last = [0u8; BLOCK_SIZE];
+        let rem = &msg[(n - 1) * BLOCK_SIZE..];
+        last[..rem.len()].copy_from_slice(rem);
+        if !complete {
+            last[rem.len()] = 0x80;
+        }
+        let subkey = if complete { &cmac.k1 } else { &cmac.k2 };
+        for (b, k) in last.iter_mut().zip(subkey.iter()) {
+            *b ^= k;
+        }
+        let mut x = [0u8; BLOCK_SIZE];
+        for i in 0..n - 1 {
+            for j in 0..BLOCK_SIZE {
+                x[j] ^= msg[i * BLOCK_SIZE + j];
+            }
+            cmac.cipher.encrypt_block(&mut x);
+        }
+        for j in 0..BLOCK_SIZE {
+            x[j] ^= last[j];
+        }
+        cmac.cipher.encrypt_block(&mut x);
+        x
+    }
+
+    #[test]
+    fn fast_path_matches_reference_at_every_boundary_length() {
+        let cmac = Cmac::new(&rfc4493_key());
+        let msg: Vec<u8> = (0..48).map(|i| i as u8 * 3).collect();
+        for len in 0..=48 {
+            assert_eq!(
+                cmac.mac(&msg[..len]),
+                reference_cmac(&cmac, &msg[..len]),
+                "length {len} diverged"
+            );
+        }
     }
 
     #[test]

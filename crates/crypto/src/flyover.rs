@@ -18,6 +18,8 @@
 //! budget possible.
 
 use crate::aes::Aes128;
+use std::collections::HashMap;
+use std::hash::Hash;
 
 /// Tag length ℓ_tag in bytes (§5.4: 6 bytes ⇒ ~2^47 online brute-force work).
 pub const TAG_LEN: usize = 6;
@@ -195,6 +197,211 @@ impl AuthKey {
         let mut tag = [0u8; TAG_LEN];
         tag.copy_from_slice(&full[..TAG_LEN]);
         tag
+    }
+}
+
+/// Computes the flyover tags `V_K` of a whole burst in one multi-block
+/// AES pass: `keys[i]` authenticates `inputs[i]`.
+///
+/// Each packet of a burst carries its own reservation key, so this is a
+/// *multi-key* sweep — [`Aes128::encrypt_blocks_per_key`] still keeps
+/// 4-8 independent blocks in flight (the per-block keys change which
+/// round key each lane loads, not the data-flow shape), which is how the
+/// paper's DPDK router amortizes the per-packet tag computation across a
+/// burst. Appends one tag per input, in order, to `out`; the result is
+/// element-wise identical to calling [`AuthKey::flyover_mac`] per packet.
+///
+/// `scratch` holds the intermediate MAC-input blocks so hot loops reuse
+/// one allocation across bursts (it is cleared on entry).
+///
+/// # Panics
+///
+/// If `keys.len() != inputs.len()`.
+pub fn flyover_tags_batch(
+    keys: &[&AuthKey],
+    inputs: &[FlyoverMacInput],
+    scratch: &mut Vec<[u8; 16]>,
+    out: &mut Vec<Tag>,
+) {
+    assert_eq!(keys.len(), inputs.len(), "one key per MAC input");
+    flyover_tags_batch_with(|i| keys[i], inputs, scratch, out);
+}
+
+/// [`flyover_tags_batch`] with the per-packet key resolved through
+/// `key_at(i)` instead of a materialized slice, so batch paths that
+/// already index their keys (e.g. the router's per-burst dedupe table)
+/// compute a whole burst's tags without allocating. `key_at` must be a
+/// pure index lookup — it may be called more than once per input (the
+/// interleave kernels probe each group's backends first), in ascending
+/// order within each group.
+pub fn flyover_tags_batch_with<'a>(
+    key_at: impl Fn(usize) -> &'a AuthKey,
+    inputs: &[FlyoverMacInput],
+    scratch: &mut Vec<[u8; 16]>,
+    out: &mut Vec<Tag>,
+) {
+    scratch.clear();
+    scratch.extend(inputs.iter().map(FlyoverMacInput::to_block));
+    Aes128::encrypt_blocks_with(|i| &key_at(i).cipher, scratch);
+    out.reserve(inputs.len());
+    out.extend(scratch.iter().map(|full| {
+        let mut tag = [0u8; TAG_LEN];
+        tag.copy_from_slice(&full[..TAG_LEN]);
+        tag
+    }));
+}
+
+/// A per-engine cache of expanded [`AuthKey`]s, so a reservation's AES
+/// key schedule is computed once per epoch instead of once per packet.
+///
+/// The border router's per-packet budget (Table 3) charges one AES block
+/// for deriving `A_i` *and* a full AES-128 key expansion for extending
+/// it — but `ResInfo` is stable for a reservation's whole validity
+/// period, so every packet after the first can reuse the expanded
+/// schedule. Engines hold one cache each (hence per-shard under the
+/// worker-ring runtime: no locking, and a reservation's entry lives
+/// exactly where its packets are steered). Keys default to
+/// [`ResInfo`]; the baseline engines instantiate the same cache over
+/// their own key-hierarchy identifiers.
+///
+/// Replacement is generational (segmented LRU): entries insert into a
+/// *hot* generation; when the hot generation fills, it becomes the
+/// *cold* one and the previous cold generation is dropped. A hit in
+/// cold promotes back to hot. This keeps lookups O(1), bounds the
+/// footprint to two generations, and ages out expired reservations
+/// without a sweeper. Hit/miss counters are exposed for
+/// `DatapathStats`-style reporting.
+#[derive(Clone, Debug)]
+pub struct AuthKeyCache<K = ResInfo> {
+    hot: HashMap<K, AuthKey>,
+    cold: HashMap<K, AuthKey>,
+    /// Entries per generation (total footprint ≤ 2×).
+    generation_capacity: usize,
+    hits: u64,
+    misses: u64,
+}
+
+impl<K: Eq + Hash + Clone> AuthKeyCache<K> {
+    /// Creates a cache holding at most ~`capacity` expanded keys
+    /// (internally two generations of `capacity / 2`, minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        let generation_capacity = (capacity / 2).max(1);
+        AuthKeyCache {
+            hot: HashMap::with_capacity(generation_capacity),
+            cold: HashMap::new(),
+            generation_capacity,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Looks `key` up, counting a hit or miss; a hit in the cold
+    /// generation promotes the entry back to hot.
+    pub fn lookup(&mut self, key: &K) -> Option<&AuthKey> {
+        if !self.hot.contains_key(key) {
+            match self.cold.remove(key) {
+                Some(v) => {
+                    self.hits += 1;
+                    self.promote(key.clone(), v);
+                }
+                None => {
+                    self.misses += 1;
+                    return None;
+                }
+            }
+        } else {
+            self.hits += 1;
+        }
+        self.hot.get(key)
+    }
+
+    /// Inserts an expanded key (no counter change — pair with a failed
+    /// [`lookup`](AuthKeyCache::lookup)).
+    pub fn insert(&mut self, key: K, value: AuthKey) {
+        self.promote(key, value);
+    }
+
+    /// The cached key for `key`, deriving (and caching) it on a miss.
+    ///
+    /// (Two map probes on the hot-generation fast path — `contains_key`
+    /// then `get` — rather than delegating to [`lookup`] and probing a
+    /// third time; the split sidesteps the NLL limitation on returning
+    /// a borrow out of one arm while mutating in the other.)
+    ///
+    /// [`lookup`]: AuthKeyCache::lookup
+    pub fn get_or_derive(&mut self, key: &K, derive: impl FnOnce() -> AuthKey) -> &AuthKey {
+        if self.hot.contains_key(key) {
+            self.hits += 1;
+        } else {
+            match self.cold.remove(key) {
+                Some(value) => {
+                    self.hits += 1;
+                    self.promote(key.clone(), value);
+                }
+                None => {
+                    self.misses += 1;
+                    let value = derive();
+                    self.promote(key.clone(), value);
+                }
+            }
+        }
+        self.hot.get(key).expect("resident after count/promote")
+    }
+
+    /// Records a hit that bypassed [`lookup`](AuthKeyCache::lookup) —
+    /// used by batch paths that dedupe repeated keys within one burst
+    /// (the repeat *would* have hit had the packets been processed
+    /// sequentially, so counters stay comparable across paths).
+    ///
+    /// Counter semantics under batching: a batch path performs all of a
+    /// burst's lookups against the cache state at burst start and
+    /// inserts afterwards, while sequential processing interleaves
+    /// inserts between lookups. The counts therefore match exactly
+    /// unless a generation boundary falls *inside* the burst — a
+    /// sequential mid-burst insert that flips generations can evict a
+    /// key (turning a later lookup into a miss) or, conversely, a
+    /// cold-resident key can survive one lookup longer under the batch
+    /// order. With the default capacity a flip occurs once per
+    /// thousands of distinct reservations, so the counters are exact in
+    /// steady state and off by at most the burst's repeats around a
+    /// flip. Counters are diagnostics; derivation is deterministic, so
+    /// verdicts never depend on them.
+    pub fn record_burst_hit(&mut self) {
+        self.hits += 1;
+    }
+
+    fn promote(&mut self, key: K, value: AuthKey) {
+        if self.hot.len() >= self.generation_capacity && !self.hot.contains_key(&key) {
+            self.cold = std::mem::take(&mut self.hot);
+            self.hot.reserve(self.generation_capacity);
+        }
+        self.hot.insert(key, value);
+    }
+
+    /// Cache hits since creation / the last counter reset.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Cache misses since creation / the last counter reset.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Resets the hit/miss counters (entries are kept).
+    pub fn reset_counters(&mut self) {
+        self.hits = 0;
+        self.misses = 0;
+    }
+
+    /// Number of currently cached keys (both generations).
+    pub fn len(&self) -> usize {
+        self.hot.len() + self.cold.len()
+    }
+
+    /// Whether the cache holds no keys.
+    pub fn is_empty(&self) -> bool {
+        self.hot.is_empty() && self.cold.is_empty()
     }
 }
 
@@ -376,6 +583,93 @@ mod tests {
         // Empty bursts are a no-op.
         sv.derive_keys_batch(&[], &mut scratch, &mut batch);
         assert_eq!(batch.len(), infos.len() + 2);
+    }
+
+    #[test]
+    fn flyover_tags_batch_matches_per_packet_macs() {
+        let sv = SecretValue::new([7u8; 16]);
+        let base = sample_info();
+        // Distinct keys per packet — the multi-key sweep shape.
+        let keys: Vec<AuthKey> =
+            (0..13).map(|i| sv.derive_key(&ResInfo { res_id: 500 + i, ..base })).collect();
+        let inputs: Vec<FlyoverMacInput> = (0..13)
+            .map(|i| FlyoverMacInput {
+                dst_isd: 1,
+                dst_as: 0x20,
+                pkt_len: 100 + i,
+                res_start_offset: 50,
+                millis_ts: i,
+                counter: i,
+            })
+            .collect();
+        let refs: Vec<&AuthKey> = keys.iter().collect();
+        let mut scratch = Vec::new();
+        let mut tags = Vec::new();
+        flyover_tags_batch(&refs, &inputs, &mut scratch, &mut tags);
+        assert_eq!(tags.len(), inputs.len());
+        for ((key, input), tag) in refs.iter().zip(&inputs).zip(&tags) {
+            assert_eq!(key.flyover_mac(input), *tag);
+        }
+        // Appends without clearing; empty bursts are a no-op.
+        flyover_tags_batch(&refs[..1], &inputs[..1], &mut scratch, &mut tags);
+        assert_eq!(tags.len(), 14);
+        flyover_tags_batch(&[], &[], &mut scratch, &mut tags);
+        assert_eq!(tags.len(), 14);
+    }
+
+    #[test]
+    #[should_panic(expected = "one key per MAC input")]
+    fn flyover_tags_batch_checks_lengths() {
+        let key = AuthKey::new([1u8; 16]);
+        flyover_tags_batch(&[&key], &[], &mut Vec::new(), &mut Vec::new());
+    }
+
+    #[test]
+    fn auth_key_cache_counts_and_derives_once() {
+        let sv = SecretValue::new([8u8; 16]);
+        let info = sample_info();
+        let mut cache: AuthKeyCache = AuthKeyCache::new(64);
+        let mut derivations = 0;
+        for _ in 0..5 {
+            let key = cache.get_or_derive(&info, || {
+                derivations += 1;
+                sv.derive_key(&info)
+            });
+            assert_eq!(*key, sv.derive_key(&info));
+        }
+        assert_eq!(derivations, 1, "schedule expanded once per reservation");
+        assert_eq!((cache.hits(), cache.misses()), (4, 1));
+        cache.record_burst_hit();
+        assert_eq!(cache.hits(), 5);
+        cache.reset_counters();
+        assert_eq!((cache.hits(), cache.misses()), (0, 0));
+        assert_eq!(cache.len(), 1);
+        assert!(!cache.is_empty());
+    }
+
+    #[test]
+    fn auth_key_cache_evicts_generationally_and_promotes() {
+        let sv = SecretValue::new([9u8; 16]);
+        let base = sample_info();
+        let info = |i: u32| ResInfo { res_id: i, ..base };
+        // Capacity 4 → generations of 2.
+        let mut cache: AuthKeyCache = AuthKeyCache::new(4);
+        for i in 0..2 {
+            cache.get_or_derive(&info(i), || sv.derive_key(&info(i)));
+        }
+        // Third insert flips generations; 0 and 1 move to cold.
+        cache.get_or_derive(&info(2), || sv.derive_key(&info(2)));
+        assert_eq!(cache.len(), 3);
+        // A cold hit promotes back to hot.
+        assert!(cache.lookup(&info(0)).is_some());
+        // Fill until the original cold generation is dropped.
+        for i in 3..7 {
+            cache.get_or_derive(&info(i), || sv.derive_key(&info(i)));
+        }
+        assert!(cache.len() <= 4, "footprint bounded by two generations");
+        let misses_before = cache.misses();
+        assert!(cache.lookup(&info(1)).is_none(), "aged-out entry misses");
+        assert_eq!(cache.misses(), misses_before + 1);
     }
 
     #[test]

@@ -14,7 +14,10 @@
 //! * [`flyover`] — the Hummingbird derivations: `A_K` (Eq. 2), the 6-byte
 //!   per-packet flyover MAC (Eq. 3/7a) and the aggregate MAC (Eq. 6).
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the one sanctioned exception is the
+// AES-NI backend in [`aes`], whose intrinsics module opts back in with a
+// scoped `#[allow(unsafe_code)]` and `deny(unsafe_op_in_unsafe_fn)`.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod aes;
@@ -25,7 +28,8 @@ pub mod sealed;
 pub mod sha256;
 pub mod sig;
 
+pub use aes::{active_backend, ni_available, AesBackend};
 pub use flyover::{
-    aggregate_mac, AuthKey, FlyoverMacInput, ResInfo, SecretValue, Tag, BW_ENC_MAX, RES_ID_MAX,
-    TAG_LEN,
+    aggregate_mac, flyover_tags_batch, flyover_tags_batch_with, AuthKey, AuthKeyCache,
+    FlyoverMacInput, ResInfo, SecretValue, Tag, BW_ENC_MAX, RES_ID_MAX, TAG_LEN,
 };

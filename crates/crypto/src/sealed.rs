@@ -59,14 +59,26 @@ fn derive_keys(shared: &[u8; 32], eph: &PublicKey) -> ([u8; 16], [u8; 32]) {
 }
 
 fn ctr_xor(key: &[u8; 16], nonce: &[u8; 16], data: &mut [u8]) {
+    /// Counter blocks per batch: matches the widest interleave kernel.
+    const CHUNK: usize = 8;
     let cipher = Aes128::new(key);
     let mut counter = u128::from_be_bytes(*nonce);
-    for chunk in data.chunks_mut(16) {
-        let ks = cipher.encrypt(&counter.to_be_bytes());
-        for (b, k) in chunk.iter_mut().zip(ks.iter()) {
-            *b ^= k;
+    // Counter blocks are independent, so the keystream goes through the
+    // interleaved batch path, CHUNK blocks at a time from a stack
+    // buffer — no allocation, any payload size.
+    for span in data.chunks_mut(16 * CHUNK) {
+        let mut keystream = [[0u8; 16]; CHUNK];
+        let blocks = span.len().div_ceil(16);
+        for ks in keystream.iter_mut().take(blocks) {
+            *ks = counter.to_be_bytes();
+            counter = counter.wrapping_add(1);
         }
-        counter = counter.wrapping_add(1);
+        cipher.encrypt_blocks(&mut keystream[..blocks]);
+        for (chunk, ks) in span.chunks_mut(16).zip(&keystream) {
+            for (b, k) in chunk.iter_mut().zip(ks.iter()) {
+                *b ^= k;
+            }
+        }
     }
 }
 

@@ -20,8 +20,12 @@
 use crate::datapath::{Datapath, DatapathBuilder, DatapathStats, PacketBuf};
 use crate::dup::DuplicateSuppressor;
 use crate::policing::{Policer, DEFAULT_BURST_TIME_NS};
-use hummingbird_crypto::{AuthKey, ResInfo, SecretValue};
+use hummingbird_crypto::{
+    flyover_tags_batch_with, AuthKey, AuthKeyCache, FlyoverMacInput, ResInfo, SecretValue, Tag,
+};
 use hummingbird_wire::scion_mac::HopMacKey;
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
 
 pub use crate::datapath::{DropReason, Verdict};
 
@@ -42,7 +46,16 @@ pub struct RouterConfig {
     pub burst_time_ns: u64,
     /// Enable the optional duplicate suppression stage.
     pub duplicate_suppression: bool,
+    /// Capacity of the per-engine authentication-key cache (expanded
+    /// `A_i` schedules reused across packets of one reservation);
+    /// `0` disables caching and re-derives per packet.
+    pub auth_key_cache_slots: u32,
 }
+
+/// Default [`RouterConfig::auth_key_cache_slots`]: comfortably above the
+/// per-shard live-reservation working set of the evaluation workloads
+/// while keeping the footprint (≈230 B per expanded key) under ~2 MB.
+pub const DEFAULT_AUTH_KEY_CACHE_SLOTS: u32 = 8_192;
 
 impl Default for RouterConfig {
     fn default() -> Self {
@@ -52,6 +65,7 @@ impl Default for RouterConfig {
             policer_slots: 100_000,
             burst_time_ns: DEFAULT_BURST_TIME_NS,
             duplicate_suppression: false,
+            auth_key_cache_slots: DEFAULT_AUTH_KEY_CACHE_SLOTS,
         }
     }
 }
@@ -392,6 +406,27 @@ pub mod stages {
         flyover: Option<(&FlyoverInputs, &AuthKey)>,
         eligible: impl FnOnce(&Parsed, &FlyoverInputs, u64) -> bool,
     ) -> PipelineOutcome {
+        let tagged = flyover.map(|(inputs, key)| (inputs, key.flyover_mac(&inputs.mac_input)));
+        complete_with_tag(pkt, now_ns, hop_key, policer, dup, parsed, tagged, eligible)
+    }
+
+    /// [`complete`] with the per-packet flyover MAC already computed —
+    /// the entry point of the batched tag sweep, where a burst's `V_K`
+    /// tags come out of one multi-block AES pass
+    /// (`hummingbird_crypto::flyover_tags_batch`) instead of one
+    /// invocation per packet. `flyover` pairs the prepared MAC inputs
+    /// with that tag; semantics are otherwise identical to [`complete`].
+    #[allow(clippy::too_many_arguments)] // the pipeline's full stage set
+    pub fn complete_with_tag(
+        pkt: &mut [u8],
+        now_ns: u64,
+        hop_key: &HopMacKey,
+        policer: Option<&mut crate::policing::Policer>,
+        dup: Option<&mut DuplicateSuppressor>,
+        parsed: &Parsed,
+        flyover: Option<(&FlyoverInputs, Tag)>,
+        eligible: impl FnOnce(&Parsed, &FlyoverInputs, u64) -> bool,
+    ) -> PipelineOutcome {
         use super::Verdict;
         let now_ms = now_ns / 1_000_000;
         let now_s = now_ms / 1000;
@@ -403,8 +438,8 @@ pub mod stages {
 
         // Stages 2b-3: flyover MAC aggregation + eligibility.
         let (candidate_mac, priority) = match flyover {
-            Some((inputs, auth_key)) => {
-                let candidate = candidate_hop_mac(auth_key, inputs);
+            Some((inputs, flyover_mac)) => {
+                let candidate = aggregate_mac(&flyover_mac, &inputs.agg_mac);
                 let fresh = eligible(parsed, inputs, now_ms);
                 (candidate, fresh.then_some(inputs))
             }
@@ -516,12 +551,27 @@ pub mod stages {
 struct BatchScratch {
     /// Per-packet outcome of the read-only pipeline half.
     prepared: Vec<Result<(stages::Parsed, Option<stages::FlyoverInputs>), DropReason>>,
-    /// The burst's flyover reservations, in packet order.
-    res_infos: Vec<ResInfo>,
-    /// KDF input blocks (reused by `derive_keys_batch`).
-    kdf_blocks: Vec<[u8; 16]>,
-    /// One derived `A_i` per entry of `res_infos`.
-    keys: Vec<AuthKey>,
+    /// The burst's *distinct* reservations, in first-appearance order.
+    uniq_infos: Vec<ResInfo>,
+    /// Burst-local dedupe map: reservation → index into `uniq_infos`.
+    uniq_index: HashMap<ResInfo, usize>,
+    /// One expanded key per entry of `uniq_infos` (`None` until resolved
+    /// from the cache or the derivation sweep).
+    uniq_keys: Vec<Option<AuthKey>>,
+    /// Reservations that missed the cache, awaiting the derivation sweep.
+    to_derive: Vec<ResInfo>,
+    /// The `uniq_keys` slots the sweep fills (parallel to `to_derive`).
+    derive_slots: Vec<usize>,
+    /// Per flyover packet: index into `uniq_keys`.
+    key_of_pkt: Vec<usize>,
+    /// Per flyover packet: the MAC input of the tag sweep.
+    mac_inputs: Vec<FlyoverMacInput>,
+    /// 16-byte block scratch shared by both AES sweeps.
+    blocks: Vec<[u8; 16]>,
+    /// Keys out of the derivation sweep.
+    derived: Vec<AuthKey>,
+    /// Flyover tags out of the tag sweep, in flyover-packet order.
+    tags: Vec<Tag>,
 }
 
 /// A Hummingbird-enabled border router of one AS.
@@ -534,6 +584,10 @@ pub struct BorderRouter {
     cfg: RouterConfig,
     policer: Policer,
     dup: Option<DuplicateSuppressor>,
+    /// Expanded `A_i` schedules, one entry per live reservation, so key
+    /// expansion runs once per epoch rather than once per packet
+    /// (`None` when `cfg.auth_key_cache_slots == 0`).
+    key_cache: Option<AuthKeyCache>,
     stats: DatapathStats,
     batch: BatchScratch,
 }
@@ -546,6 +600,8 @@ impl BorderRouter {
             hop_key,
             policer: Policer::new(cfg.policer_slots, cfg.burst_time_ns),
             dup: DatapathBuilder::make_suppressor(&cfg),
+            key_cache: (cfg.auth_key_cache_slots > 0)
+                .then(|| AuthKeyCache::new(cfg.auth_key_cache_slots as usize)),
             cfg,
             stats: DatapathStats::default(),
             batch: BatchScratch::default(),
@@ -559,17 +615,23 @@ impl BorderRouter {
 
     /// Implements Algorithm 2 with Algorithms 1, 3, 4 as the explicit
     /// [`stages`], via the shared [`stages::run_pipeline`] driver with
-    /// Hummingbird's key derivation: `A_i ← PRF_SV(ResInfo)` (including
-    /// the AES key extension).
+    /// Hummingbird's key derivation: `A_i ← PRF_SV(ResInfo)`, served
+    /// from the per-engine [`AuthKeyCache`] so the AES key extension
+    /// runs once per reservation epoch.
     fn process_inner(&mut self, pkt: &mut [u8], now_ns: u64) -> Verdict {
-        let BorderRouter { sv, hop_key, cfg, policer, dup, stats, batch: _ } = self;
+        let BorderRouter { sv, hop_key, cfg, policer, dup, key_cache, stats, batch: _ } = self;
         let out = stages::run_pipeline(
             pkt,
             now_ns,
             hop_key,
             Some(policer),
             dup.as_mut(),
-            |_, inputs| sv.derive_key(&inputs.res_info),
+            |_, inputs| match key_cache {
+                Some(cache) => cache
+                    .get_or_derive(&inputs.res_info, || sv.derive_key(&inputs.res_info))
+                    .clone(),
+                None => sv.derive_key(&inputs.res_info),
+            },
             |parsed, inputs, now_ms| stages::freshness(cfg, parsed, &inputs.res_info, now_ms),
         );
         stats.demoted_overuse += u64::from(out.demoted_overuse);
@@ -586,47 +648,114 @@ impl Datapath for BorderRouter {
     }
 
     /// The batched Algorithm 2: the read-only pipeline half runs over the
-    /// whole burst first, every `A_i` of the burst is derived in **one
-    /// AES sweep** ([`SecretValue::derive_keys_batch`]) and the policer
-    /// slots the burst will hit are pre-touched, then the stateful stages
-    /// (verification, duplicate suppression, header mutation, policing)
-    /// run per packet in input order — so verdicts and stats stay
-    /// element-wise identical to sequential [`Datapath::process`] calls
-    /// (the contract `tests/prop_datapath.rs` enforces).
+    /// whole burst first; the burst's reservations are **deduplicated**
+    /// and resolved against the [`AuthKeyCache`] (so a single-flow burst
+    /// derives its key at most once); the remaining misses are derived in
+    /// **one AES sweep** ([`SecretValue::derive_keys_batch`]); every
+    /// flyover tag of the burst comes out of **one multi-key AES pass**
+    /// ([`flyover_tags_batch_with`]); and the (deduplicated) policer
+    /// slots are pre-touched. The stateful stages (verification,
+    /// duplicate suppression, header mutation, policing) then run per
+    /// packet in input order — verdicts and stats stay element-wise
+    /// identical to sequential [`Datapath::process`] calls (the contract
+    /// `tests/prop_datapath.rs` enforces; repeats within a burst count
+    /// as cache hits, exactly as they would sequentially — see
+    /// [`AuthKeyCache::record_burst_hit`] for the cache-counter
+    /// semantics: when a cache-generation boundary falls inside a burst,
+    /// the *counters* (never the verdicts) can read slightly differently
+    /// from sequential processing).
     fn process_batch(&mut self, pkts: &mut [PacketBuf], now_ns: u64, out: &mut Vec<Verdict>) {
-        let BorderRouter { sv, hop_key, cfg, policer, dup, stats, batch } = self;
-        let BatchScratch { prepared, res_infos, kdf_blocks, keys } = batch;
+        let BorderRouter { sv, hop_key, cfg, policer, dup, key_cache, stats, batch } = self;
+        let BatchScratch {
+            prepared,
+            uniq_infos,
+            uniq_index,
+            uniq_keys,
+            to_derive,
+            derive_slots,
+            key_of_pkt,
+            mac_inputs,
+            blocks,
+            derived,
+            tags,
+        } = batch;
         prepared.clear();
-        res_infos.clear();
-        keys.clear();
+        uniq_infos.clear();
+        uniq_index.clear();
+        uniq_keys.clear();
+        to_derive.clear();
+        derive_slots.clear();
+        key_of_pkt.clear();
+        mac_inputs.clear();
+        derived.clear();
+        tags.clear();
 
-        // Pass 1 (read-only): parse + flyover-input reconstruction.
+        // Pass 1 (read-only): parse + flyover-input reconstruction, with
+        // burst-local reservation dedupe resolved against the key cache.
         for pkt in pkts.iter() {
             let prep = stages::prepare(pkt.as_bytes());
             if let Ok((_, Some(inputs))) = &prep {
-                res_infos.push(inputs.res_info);
+                let info = inputs.res_info;
+                let slot = match uniq_index.entry(info) {
+                    Entry::Occupied(e) => {
+                        // A repeat within the burst: processed
+                        // sequentially, the first packet would have
+                        // populated the cache, so this counts as a hit.
+                        if let Some(cache) = key_cache.as_mut() {
+                            cache.record_burst_hit();
+                        }
+                        *e.get()
+                    }
+                    Entry::Vacant(e) => {
+                        let slot = uniq_infos.len();
+                        e.insert(slot);
+                        uniq_infos.push(info);
+                        uniq_keys.push(key_cache.as_mut().and_then(|c| c.lookup(&info).cloned()));
+                        if uniq_keys[slot].is_none() {
+                            to_derive.push(info);
+                            derive_slots.push(slot);
+                        }
+                        slot
+                    }
+                };
+                key_of_pkt.push(slot);
+                mac_inputs.push(inputs.mac_input);
             }
             prepared.push(prep);
         }
 
-        // The amortized per-burst work: one AES sweep over every key
-        // derivation, then a prefetch pass over the policing slots.
-        sv.derive_keys_batch(res_infos, kdf_blocks, keys);
-        for info in res_infos.iter() {
+        // The amortized per-burst work: one AES sweep over the key
+        // derivations that missed the cache, one multi-key AES pass over
+        // every flyover tag, and a prefetch pass over the deduplicated
+        // policing slots.
+        sv.derive_keys_batch(to_derive, blocks, derived);
+        for (slot, key) in derive_slots.drain(..).zip(derived.drain(..)) {
+            if let Some(cache) = key_cache.as_mut() {
+                cache.insert(uniq_infos[slot], key.clone());
+            }
+            uniq_keys[slot] = Some(key);
+        }
+        for info in uniq_infos.iter() {
             policer.pre_touch(info.res_id);
         }
+        flyover_tags_batch_with(
+            |i| uniq_keys[key_of_pkt[i]].as_ref().expect("every burst key resolved"),
+            mac_inputs,
+            blocks,
+            tags,
+        );
 
         // Pass 2 (stateful, in input order).
         out.reserve(pkts.len());
-        let mut next_key = keys.iter();
+        let mut next_tag = tags.iter();
         for (pkt, prep) in pkts.iter_mut().zip(prepared.drain(..)) {
             let verdict = match prep {
                 Err(r) => Verdict::Drop(r),
                 Ok((parsed, inputs)) => {
                     let flyover = inputs
                         .as_ref()
-                        .map(|i| (i, next_key.next().expect("one key per flyover hop")));
-                    let outcome = stages::complete(
+                        .map(|i| (i, *next_tag.next().expect("one tag per flyover hop")));
+                    let outcome = stages::complete_with_tag(
                         pkt.bytes_mut(),
                         now_ns,
                         hop_key,
@@ -653,10 +782,18 @@ impl Datapath for BorderRouter {
     }
 
     fn stats(&self) -> DatapathStats {
-        self.stats
+        let mut stats = self.stats;
+        if let Some(cache) = &self.key_cache {
+            stats.key_cache_hits = cache.hits();
+            stats.key_cache_misses = cache.misses();
+        }
+        stats
     }
 
     fn reset_stats(&mut self) {
         self.stats = DatapathStats::default();
+        if let Some(cache) = &mut self.key_cache {
+            cache.reset_counters();
+        }
     }
 }

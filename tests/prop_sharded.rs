@@ -180,6 +180,39 @@ proptest! {
         prop_assert!(map.res_id_range(active[0]).contains(&res_id));
     }
 
+    /// Key-cache correctness across shard steering: per-shard `AuthKey`
+    /// caches behave exactly like one engine-wide cache, because every
+    /// reservation steers to one shard — aggregate hit/miss counters
+    /// match a single engine, and revisiting the same flows adds hits
+    /// but never misses (each revisit lands on the shard that already
+    /// holds the expanded schedule).
+    #[test]
+    fn key_cache_counters_survive_sharding(
+        shards in 1usize..6,
+        specs in prop::collection::vec((any::<u8>(), 0u16..400, any::<bool>()), 1..24),
+    ) {
+        let packets = workload(&specs);
+        let mut single = make_engine(false);
+        let mut sharded = make_sharded(shards, false);
+        for pkt in &packets {
+            single.process(&mut pkt.clone(), NOW_NS);
+            sharded.process(&mut pkt.clone(), NOW_NS);
+        }
+        let (s, sh) = (single.stats(), sharded.stats());
+        prop_assert_eq!(s.key_cache_hits, sh.key_cache_hits, "aggregate hits diverged");
+        prop_assert_eq!(s.key_cache_misses, sh.key_cache_misses, "aggregate misses diverged");
+        // A second pass over the identical flows derives nothing new,
+        // wherever the packets steer.
+        let misses_after_first = sh.key_cache_misses;
+        for pkt in &packets {
+            sharded.process(&mut pkt.clone(), NOW_NS);
+        }
+        prop_assert_eq!(
+            sharded.stats().key_cache_misses, misses_after_first,
+            "revisit missed: a flow reached a shard without its key"
+        );
+    }
+
     /// Exact replays steer to the owning shard and are dropped by its
     /// duplicate filter exactly as a single engine drops them.
     #[test]
