@@ -58,6 +58,48 @@ impl DrKeySecret {
         block[4] = 0x01; // level tag
         l1.encrypt(&block)
     }
+
+    /// Derives `K_{A→B:H}` for a whole burst in two AES sweeps.
+    ///
+    /// Sweep 1 computes every first-level key `K_{A→B}` under the single
+    /// epoch cipher ([`Aes128::encrypt_blocks`], round-major over the
+    /// batch); sweep 2 encrypts each host block under its own first-level
+    /// cipher (the [`Aes128::encrypt_blocks_per_key`] multi-key kernel) —
+    /// the shape the EPIC engine's batched key derivation amortizes a
+    /// burst of cache misses with. Appends one key per id, in order, to
+    /// `out`; element-wise identical to
+    /// [`as_to_host`](DrKeySecret::as_to_host).
+    ///
+    /// `blocks` and `ciphers` are scratch buffers hot loops reuse across
+    /// bursts (both are cleared on entry).
+    pub fn as_to_host_batch(
+        &self,
+        ids: &[(IsdAs, [u8; 4])],
+        blocks: &mut Vec<[u8; 16]>,
+        ciphers: &mut Vec<Aes128>,
+        out: &mut Vec<[u8; 16]>,
+    ) {
+        // Sweep 1: first-level keys, one shared epoch cipher.
+        blocks.clear();
+        blocks.extend(ids.iter().map(|(b, _)| {
+            let mut block = [0u8; 16];
+            block[0..2].copy_from_slice(&b.isd.to_be_bytes());
+            block[2..10].copy_from_slice(&b.asn.to_be_bytes());
+            block
+        }));
+        self.cipher.encrypt_blocks(blocks);
+        // Sweep 2: host keys, one cipher per block.
+        ciphers.clear();
+        ciphers.extend(blocks.iter().map(Aes128::new));
+        let start = out.len();
+        out.extend(ids.iter().map(|(_, host)| {
+            let mut block = [0u8; 16];
+            block[0..4].copy_from_slice(host);
+            block[4] = 0x01; // level tag
+            block
+        }));
+        Aes128::encrypt_blocks_with(|i| &ciphers[i], &mut out[start..]);
+    }
 }
 
 /// The epoch index covering `unix_s`.
@@ -96,6 +138,26 @@ mod tests {
         );
         // Host keys are not the AS key.
         assert_ne!(sv.as_to_as(IsdAs::new(1, 1)), sv.as_to_host(IsdAs::new(1, 1), [0, 0, 0, 1]));
+    }
+
+    #[test]
+    fn batched_host_keys_match_sequential() {
+        let sv = DrKeySecret::derive(&[3u8; 16], 4);
+        let ids: Vec<(IsdAs, [u8; 4])> = (0..11u16)
+            .map(|i| (IsdAs::new(1 + (i % 3), 0x10 + u64::from(i)), [0, 0, i as u8, 1]))
+            .collect();
+        let (mut blocks, mut ciphers, mut out) = (Vec::new(), Vec::new(), Vec::new());
+        sv.as_to_host_batch(&ids, &mut blocks, &mut ciphers, &mut out);
+        assert_eq!(out.len(), ids.len());
+        for ((b, host), key) in ids.iter().zip(&out) {
+            assert_eq!(sv.as_to_host(*b, *host), *key);
+        }
+        // Appends without clearing `out`; empty bursts are a no-op.
+        sv.as_to_host_batch(&ids[..1], &mut blocks, &mut ciphers, &mut out);
+        assert_eq!(out.len(), ids.len() + 1);
+        assert_eq!(out[ids.len()], sv.as_to_host(ids[0].0, ids[0].1));
+        sv.as_to_host_batch(&[], &mut blocks, &mut ciphers, &mut out);
+        assert_eq!(out.len(), ids.len() + 1);
     }
 
     #[test]

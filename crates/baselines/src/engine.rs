@@ -238,9 +238,10 @@ impl HeliaSender {
     }
 }
 
-/// Derives (and memoizes) the DRKey epoch secret — shared by the engine's
-/// hot path and the key-service helper.
-fn cached_epoch_secret<'a>(
+/// Derives (and memoizes) the DRKey epoch secret — shared by the engines'
+/// hot paths (DRKey here, EPIC in [`crate::epic`]) and the key-service
+/// helpers.
+pub(crate) fn cached_epoch_secret<'a>(
     cache: &'a mut Option<(u64, DrKeySecret)>,
     master: &[u8; 16],
     epoch: u64,

@@ -13,10 +13,16 @@
 //!   depend on and Hummingbird eliminates.
 //!
 //! * [`engine`] — per-packet [`hummingbird_dataplane::Datapath`] engines
-//!   for both baselines, so routers, simulators and benchmark binaries
-//!   can sweep Hummingbird vs Helia vs DRKey through one trait.
+//!   for the Helia and DRKey baselines, so routers, simulators and
+//!   benchmark binaries can sweep the whole family through one trait.
 //!
-//! The `baseline_comparison` binary in `hummingbird-bench` runs both
+//! * [`epic`] — an EPIC L1-style per-packet path-validation engine
+//!   (chained hop authenticators over DRKey-derived per-source keys,
+//!   strict freshness, replay suppression, no reservations): the
+//!   heavyweight end of the comparison, completing the engine family
+//!   Hummingbird vs Helia vs DRKey vs EPIC.
+//!
+//! The `baseline_comparison` binary in `hummingbird-bench` runs the
 //! systems side by side on the dimensions the paper's §2 claims.
 
 #![forbid(unsafe_code)]
@@ -24,8 +30,10 @@
 
 pub mod drkey;
 pub mod engine;
+pub mod epic;
 pub mod helia;
 
 pub use drkey::DrKeySecret;
 pub use engine::{DrKeyDatapath, DrKeySender, HeliaDatapath, HeliaHopGrant, HeliaSender};
+pub use epic::{epic_auth_key, EpicDatapath, EpicKeyId, EpicSender};
 pub use helia::{slot_of, HeliaError, HeliaGrant, HeliaService, SLOT_SECS};

@@ -105,7 +105,7 @@ fn main() {
         let t = forwarding_throughput(|| fx.engine(kind), &pkt, 1, 50_000, EPOCH_NS);
         let class = match kind {
             EngineKind::Hummingbird | EngineKind::Helia | EngineKind::Gateway => "priority",
-            EngineKind::Scion | EngineKind::Drkey => "best effort",
+            EngineKind::Scion | EngineKind::Drkey | EngineKind::Epic => "best effort",
             EngineKind::Null => "pass-through",
         };
         println!("{:<14} {:>14.0} {:>12}", kind.name(), t.ns_per_pkt(1), class);

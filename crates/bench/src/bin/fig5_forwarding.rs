@@ -1,8 +1,8 @@
 //! Figure 5: border-router packet validation and forwarding throughput
 //! for different payload sizes and core counts, across every `Datapath`
-//! engine (Hummingbird vs SCION best-effort by default; add the Helia and
-//! DRKey baselines, the gateway or the null calibration engine with
-//! `--engine`).
+//! engine (Hummingbird vs SCION best-effort by default; add the Helia,
+//! DRKey and EPIC baselines, the gateway or the null calibration engine
+//! with `--engine`).
 //!
 //! The paper reaches the 160 Gbps line rate with 4 cores at 1500 B and
 //! 32 cores at 100 B (AES-NI hardware). This software-AES reproduction is
@@ -17,7 +17,7 @@
 //! side with the per-core-clone mode on the same input.
 //!
 //! Run with: `cargo run --release -p hummingbird-bench --bin fig5_forwarding
-//! [-- --engine hummingbird|scion|helia|drkey|gateway|null|all]
+//! [-- --engine hummingbird|scion|helia|drkey|epic|gateway|null|all]
 //! [--sharded] [--cores 1,2,4] [--pkts <per-core count>]
 //! [--json <path>]`
 //!
@@ -125,7 +125,9 @@ fn sharded_comparison(
     for &cores in cores_list {
         let total = pkts_per_core / cores.max(1) as u64 * 4 * cores as u64;
         let mut cfg = RuntimeConfig::new(cores);
-        if kind == EngineKind::Gateway {
+        // Source-keyed engines (gateway host buckets, EPIC per-source
+        // keys/replay filters) shard on the source hash.
+        if matches!(kind, EngineKind::Gateway | EngineKind::Epic) {
             cfg.steering = hummingbird_dataplane::Steering::BySource;
         }
         let clone = run_to_completion(

@@ -14,7 +14,11 @@ pub mod json;
 
 pub use json::{hotpath_json, write_hotpath_json, BenchRecord};
 
-use hummingbird_baselines::{slot_of, DrKeyDatapath, DrKeySender, HeliaDatapath, HeliaSender};
+use hummingbird_baselines::drkey::epoch_of;
+use hummingbird_baselines::{
+    epic_auth_key, slot_of, DrKeyDatapath, DrKeySecret, DrKeySender, EpicDatapath, EpicSender,
+    HeliaDatapath, HeliaSender,
+};
 use hummingbird_crypto::{ResInfo, SecretValue};
 use hummingbird_dataplane::{
     forge_path, BeaconHop, BorderRouter, Datapath, Gateway, HostShare, NullEngine, RouterConfig,
@@ -36,7 +40,7 @@ const DRKEY_MASTER: [u8; 16] = [0xB5; 16];
 /// Which [`Datapath`] engine a figure/table binary should drive.
 ///
 /// Every packet-processing binary accepts `--engine
-/// hummingbird|scion|helia|drkey|gateway|null|all` (default: the
+/// hummingbird|scion|helia|drkey|epic|gateway|null|all` (default: the
 /// binary's traditional engine set) and constructs engines exclusively
 /// through [`DataplaneFixture::engine`] +
 /// [`DataplaneFixture::engine_packet`] — the single place that knows
@@ -51,6 +55,8 @@ pub enum EngineKind {
     Helia,
     /// DRKey-only source-authentication baseline engine.
     Drkey,
+    /// EPIC L1-style per-packet path-validation baseline engine.
+    Epic,
     /// The host-aggregating gateway (admission half).
     Gateway,
     /// Best-effort pass-through: measures the harness's own overhead.
@@ -59,11 +65,12 @@ pub enum EngineKind {
 
 impl EngineKind {
     /// All sweepable engines.
-    pub const ALL: [EngineKind; 6] = [
+    pub const ALL: [EngineKind; 7] = [
         EngineKind::Hummingbird,
         EngineKind::Scion,
         EngineKind::Helia,
         EngineKind::Drkey,
+        EngineKind::Epic,
         EngineKind::Gateway,
         EngineKind::Null,
     ];
@@ -76,6 +83,7 @@ impl EngineKind {
             EngineKind::Scion => "scion",
             EngineKind::Helia => "helia",
             EngineKind::Drkey => "drkey",
+            EngineKind::Epic => "epic",
             EngineKind::Gateway => "gateway",
             EngineKind::Null => "null",
         }
@@ -87,6 +95,7 @@ impl EngineKind {
             "scion" => Some(vec![EngineKind::Scion]),
             "helia" => Some(vec![EngineKind::Helia]),
             "drkey" => Some(vec![EngineKind::Drkey]),
+            "epic" => Some(vec![EngineKind::Epic]),
             "gateway" => Some(vec![EngineKind::Gateway]),
             "null" => Some(vec![EngineKind::Null]),
             "all" => Some(EngineKind::ALL.to_vec()),
@@ -115,7 +124,7 @@ pub fn engines_from_args(default: &[EngineKind]) -> Vec<EngineKind> {
                 None => {
                     eprintln!(
                         "unknown engine '{v}'; expected \
-                         hummingbird|scion|helia|drkey|gateway|null|all"
+                         hummingbird|scion|helia|drkey|epic|gateway|null|all"
                     );
                     std::process::exit(2);
                 }
@@ -277,6 +286,11 @@ impl DataplaneFixture {
             EngineKind::Drkey => {
                 Box::new(DrKeyDatapath::new(DRKEY_MASTER, self.hop_keys[0].clone()))
             }
+            EngineKind::Epic => Box::new(EpicDatapath::new(
+                DRKEY_MASTER,
+                self.hop_keys[0].clone(),
+                RouterConfig::default(),
+            )),
             EngineKind::Gateway => {
                 let reserved = self.generator(true);
                 let best_effort = self.generator(false);
@@ -293,10 +307,13 @@ impl DataplaneFixture {
     /// One logical hop-0 router of `kind` sharded across `shards`
     /// engines, with steering matched to how the engine keys its state
     /// (by reservation for routers, by source for the gateway's per-host
-    /// buckets).
+    /// buckets and EPIC's per-source keys and replay filters).
     pub fn sharded_engine(&self, kind: EngineKind, shards: usize) -> ShardedRouter {
-        let steering =
-            if kind == EngineKind::Gateway { Steering::BySource } else { Steering::ByReservation };
+        let steering = if matches!(kind, EngineKind::Gateway | EngineKind::Epic) {
+            Steering::BySource
+        } else {
+            Steering::ByReservation
+        };
         ShardedRouter::new(
             (0..shards.max(1)).map(|_| self.engine(kind)).collect(),
             RouterConfig::default().policer_slots,
@@ -341,7 +358,20 @@ impl DataplaneFixture {
                     .expect("matching interfaces");
                 sender.generate(&payload, EPOCH_MS).expect("generation")
             }
+            EngineKind::Epic => self.epic_packet(src, &payload, EPOCH_MS),
         }
+    }
+
+    /// A serialized EPIC-stamped packet from `src`, authenticated at
+    /// hop 0 under this fixture's DRKey master.
+    fn epic_packet(&self, src: IsdAs, payload: &[u8], at_ms: u64) -> Vec<u8> {
+        let (_, dst) = Self::endpoints();
+        let secret = DrKeySecret::derive(&DRKEY_MASTER, epoch_of(EPOCH_S));
+        let key = epic_auth_key(&secret, src, [0, 0, 0, 1]);
+        let mut sender = EpicSender::new(src, dst, self.beacon_path());
+        let (ingress, egress) = self.interfaces(0);
+        sender.attach_auth_key(0, ingress, egress, key, EPOCH_S).expect("matching interfaces");
+        sender.generate(payload, at_ms).expect("generation")
     }
 
     /// A reserved generator whose hop-0 reservation uses `res_id` — the
@@ -370,7 +400,10 @@ impl DataplaneFixture {
     /// them: reservation-bearing kinds get ResIDs spread evenly across
     /// the policing array ([0, `policer_slots`)), plain kinds get
     /// distinct per-packet timestamps (the duplicate-filter key the
-    /// plain flow hash covers). DRKey carries no reservation axis, so
+    /// plain flow hash covers). EPIC is keyed by source, so its flows
+    /// come from distinct source ASes and spread under the
+    /// [`Steering::BySource`] map [`DataplaneFixture::sharded_engine`]
+    /// gives it. DRKey carries no reservation axis, so
     /// its flows intentionally share one shard under reservation
     /// steering — the engine-model skew the sharded sweep makes visible.
     pub fn flow_packets(&self, kind: EngineKind, payload_len: usize, flows: usize) -> Vec<Vec<u8>> {
@@ -407,6 +440,12 @@ impl DataplaneFixture {
                         sender.generate(&payload, EPOCH_MS + f as u64).expect("generation")
                     }
                     EngineKind::Drkey => self.engine_packet(kind, payload_len),
+                    EngineKind::Epic => {
+                        // One source AS per flow: the BySource hash is the
+                        // axis EPIC shards on.
+                        let src = IsdAs::new(1, 0x10 + f as u64);
+                        self.epic_packet(src, &payload, EPOCH_MS + f as u64)
+                    }
                 }
             })
             .collect()
@@ -494,7 +533,9 @@ mod tests {
     fn flow_packets_verify_and_spread_across_shards() {
         use hummingbird_dataplane::Verdict;
         let fx = DataplaneFixture::new(2);
-        for kind in [EngineKind::Hummingbird, EngineKind::Helia, EngineKind::Scion] {
+        for kind in
+            [EngineKind::Hummingbird, EngineKind::Helia, EngineKind::Epic, EngineKind::Scion]
+        {
             let flows = fx.flow_packets(kind, 300, 8);
             assert_eq!(flows.len(), 8);
             let mut sharded = fx.sharded_engine(kind, 4);
@@ -507,7 +548,8 @@ mod tests {
             }
             assert_eq!(single.stats(), sharded.stats(), "{kind:?}");
             if kind != EngineKind::Scion {
-                // Reservation kinds must actually spread across shards.
+                // Flow-keyed kinds (by ResID, or by source for EPIC) must
+                // actually spread across shards.
                 let active = sharded.shard_stats().iter().filter(|s| s.processed > 0).count();
                 assert!(active > 1, "{kind:?} flows all landed on one shard");
             }

@@ -271,6 +271,32 @@ pub fn flyover_tags_batch_with<'a>(
 /// footprint to two generations, and ages out expired reservations
 /// without a sweeper. Hit/miss counters are exposed for
 /// `DatapathStats`-style reporting.
+///
+/// # Example
+///
+/// The second packet of a reservation reuses the expanded schedule — the
+/// closure passed to [`get_or_derive`](AuthKeyCache::get_or_derive) runs
+/// only on a miss:
+///
+/// ```
+/// use hummingbird_crypto::{AuthKeyCache, ResInfo, SecretValue};
+///
+/// let sv = SecretValue::new([6; 16]);
+/// let info = ResInfo {
+///     ingress: 0,
+///     egress: 1,
+///     res_id: 7,
+///     bw_encoded: 700,
+///     res_start: 1_700_000_000,
+///     duration: 600,
+/// };
+///
+/// let mut cache: AuthKeyCache = AuthKeyCache::new(1024);
+/// let first = cache.get_or_derive(&info, || sv.derive_key(&info)).clone();
+/// let again = cache.get_or_derive(&info, || unreachable!("second lookup hits")).clone();
+/// assert_eq!(first, again);
+/// assert_eq!((cache.hits(), cache.misses()), (1, 1));
+/// ```
 #[derive(Clone, Debug)]
 pub struct AuthKeyCache<K = ResInfo> {
     hot: HashMap<K, AuthKey>,

@@ -62,6 +62,11 @@ pub enum DropReason {
     Duplicate,
     /// The path has already been fully traversed.
     PathConsumed,
+    /// Packet timestamp outside the engine's per-packet validation
+    /// window. Only engines with *strict* freshness emit this (the EPIC
+    /// baseline, whose replay suppression covers exactly that window);
+    /// Hummingbird demotes stale packets to best effort instead.
+    Untimely,
 }
 
 /// An engine's forwarding decision for one packet.
@@ -214,11 +219,57 @@ impl From<Vec<u8>> for PacketBuf {
 /// The unified packet-processing interface.
 ///
 /// Implemented by [`BorderRouter`], [`crate::Gateway`] and the baseline
-/// engines in `hummingbird-baselines` (`HeliaDatapath`, `DrKeyDatapath`).
-/// Harnesses — the network simulator, the end-to-end testbed, the
-/// multicore throughput rig, every benchmark binary — drive engines
-/// exclusively through this trait, so any experiment can swap engines with
-/// a flag.
+/// engines in `hummingbird-baselines` (`HeliaDatapath`, `DrKeyDatapath`,
+/// `EpicDatapath`). Harnesses — the network simulator, the end-to-end
+/// testbed, the multicore throughput rig, every benchmark binary — drive
+/// engines exclusively through this trait, so any experiment can swap
+/// engines with a flag.
+///
+/// # Example
+///
+/// Build a Hummingbird border router, stamp one reserved packet with the
+/// matching key material, process it, and read the counters:
+///
+/// ```
+/// use hummingbird_dataplane::{
+///     forge_path, BeaconHop, Datapath, DatapathBuilder, SourceGenerator, SourceReservation,
+/// };
+/// use hummingbird_crypto::{ResInfo, SecretValue};
+/// use hummingbird_wire::scion_mac::HopMacKey;
+/// use hummingbird_wire::IsdAs;
+///
+/// let now_s = 1_700_000_000u64;
+/// let (sv, hop_key) = (SecretValue::new([6; 16]), HopMacKey::new([1; 16]));
+///
+/// // The AS's border router, composed from the default pipeline stages.
+/// let mut router = DatapathBuilder::new(sv.clone(), hop_key.clone()).build();
+///
+/// // A source holding a beaconed one-hop path and a reservation key.
+/// let hops = [BeaconHop { key: hop_key, cons_ingress: 0, cons_egress: 0 }];
+/// let mut source = SourceGenerator::new(
+///     IsdAs::new(1, 0x10),
+///     IsdAs::new(2, 0x20),
+///     forge_path(&hops, now_s as u32 - 100, 0x7777),
+/// );
+/// let res_info = ResInfo {
+///     ingress: 0,
+///     egress: 0,
+///     res_id: 7,
+///     bw_encoded: 700,
+///     res_start: now_s as u32 - 50,
+///     duration: 600,
+/// };
+/// let key = sv.derive_key(&res_info); // granted on the control plane
+/// source.attach_reservation(0, SourceReservation { res_info, key }).unwrap();
+///
+/// // One packet through the engine: verified and forwarded with priority.
+/// let mut pkt = source.generate(&[0u8; 200], now_s * 1000).unwrap();
+/// let verdict = router.process(&mut pkt, now_s * 1_000_000_000);
+/// assert!(verdict.is_flyover());
+///
+/// let stats = router.stats();
+/// assert_eq!((stats.processed, stats.flyover, stats.dropped), (1, 1, 0));
+/// ```
 pub trait Datapath {
     /// Processes one packet in place at time `now_ns` (Unix nanoseconds).
     ///
@@ -398,7 +449,11 @@ impl DatapathBuilder {
 
     /// The duplicate-suppressor matching this configuration, if the stage
     /// is enabled (entries outlive the freshness window `Δ + 2δ`).
-    pub(crate) fn make_suppressor(cfg: &RouterConfig) -> Option<DuplicateSuppressor> {
+    ///
+    /// Public so engines built *outside* this crate on the shared
+    /// [`crate::router::stages`] (the Helia/DRKey/EPIC baselines) size
+    /// their replay filters exactly like [`BorderRouter`] does.
+    pub fn make_suppressor(cfg: &RouterConfig) -> Option<DuplicateSuppressor> {
         cfg.duplicate_suppression.then(|| {
             let window_ns = (cfg.max_packet_age_ms + 2 * cfg.max_clock_skew_ms) * 1_000_000;
             DuplicateSuppressor::new(window_ns, 1 << 20)

@@ -57,8 +57,9 @@ use std::time::Instant;
 /// its flow, so per-reservation policing state never splits across
 /// engines; verdicts and aggregate [`stats`](Datapath::stats) are
 /// element-wise identical to a single engine over the same traffic (the
-/// contract `tests/prop_sharded.rs` enforces). [`process_batch`]
-/// (Datapath::process_batch) forwards maximal same-shard runs to the
+/// contract `tests/prop_sharded.rs` enforces).
+/// [`process_batch`](Datapath::process_batch) forwards maximal same-shard
+/// runs to the
 /// owning engine's batch path, so per-burst amortizations (batch key
 /// derivation, policer pre-touch) survive sharding.
 ///

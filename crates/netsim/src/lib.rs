@@ -9,7 +9,10 @@
 //!
 //! * [`sim`] — the event engine: nodes, priority links, flows, replay
 //!   adversaries.
-//! * [`scenario`] — ready-made linear topologies and CBR flow plumbing.
+//! * [`scenario`] — ready-made linear topologies and CBR flow plumbing,
+//!   plus the [`EngineScenario`] config that reruns any experiment with
+//!   every router node swapped to a baseline engine family (Helia,
+//!   DRKey, EPIC — see `hummingbird-baselines`), optionally sharded.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -19,7 +22,7 @@ pub mod scenario;
 pub mod sim;
 
 pub use multipath::{Branch, DiamondTopology};
-pub use scenario::{LinearTopology, LinkSpec};
+pub use scenario::{EngineFamily, EngineScenario, LinearTopology, LinkSpec};
 pub use sim::{Class, Flow, FlowId, FlowStats, Node, NodeId, ReplayTap, SimPacket, Simulator};
 
 #[cfg(test)]
@@ -117,6 +120,130 @@ mod tests {
         // The facade aggregates stats across its shards like one router.
         let rs = topo.sim.router_stats(entry).unwrap();
         assert_eq!(rs.processed, v.sent_pkts + a.sent_pkts, "every packet counted once");
+    }
+
+    /// The engine-family sweep: the same flood experiment rerun with
+    /// every router node swapped per [`EngineScenario`] — single-engine
+    /// and 4-shard deployments of Hummingbird, Helia, DRKey and EPIC.
+    /// The D2 split falls exactly along the priority-class axis: the
+    /// reservation families keep the victim's delivery ratio while the
+    /// authentication-only families (DRKey, EPIC) validate every packet
+    /// yet leave it to starve in the flooded best-effort class — EPIC's
+    /// per-packet path validation is not bandwidth protection.
+    #[test]
+    fn engine_family_sweep_reruns_flood_protection() {
+        let cfg = RouterConfig::default();
+        for family in EngineFamily::ALL {
+            for shards in [1usize, 4] {
+                let mut topo = LinearTopology::build(3, LinkSpec::default(), START_NS, cfg);
+                topo.install_engines(EngineScenario { family, shards }, cfg);
+                let run_s = 2;
+                let victim = topo.add_family_cbr_flow(
+                    family,
+                    src(),
+                    dst(),
+                    1000,
+                    2_000,
+                    Some(3_000),
+                    START_NS,
+                    START_NS + run_s * SEC,
+                );
+                let attacker = topo.add_family_cbr_flow(
+                    family,
+                    atk(),
+                    dst(),
+                    1000,
+                    30_000,
+                    None,
+                    START_NS,
+                    START_NS + run_s * SEC,
+                );
+                topo.sim.run_until(START_NS + (run_s + 1) * SEC);
+                let v = topo.sim.stats(victim);
+                let a = topo.sim.stats(attacker);
+                let label = format!("{}x{shards}", family.name());
+                // Credentialed traffic authenticates in every family: the
+                // victim loses packets only to congestion, never to MAC
+                // verification.
+                assert_eq!(v.router_drops, 0, "{label}: victim must authenticate");
+                if family.has_priority_class() {
+                    assert!(
+                        v.delivery_ratio() > 0.99,
+                        "{label}: reservation family must protect the victim, ratio {}",
+                        v.delivery_ratio()
+                    );
+                    assert!(a.goodput_kbps(run_s as f64) < 9_000.0, "{label}");
+                } else {
+                    assert!(
+                        v.delivery_ratio() < 0.7,
+                        "{label}: authentication-only family cannot protect, ratio {}",
+                        v.delivery_ratio()
+                    );
+                }
+                // Stats aggregate identically however many shards: every
+                // packet reaching the entry router is counted once.
+                let rs = topo.sim.router_stats(topo.as_nodes[0]).unwrap();
+                assert_eq!(
+                    rs.processed,
+                    v.sent_pkts + a.sent_pkts,
+                    "{label}: every packet counted once"
+                );
+            }
+        }
+    }
+
+    /// D1 for the EPIC family: per-packet path validation rejects forged
+    /// credentials at the first router, and with the replay filter on, a
+    /// duplicating adversary gets every copy dropped while the victim's
+    /// delivery is untouched — on EPIC's best-effort-only service.
+    #[test]
+    fn epic_nodes_reject_forgery_and_replay() {
+        let cfg = RouterConfig { duplicate_suppression: true, ..Default::default() };
+        // Uncongested links: what's measured is validation, not queueing.
+        let link = LinkSpec { bandwidth_bps: 100_000_000, ..Default::default() };
+        let mut topo = LinearTopology::build(2, link, START_NS, cfg);
+        topo.install_engines(EngineScenario { family: EngineFamily::Epic, shards: 1 }, cfg);
+        let run_s = 1;
+        let victim = topo.add_family_cbr_flow(
+            EngineFamily::Epic,
+            src(),
+            dst(),
+            1000,
+            2_000,
+            Some(2_000),
+            START_NS,
+            START_NS + run_s * SEC,
+        );
+        // Forger: EPIC credentials derived under the wrong DRKey masters
+        // (a seeded sibling topology) — every packet must fail the MAC.
+        let mut other = LinearTopology::build_seeded(2, link, START_NS, cfg, 0xEE);
+        let mut forged_gen = other.make_generator(atk(), dst());
+        for hop in 0..2 {
+            let credential =
+                other.make_family_credential(EngineFamily::Epic, hop, atk(), 0, START_S);
+            forged_gen.attach_reservation(hop, credential).unwrap();
+        }
+        let entry = topo.as_nodes[0];
+        let forged = topo.sim.add_flow(crate::sim::Flow {
+            generator: forged_gen,
+            entry,
+            payload_len: 500,
+            interval_ns: 1_000_000,
+            start_ns: START_NS,
+            stop_ns: START_NS + run_s * SEC,
+        });
+        // Replayer: duplicates every victim packet 5× at the entry AS.
+        let tap = topo.sim.add_replay_tap(victim, entry, 5, 200_000);
+        topo.sim.run_until(START_NS + (run_s + 1) * SEC);
+
+        let v = topo.sim.stats(victim);
+        let f = topo.sim.stats(forged);
+        let t = topo.sim.stats(tap);
+        assert!(v.delivery_ratio() > 0.99, "victim ratio {}", v.delivery_ratio());
+        assert_eq!(f.delivered_pkts, 0);
+        assert_eq!(f.router_drops, f.sent_pkts, "all forged packets dropped");
+        assert!(t.sent_pkts > 0, "tap observed packets");
+        assert_eq!(t.router_drops, t.sent_pkts, "all replays dropped by the window filter");
     }
 
     /// Baseline: the same victim *without* a reservation is starved by the

@@ -1,16 +1,95 @@
 //! Scenario builders: linear AS topologies with Hummingbird routers,
-//! ready-made flows, and reservation plumbing for the QoS experiments.
+//! ready-made flows, and reservation plumbing for the QoS experiments —
+//! plus the [`EngineScenario`] config that reruns any experiment with
+//! every node swapped to a baseline engine family (Helia, DRKey, EPIC),
+//! optionally sharded.
 
 use crate::sim::{Flow, FlowId, Node, NodeId, Simulator};
-use hummingbird_crypto::{ResInfo, SecretValue};
+use hummingbird_baselines::drkey::{epoch_of, DrKeySecret, EPOCH_SECS};
+use hummingbird_baselines::engine::helia_packet_key;
+use hummingbird_baselines::{
+    epic_auth_key, slot_of, DrKeyDatapath, EpicDatapath, HeliaDatapath, SLOT_SECS,
+};
+use hummingbird_crypto::{AuthKey, ResInfo, SecretValue};
 use hummingbird_dataplane::{
     forge_path, BeaconHop, Datapath, DatapathBuilder, RouterConfig, ShardedRouter, SourceGenerator,
-    SourceReservation,
+    SourceReservation, Steering,
 };
 use hummingbird_wire::bwcls;
 use hummingbird_wire::scion_mac::HopMacKey;
 use hummingbird_wire::IsdAs;
 use std::collections::HashMap;
+
+/// The host address every [`SourceGenerator`]-built packet carries —
+/// what the source-keyed baseline engines (DRKey, EPIC) derive their
+/// per-host keys from.
+const SRC_HOST: [u8; 4] = [0, 0, 0, 1];
+
+/// Which engine family a scenario's router nodes run.
+///
+/// The same topology, flows and adversaries rerun against any family;
+/// what changes is the credential attached per hop (reservation key,
+/// Helia grant, DRKey/EPIC host key) and therefore which of the paper's
+/// properties hold — D1 source/path authentication, D2 bandwidth
+/// protection, or both.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EngineFamily {
+    /// Hummingbird border routers (reservations, policing, priority).
+    Hummingbird,
+    /// Helia-style fixed-slot engines (per-slot grants, priority).
+    Helia,
+    /// DRKey-only source authentication (no priority class).
+    Drkey,
+    /// EPIC L1-style per-packet path validation (strict freshness,
+    /// replay suppression, no priority class).
+    Epic,
+}
+
+impl EngineFamily {
+    /// Every family, in comparison order.
+    pub const ALL: [EngineFamily; 4] =
+        [EngineFamily::Hummingbird, EngineFamily::Helia, EngineFamily::Drkey, EngineFamily::Epic];
+
+    /// Stable display name (matches `Datapath::engine_name`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            EngineFamily::Hummingbird => "hummingbird",
+            EngineFamily::Helia => "helia",
+            EngineFamily::Drkey => "drkey",
+            EngineFamily::Epic => "epic",
+        }
+    }
+
+    /// Whether validated traffic of this family can ride the priority
+    /// class (the D2 axis of the sweep).
+    pub fn has_priority_class(&self) -> bool {
+        matches!(self, EngineFamily::Hummingbird | EngineFamily::Helia)
+    }
+
+    /// The shard steering that keeps this family's per-flow state on one
+    /// shard: reservation ranges for policer-keyed engines, the source
+    /// hash for the source-keyed EPIC/DRKey engines.
+    pub fn steering(&self) -> Steering {
+        match self {
+            EngineFamily::Hummingbird | EngineFamily::Helia => Steering::ByReservation,
+            EngineFamily::Drkey | EngineFamily::Epic => Steering::BySource,
+        }
+    }
+}
+
+/// One rerun configuration of a QoS/DoS experiment: which engine family
+/// every router node runs, and across how many shards.
+///
+/// Apply with [`LinearTopology::install_engines`]; attach matching
+/// per-hop credentials to flows with
+/// [`LinearTopology::add_family_cbr_flow`].
+#[derive(Clone, Copy, Debug)]
+pub struct EngineScenario {
+    /// The engine family under test.
+    pub family: EngineFamily,
+    /// Shards per router node (`1` = a plain single engine).
+    pub shards: usize,
+}
 
 /// A linear chain of `n` ASes with a destination host behind the last one.
 ///
@@ -26,6 +105,9 @@ pub struct LinearTopology {
     pub dest_host: NodeId,
     hop_keys: Vec<HopMacKey>,
     svs: Vec<SecretValue>,
+    /// Per-AS DRKey masters for the baseline engine families (derived
+    /// from the SV bytes so seeded topologies stay mutually rejecting).
+    drkey_masters: Vec<[u8; 16]>,
     info_ts: u32,
     beta0: u16,
     next_res_id: u32,
@@ -106,6 +188,14 @@ impl LinearTopology {
         assert!(n >= 1);
         assert_eq!(hop_key_bytes.len(), n);
         assert_eq!(sv_key_bytes.len(), n);
+        let drkey_masters: Vec<[u8; 16]> = sv_key_bytes
+            .iter()
+            .map(|k| {
+                let mut m = *k;
+                m[0] ^= 0xA5; // distinct hierarchy root per AS
+                m
+            })
+            .collect();
         let hop_keys: Vec<HopMacKey> = hop_key_bytes.into_iter().map(HopMacKey::new).collect();
         let svs: Vec<SecretValue> = sv_key_bytes.into_iter().map(SecretValue::new).collect();
         let mut sim = Simulator::new(start_ns);
@@ -139,6 +229,7 @@ impl LinearTopology {
             dest_host,
             hop_keys,
             svs,
+            drkey_masters,
             info_ts,
             beta0: 0x4242,
             next_res_id: 0,
@@ -173,6 +264,54 @@ impl LinearTopology {
         Box::new(ShardedRouter::from_fn(shards, cfg.policer_slots, |_| {
             self.make_hop_engine(hop, cfg)
         }))
+    }
+
+    /// A fresh, stand-alone engine of `family` with hop `i`'s secrets —
+    /// the per-family generalization of
+    /// [`make_hop_engine`](LinearTopology::make_hop_engine).
+    pub fn make_family_hop_engine(
+        &self,
+        family: EngineFamily,
+        hop: usize,
+        cfg: RouterConfig,
+    ) -> Box<dyn Datapath + Send> {
+        match family {
+            EngineFamily::Hummingbird => self.make_hop_engine(hop, cfg),
+            EngineFamily::Helia => Box::new(HeliaDatapath::new(
+                self.drkey_masters[hop],
+                self.hop_keys[hop].clone(),
+                cfg,
+            )),
+            EngineFamily::Drkey => {
+                Box::new(DrKeyDatapath::new(self.drkey_masters[hop], self.hop_keys[hop].clone()))
+            }
+            EngineFamily::Epic => Box::new(EpicDatapath::new(
+                self.drkey_masters[hop],
+                self.hop_keys[hop].clone(),
+                cfg,
+            )),
+        }
+    }
+
+    /// Swaps every router node's engine for `scenario`'s family, sharded
+    /// across `scenario.shards` engines when more than one — the knob
+    /// that reruns a whole QoS/DoS experiment per engine family on
+    /// unchanged topology, flows and adversaries.
+    pub fn install_engines(&mut self, scenario: EngineScenario, cfg: RouterConfig) {
+        for hop in 0..self.n_ases() {
+            let engine: Box<dyn Datapath + Send> = if scenario.shards > 1 {
+                Box::new(ShardedRouter::new(
+                    (0..scenario.shards)
+                        .map(|_| self.make_family_hop_engine(scenario.family, hop, cfg))
+                        .collect(),
+                    cfg.policer_slots,
+                    scenario.family.steering(),
+                ))
+            } else {
+                self.make_family_hop_engine(scenario.family, hop, cfg)
+            };
+            self.sim.replace_engine(self.as_nodes[hop], engine).ok().expect("AS nodes are routers");
+        }
     }
 
     /// Builds a fresh source generator over the chain's beaconed path.
@@ -218,7 +357,8 @@ impl LinearTopology {
 
     /// Adds a CBR flow over the full chain. `reserved_kbps` of `Some(r)`
     /// attaches reservations of rate `r` on *every* hop; `None` sends best
-    /// effort.
+    /// effort. (The Hummingbird special case of
+    /// [`add_family_cbr_flow`](LinearTopology::add_family_cbr_flow).)
     #[allow(clippy::too_many_arguments)]
     pub fn add_cbr_flow(
         &mut self,
@@ -230,16 +370,113 @@ impl LinearTopology {
         start_ns: u64,
         stop_ns: u64,
     ) -> FlowId {
-        let mut generator = self.make_generator(src, dst);
-        if let Some(r) = reserved_kbps {
-            let res_start = (start_ns / 1_000_000_000).saturating_sub(5) as u32;
-            for hop in 0..self.n_ases() {
-                let res = self.make_reservation(hop, r, res_start, u16::MAX);
-                generator.attach_reservation(hop, res).expect("matching interfaces");
+        self.add_family_cbr_flow(
+            EngineFamily::Hummingbird,
+            src,
+            dst,
+            payload_len,
+            rate_kbps,
+            reserved_kbps,
+            start_ns,
+            stop_ns,
+        )
+    }
+
+    /// The per-hop credential a `family` sender attaches for hop `hop`:
+    /// a Hummingbird reservation, a Helia slot grant, or a DRKey/EPIC
+    /// per-source key — each derived exactly as that hop's
+    /// [`make_family_hop_engine`](LinearTopology::make_family_hop_engine)
+    /// engine re-derives it.
+    ///
+    /// `bw_kbps` is the granted rate for the reservation families and
+    /// ignored by the authentication-only ones (DRKey/EPIC have no
+    /// bandwidth axis — the contrast the family sweep exists to show).
+    /// Helia grants cover the 16 s slot containing `now_s`, so a run
+    /// crossing a slot boundary goes stale mid-flow, exactly as in the
+    /// real system.
+    pub fn make_family_credential(
+        &mut self,
+        family: EngineFamily,
+        hop: usize,
+        src: IsdAs,
+        bw_kbps: u64,
+        now_s: u64,
+    ) -> SourceReservation {
+        let n = self.n_ases();
+        let (ingress, egress) = Self::interfaces(n, hop);
+        let master = &self.drkey_masters[hop];
+        match family {
+            EngineFamily::Hummingbird => {
+                self.make_reservation(hop, bw_kbps, now_s.saturating_sub(5) as u32, u16::MAX)
+            }
+            EngineFamily::Helia => {
+                let slot = slot_of(now_s);
+                let res_id = self.next_res_id;
+                self.next_res_id += 1;
+                let bw_encoded = bwcls::encode_floor(bw_kbps).expect("encodable AS-assigned share");
+                let key = helia_packet_key(master, src, slot, res_id, bw_encoded);
+                SourceReservation {
+                    res_info: ResInfo {
+                        ingress,
+                        egress,
+                        res_id,
+                        bw_encoded,
+                        res_start: (slot * SLOT_SECS) as u32,
+                        duration: SLOT_SECS as u16,
+                    },
+                    key: AuthKey::new(key),
+                }
+            }
+            EngineFamily::Drkey | EngineFamily::Epic => {
+                let epoch = epoch_of(now_s);
+                let secret = DrKeySecret::derive(master, epoch);
+                let key = if family == EngineFamily::Epic {
+                    epic_auth_key(&secret, src, SRC_HOST)
+                } else {
+                    secret.as_to_host(src, SRC_HOST)
+                };
+                SourceReservation {
+                    res_info: ResInfo {
+                        ingress,
+                        egress,
+                        res_id: 0,
+                        bw_encoded: 0,
+                        res_start: (epoch * EPOCH_SECS) as u32,
+                        duration: u16::MAX, // covers the 6 h epoch
+                    },
+                    key: AuthKey::new(key),
+                }
             }
         }
-        // Interval from the *payload* rate: actual wire rate is slightly
-        // higher due to headers, which the reservation margin absorbs.
+    }
+
+    /// [`add_cbr_flow`](LinearTopology::add_cbr_flow) generalized over
+    /// the engine family: `credential_kbps` of `Some(r)` attaches the
+    /// family's per-hop credential on *every* hop (reservation keys,
+    /// Helia grants, or DRKey/EPIC source keys); `None` sends plain
+    /// best-effort SCION. Pair with
+    /// [`install_engines`](LinearTopology::install_engines) so routers
+    /// and senders agree on the key hierarchy.
+    #[allow(clippy::too_many_arguments)]
+    pub fn add_family_cbr_flow(
+        &mut self,
+        family: EngineFamily,
+        src: IsdAs,
+        dst: IsdAs,
+        payload_len: usize,
+        rate_kbps: u64,
+        credential_kbps: Option<u64>,
+        start_ns: u64,
+        stop_ns: u64,
+    ) -> FlowId {
+        let mut generator = self.make_generator(src, dst);
+        if let Some(r) = credential_kbps {
+            let now_s = start_ns / 1_000_000_000;
+            for hop in 0..self.n_ases() {
+                let credential = self.make_family_credential(family, hop, src, r, now_s);
+                generator.attach_reservation(hop, credential).expect("matching interfaces");
+            }
+        }
         let interval_ns = (payload_len as u64 * 8).saturating_mul(1_000_000) / rate_kbps.max(1);
         let entry = self.as_nodes[0];
         self.sim.add_flow(Flow { generator, entry, payload_len, interval_ns, start_ns, stop_ns })

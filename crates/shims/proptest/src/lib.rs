@@ -1,7 +1,8 @@
 //! Offline stand-in for the `proptest` crate.
 //!
 //! Provides the subset of the proptest API this repository uses: the
-//! [`Strategy`] trait with `prop_map`/`boxed`, range and tuple strategies,
+//! [`strategy::Strategy`] trait with `prop_map`/`boxed`, range and tuple
+//! strategies,
 //! [`arbitrary::any`], `prop::collection::vec`, the `proptest!` /
 //! `prop_assert*` / `prop_assume!` / `prop_oneof!` macros and
 //! [`test_runner::ProptestConfig`].

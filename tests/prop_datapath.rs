@@ -14,7 +14,9 @@ use hummingbird::dataplane::{
     SourceReservation,
 };
 use hummingbird::{IsdAs, ResInfo, SecretValue};
-use hummingbird_baselines::{slot_of, DrKeyDatapath, HeliaDatapath, HeliaSender};
+use hummingbird_baselines::{
+    slot_of, DrKeyDatapath, EpicDatapath, EpicSender, HeliaDatapath, HeliaSender,
+};
 use hummingbird_wire::scion_mac::HopMacKey;
 use hummingbird_wire::{Packet, PacketView};
 use proptest::prelude::*;
@@ -80,6 +82,43 @@ fn router() -> DatapathBuilder {
     DatapathBuilder::new(sv(0), hop_key(0))
 }
 
+/// An EPIC-stamped mixed workload from up to three source ASes: per spec
+/// `(src_choice, payload, stale, corrupt)`, a packet authenticated under
+/// the verifying AS's EPIC key for that source — optionally stamped 10 s
+/// in the past (→ the strict-freshness drop) or corrupted (→ BadMac) —
+/// so bursts mix BestEffort and both Drop reasons across sources.
+fn epic_workload(specs: &[(u8, u16, bool, bool)]) -> Vec<Vec<u8>> {
+    let hops = vec![
+        BeaconHop { key: hop_key(0), cons_ingress: 0, cons_egress: 1 },
+        BeaconHop { key: hop_key(1), cons_ingress: 2, cons_egress: 0 },
+    ];
+    let path = forge_path(&hops, NOW_S as u32 - 100, 0x1234);
+    let mut issuer = EpicDatapath::new([0xB5; 16], hop_key(0), RouterConfig::default());
+    let mut senders: Vec<EpicSender> = (0..3u64)
+        .map(|i| {
+            let src = IsdAs::new(1, 0x10 + i);
+            let key = issuer.auth_key(src, [0, 0, 0, 1], NOW_S);
+            let mut sender = EpicSender::new(src, IsdAs::new(2, 0x20), path.clone());
+            sender.attach_auth_key(0, 0, 1, key, NOW_S).unwrap();
+            sender
+        })
+        .collect();
+    specs
+        .iter()
+        .enumerate()
+        .map(|(i, &(src_choice, payload, stale, corrupt))| {
+            let at = if stale { NOW_MS - 10_000 } else { NOW_MS } + i as u64;
+            let sender = &mut senders[usize::from(src_choice) % 3];
+            let mut bytes = sender.generate(&vec![0u8; usize::from(payload)], at).unwrap();
+            if corrupt {
+                let idx = 56 + (i % 12);
+                bytes[idx] ^= 0x40;
+            }
+            bytes
+        })
+        .collect()
+}
+
 /// Asserts batch ≡ sequential on two identically-configured engines.
 fn assert_batch_matches_sequential(
     mut batch_engine: Box<dyn Datapath + Send>,
@@ -114,7 +153,10 @@ proptest! {
         assert_batch_matches_sequential(make(), make(), packets)?;
     }
 
-    /// The same batch contract holds for the baseline engines.
+    /// The same batch contract holds for the baseline engines (for EPIC
+    /// this drives the real three-sweep batched key derivation against
+    /// foreign-keyed flyover packets: fresh ones derive and fail the MAC,
+    /// stale ones drop at the pass-1 freshness gate).
     #[test]
     fn baseline_engines_batch_equals_sequential(
         specs in prop::collection::vec((0u16..400, any::<bool>(), any::<bool>()), 1..16),
@@ -127,7 +169,59 @@ proptest! {
         let drkey = || -> Box<dyn Datapath + Send> {
             Box::new(DrKeyDatapath::new([0xB5; 16], hop_key(0)))
         };
-        assert_batch_matches_sequential(drkey(), drkey(), packets)?;
+        assert_batch_matches_sequential(drkey(), drkey(), packets.clone())?;
+        let epic = || -> Box<dyn Datapath + Send> {
+            Box::new(EpicDatapath::new([0xB5; 16], hop_key(0), RouterConfig::default()))
+        };
+        assert_batch_matches_sequential(epic(), epic(), packets)?;
+    }
+
+    /// EPIC-stamped traffic from several sources: batch ≡ sequential with
+    /// verdicts that actually validate (plus stale/corrupt packets mixed
+    /// in), and cached ≡ uncached key derivation through both paths.
+    #[test]
+    fn epic_stamped_batch_and_cache_equivalence(
+        specs in prop::collection::vec((0u8..3, 0u16..400, any::<bool>(), any::<bool>()), 1..16),
+        dup in any::<bool>(),
+    ) {
+        let packets = epic_workload(&specs);
+        let make = |cache_slots: u32| -> Box<dyn Datapath + Send> {
+            let cfg = RouterConfig {
+                duplicate_suppression: dup,
+                auth_key_cache_slots: cache_slots,
+                ..RouterConfig::default()
+            };
+            Box::new(EpicDatapath::new([0xB5; 16], hop_key(0), cfg))
+        };
+        let mut probe = make(0);
+        let fresh = epic_workload(&[(0, 64, false, false)]);
+        let v = probe.process(&mut fresh[0].clone(), NOW_NS);
+        prop_assert!(matches!(v, hummingbird::dataplane::Verdict::BestEffort { .. }),
+            "stamped packet must validate best-effort: {:?}", v);
+
+        // Batch ≡ sequential on the default (cached) configuration.
+        assert_batch_matches_sequential(
+            make(RouterConfig::default().auth_key_cache_slots),
+            make(RouterConfig::default().auth_key_cache_slots),
+            packets.clone(),
+        )?;
+
+        // Cached ≡ uncached: verdicts agree packet by packet, and core
+        // stats agree once the cache counters are masked off.
+        let mut cached = make(RouterConfig::default().auth_key_cache_slots);
+        let mut uncached = make(0);
+        for pkt in &packets {
+            let a = cached.process(&mut pkt.clone(), NOW_NS);
+            let b = uncached.process(&mut pkt.clone(), NOW_NS);
+            prop_assert_eq!(a, b, "cached EPIC verdict diverged");
+        }
+        let mut cached_stats = cached.stats();
+        let uncached_stats = uncached.stats();
+        prop_assert_eq!(uncached_stats.key_cache_hits, 0, "disabled cache must not count");
+        prop_assert_eq!(uncached_stats.key_cache_misses, 0, "disabled cache must not count");
+        cached_stats.key_cache_hits = 0;
+        cached_stats.key_cache_misses = 0;
+        prop_assert_eq!(cached_stats, uncached_stats, "core stats diverged");
     }
 
     /// Helia-stamped packets also verify batch ≡ sequential with verdicts

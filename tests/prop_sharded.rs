@@ -18,9 +18,11 @@ use hummingbird::dataplane::runtime::{
     run_to_completion, RuntimeConfig, RuntimeMode, ShardMap, ShardedRouter, Steering,
 };
 use hummingbird::dataplane::{
-    forge_path, BeaconHop, Datapath, DatapathBuilder, PacketBuf, SourceGenerator, SourceReservation,
+    forge_path, BeaconHop, Datapath, DatapathBuilder, PacketBuf, RouterConfig, SourceGenerator,
+    SourceReservation,
 };
 use hummingbird::{IsdAs, ResInfo, SecretValue};
+use hummingbird_baselines::{EpicDatapath, EpicSender};
 use hummingbird_wire::scion_mac::HopMacKey;
 use proptest::prelude::*;
 
@@ -231,6 +233,120 @@ proptest! {
             prop_assert_eq!(a, b, "copy {} diverged", i);
             if i == 0 {
                 prop_assert!(a.is_flyover(), "original must pass: {:?}", a);
+            } else {
+                prop_assert!(a.is_drop(), "replay {} must drop: {:?}", i, a);
+            }
+        }
+        prop_assert_eq!(single.stats(), sharded.stats());
+    }
+}
+
+/// EPIC engine + `Steering::BySource` helpers for the source-keyed
+/// sharding properties below.
+fn make_epic(dup: bool) -> Box<dyn Datapath + Send> {
+    let cfg = RouterConfig { duplicate_suppression: dup, ..RouterConfig::default() };
+    Box::new(EpicDatapath::new([0xB5; 16], hop_key(), cfg))
+}
+
+fn make_sharded_epic(shards: usize, dup: bool) -> ShardedRouter {
+    ShardedRouter::new((0..shards).map(|_| make_epic(dup)).collect(), SLOTS, Steering::BySource)
+}
+
+/// An EPIC-stamped duplicate-free workload from up to five source ASes
+/// (the axis `Steering::BySource` shards on): per spec `(src_choice,
+/// payload, corrupt)`, a packet on source `src_choice % 5` (or plain
+/// SCION when the choice hashes to 5), each at a distinct millisecond.
+fn epic_workload(specs: &[(u8, u16, bool)]) -> Vec<Vec<u8>> {
+    let hops = vec![BeaconHop { key: hop_key(), cons_ingress: 0, cons_egress: 0 }];
+    let path = forge_path(&hops, NOW_S as u32 - 100, 0x1234);
+    let mut issuer = EpicDatapath::new([0xB5; 16], hop_key(), RouterConfig::default());
+    let mut senders: Vec<EpicSender> = (0..5u64)
+        .map(|i| {
+            let src = IsdAs::new(1, 0x10 + i);
+            let key = issuer.auth_key(src, [0, 0, 0, 1], NOW_S);
+            let mut sender = EpicSender::new(src, IsdAs::new(2, 0x20), path.clone());
+            sender.attach_auth_key(0, 0, 0, key, NOW_S).unwrap();
+            sender
+        })
+        .collect();
+    let mut plain = SourceGenerator::new(IsdAs::new(1, 0x10), IsdAs::new(2, 0x20), path);
+    specs
+        .iter()
+        .enumerate()
+        .map(|(i, &(src_choice, payload, corrupt))| {
+            let payload = vec![0u8; usize::from(payload)];
+            let at = NOW_MS + i as u64; // unique ms → duplicate-free
+            let choice = usize::from(src_choice) % 6;
+            let mut bytes = if choice == 5 {
+                plain.generate(&payload, at).unwrap()
+            } else {
+                senders[choice].generate(&payload, at).unwrap()
+            };
+            if corrupt {
+                let idx = 56 + (i % 12);
+                bytes[idx] ^= 0x40;
+            }
+            bytes
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Sharded ≡ single for the source-keyed EPIC engine under
+    /// `Steering::BySource`: verdicts, aggregate stats and key-cache
+    /// counters match for any shard count on duplicate-free mixed
+    /// traffic, through both the per-packet and the batch path — every
+    /// source's key cache and replay state lives on exactly one shard.
+    #[test]
+    fn epic_sharded_by_source_equals_single(
+        shards in 1usize..6,
+        specs in prop::collection::vec((any::<u8>(), 0u16..400, any::<bool>()), 1..24),
+        dup in any::<bool>(),
+    ) {
+        let packets = epic_workload(&specs);
+        let mut single = make_epic(dup);
+        let mut sharded = make_sharded_epic(shards, dup);
+        for pkt in &packets {
+            let a = single.process(&mut pkt.clone(), NOW_NS);
+            let b = sharded.process(&mut pkt.clone(), NOW_NS);
+            prop_assert_eq!(a, b, "sharded EPIC verdict diverged");
+        }
+        prop_assert_eq!(single.stats(), sharded.stats(), "aggregate stats diverged");
+
+        // The same equivalence through the batch path (which regroups
+        // the burst into per-shard runs and drives the three-sweep
+        // batched key derivation per run).
+        let mut single_b = make_epic(dup);
+        let mut sharded_b = make_sharded_epic(shards, dup);
+        let mut bufs_a: Vec<PacketBuf> = packets.iter().cloned().map(PacketBuf::new).collect();
+        let mut bufs_b: Vec<PacketBuf> = packets.into_iter().map(PacketBuf::new).collect();
+        let (mut out_a, mut out_b) = (Vec::new(), Vec::new());
+        single_b.process_batch(&mut bufs_a, NOW_NS, &mut out_a);
+        sharded_b.process_batch(&mut bufs_b, NOW_NS, &mut out_b);
+        prop_assert_eq!(&out_a, &out_b, "batch verdicts diverged");
+        prop_assert_eq!(single_b.stats(), sharded_b.stats(), "batch stats diverged");
+    }
+
+    /// EPIC replays co-locate under source steering: exact copies steer
+    /// to the owning shard and its window filter drops them exactly as a
+    /// single engine would.
+    #[test]
+    fn epic_replays_colocate_with_their_original(
+        shards in 2usize..6,
+        src_choice in 0u8..5,
+        copies in 1usize..5,
+    ) {
+        let original = epic_workload(&[(src_choice, 300, false)]).remove(0);
+        let mut single = make_epic(true);
+        let mut sharded = make_sharded_epic(shards, true);
+        for i in 0..=copies {
+            let a = single.process(&mut original.clone(), NOW_NS + i as u64);
+            let b = sharded.process(&mut original.clone(), NOW_NS + i as u64);
+            prop_assert_eq!(a, b, "copy {} diverged", i);
+            if i == 0 {
+                prop_assert!(a.egress().is_some(), "original must validate: {:?}", a);
             } else {
                 prop_assert!(a.is_drop(), "replay {} must drop: {:?}", i, a);
             }
