@@ -45,7 +45,7 @@ use crate::drkey::{epoch_of, DrKeySecret, EPOCH_SECS};
 use crate::engine::cached_epoch_secret;
 use hummingbird_crypto::aes::Aes128;
 use hummingbird_crypto::{
-    flyover_tags_batch_with, AuthKey, AuthKeyCache, FlyoverMacInput, ResInfo, Tag,
+    flyover_tags_batch_with, AuthKey, AuthKeyCache, BurstKeyResolver, FlyoverMacInput, ResInfo, Tag,
 };
 use hummingbird_dataplane::dup::DuplicateSuppressor;
 use hummingbird_dataplane::router::{stages, RouterConfig};
@@ -56,8 +56,6 @@ use hummingbird_dataplane::{
 use hummingbird_wire::path::HummingbirdPath;
 use hummingbird_wire::scion_mac::HopMacKey;
 use hummingbird_wire::IsdAs;
-use std::collections::hash_map::Entry;
-use std::collections::HashMap;
 
 /// The identity an EPIC authenticator key is derived from (and cached
 /// under): the packet's source AS and host plus the DRKey epoch.
@@ -84,19 +82,10 @@ struct EpicBatchScratch {
     /// Per-packet outcome of the read-only pipeline half; `Err` also
     /// encodes the strict-freshness drop decided in pass 1.
     prepared: Vec<Result<(stages::Parsed, Option<stages::FlyoverInputs>), DropReason>>,
-    /// The burst's *distinct* source identities, in first-appearance
-    /// order.
-    uniq_ids: Vec<EpicKeyId>,
-    /// Burst-local dedupe map: identity → index into `uniq_ids`.
-    uniq_index: HashMap<EpicKeyId, usize>,
-    /// One expanded key per entry of `uniq_ids`.
-    uniq_keys: Vec<Option<AuthKey>>,
+    /// Burst source-identity dedupe + cache resolution (shared helper).
+    resolver: BurstKeyResolver<EpicKeyId>,
     /// `(src, host)` pairs that missed the cache, awaiting the sweeps.
     to_derive: Vec<(IsdAs, [u8; 4])>,
-    /// The `uniq_keys` slots the sweeps fill (parallel to `to_derive`).
-    derive_slots: Vec<usize>,
-    /// Per fresh flyover packet: index into `uniq_keys`.
-    key_of_pkt: Vec<usize>,
     /// Per fresh flyover packet: the MAC input of the tag sweep.
     mac_inputs: Vec<FlyoverMacInput>,
     /// 16-byte block scratch shared by the AES sweeps.
@@ -241,12 +230,8 @@ impl Datapath for EpicDatapath {
             self;
         let EpicBatchScratch {
             prepared,
-            uniq_ids,
-            uniq_index,
-            uniq_keys,
+            resolver,
             to_derive,
-            derive_slots,
-            key_of_pkt,
             mac_inputs,
             blocks,
             ciphers,
@@ -254,12 +239,8 @@ impl Datapath for EpicDatapath {
             tags,
         } = batch;
         prepared.clear();
-        uniq_ids.clear();
-        uniq_index.clear();
-        uniq_keys.clear();
+        resolver.begin();
         to_derive.clear();
-        derive_slots.clear();
-        key_of_pkt.clear();
         mac_inputs.clear();
         host_keys.clear();
         tags.clear();
@@ -277,28 +258,7 @@ impl Datapath for EpicDatapath {
                     prep = Err(DropReason::Untimely);
                 } else {
                     let id = (parsed.addr.src, parsed.addr.src_host, epoch);
-                    let slot = match uniq_index.entry(id) {
-                        Entry::Occupied(e) => {
-                            // A repeat within the burst would have hit the
-                            // cache sequentially.
-                            if let Some(cache) = key_cache.as_mut() {
-                                cache.record_burst_hit();
-                            }
-                            *e.get()
-                        }
-                        Entry::Vacant(e) => {
-                            let slot = uniq_ids.len();
-                            e.insert(slot);
-                            uniq_ids.push(id);
-                            uniq_keys.push(key_cache.as_mut().and_then(|c| c.lookup(&id).cloned()));
-                            if uniq_keys[slot].is_none() {
-                                to_derive.push((id.0, id.1));
-                                derive_slots.push(slot);
-                            }
-                            slot
-                        }
-                    };
-                    key_of_pkt.push(slot);
+                    resolver.visit(id, key_cache.as_mut());
                     mac_inputs.push(inputs.mac_input);
                 }
             }
@@ -309,6 +269,7 @@ impl Datapath for EpicDatapath {
         // two DRKey sweeps, one multi-key EPIC-level sweep, and the key
         // expansion; then every fresh tag comes out of one multi-key
         // pass.
+        to_derive.extend(resolver.pending().map(|&(src, host, _)| (src, host)));
         if !to_derive.is_empty() {
             let secret = cached_epoch_secret(epoch_secret, drkey_master, epoch);
             secret.as_to_host_batch(to_derive, blocks, ciphers, host_keys);
@@ -317,20 +278,10 @@ impl Datapath for EpicDatapath {
             blocks.clear();
             blocks.extend(std::iter::repeat_n(EPIC_LEVEL_BLOCK, host_keys.len()));
             Aes128::encrypt_blocks_with(|i| &ciphers[i], blocks);
-            for (slot, bytes) in derive_slots.drain(..).zip(blocks.iter()) {
-                let key = AuthKey::new(*bytes);
-                if let Some(cache) = key_cache.as_mut() {
-                    cache.insert(uniq_ids[slot], key.clone());
-                }
-                uniq_keys[slot] = Some(key);
-            }
+            resolver
+                .fill_pending(blocks.iter().map(|bytes| AuthKey::new(*bytes)), key_cache.as_mut());
         }
-        flyover_tags_batch_with(
-            |i| uniq_keys[key_of_pkt[i]].as_ref().expect("every burst key resolved"),
-            mac_inputs,
-            blocks,
-            tags,
-        );
+        flyover_tags_batch_with(|i| resolver.key_of(i), mac_inputs, blocks, tags);
 
         // Pass 2 (stateful, in input order).
         out.reserve(pkts.len());

@@ -18,6 +18,7 @@
 //! budget possible.
 
 use crate::aes::Aes128;
+use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 use std::hash::Hash;
 
@@ -428,6 +429,154 @@ impl<K: Eq + Hash + Clone> AuthKeyCache<K> {
     /// Whether the cache holds no keys.
     pub fn is_empty(&self) -> bool {
         self.hot.is_empty() && self.cold.is_empty()
+    }
+}
+
+/// Per-burst key dedupe + cache resolution shared by every batched
+/// engine: the scaffolding that used to be copied between
+/// `BorderRouter::process_batch` and `EpicDatapath::process_batch`
+/// (burst-local uniq map, the [`AuthKeyCache::record_burst_hit`]
+/// counter dance, the pass-2 key iterator), generic over the cache key
+/// so the counter-parity invariant lives in one place.
+///
+/// Protocol, per burst:
+///
+/// 1. [`begin`](BurstKeyResolver::begin) clears the burst-local state;
+/// 2. [`visit`](BurstKeyResolver::visit) registers each keyed packet's
+///    identity in burst order — the first appearance does exactly one
+///    cache lookup (queueing the id for the derive sweep on a miss),
+///    repeats count as burst hits;
+/// 3. the engine runs its batch derive sweep over
+///    [`pending`](BurstKeyResolver::pending) and hands the keys back in
+///    the same order via [`fill_pending`](BurstKeyResolver::fill_pending)
+///    (which also populates the cache);
+/// 4. [`key_of`](BurstKeyResolver::key_of) serves pass 2 / the tag sweep
+///    with the resolved key of the `i`-th visited packet.
+///
+/// The invariant this encodes: processed sequentially, a burst's first
+/// packet on an identity would miss (derive + insert) and every repeat
+/// would hit — so the batch path performs exactly one lookup and at most
+/// one insert per distinct identity, counts repeats via
+/// `record_burst_hit`, and hit/miss counters stay comparable across the
+/// sequential and batched paths (see `record_burst_hit` for the
+/// generation-boundary caveat).
+#[derive(Clone, Debug)]
+pub struct BurstKeyResolver<K> {
+    /// The burst's distinct identities, in first-appearance order.
+    uniq_ids: Vec<K>,
+    /// Burst-local dedupe map: identity → index into `uniq_ids`.
+    uniq_index: HashMap<K, usize>,
+    /// One resolved key per entry of `uniq_ids` (`None` until resolved
+    /// from the cache or the derive sweep).
+    uniq_keys: Vec<Option<AuthKey>>,
+    /// The `uniq_keys` slots the derive sweep fills, in miss order.
+    pending_slots: Vec<usize>,
+    /// Per visited packet: index into `uniq_keys`.
+    key_of_pkt: Vec<usize>,
+}
+
+impl<K> Default for BurstKeyResolver<K> {
+    fn default() -> Self {
+        BurstKeyResolver {
+            uniq_ids: Vec::new(),
+            uniq_index: HashMap::new(),
+            uniq_keys: Vec::new(),
+            pending_slots: Vec::new(),
+            key_of_pkt: Vec::new(),
+        }
+    }
+}
+
+impl<K: Eq + Hash + Clone> BurstKeyResolver<K> {
+    /// Creates an empty resolver (reusable across bursts; steady-state
+    /// bursts allocate nothing once the vectors reach burst size).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Clears the burst-local state for a new burst.
+    pub fn begin(&mut self) {
+        self.uniq_ids.clear();
+        self.uniq_index.clear();
+        self.uniq_keys.clear();
+        self.pending_slots.clear();
+        self.key_of_pkt.clear();
+    }
+
+    /// Registers the identity of the next keyed packet of the burst and
+    /// resolves it against `cache`: a repeat within the burst counts as
+    /// a cache hit (it *would* have hit sequentially), a first
+    /// appearance does one [`AuthKeyCache::lookup`] and on a miss queues
+    /// the id for the engine's derive sweep.
+    pub fn visit(&mut self, id: K, cache: Option<&mut AuthKeyCache<K>>) {
+        let slot = match self.uniq_index.entry(id) {
+            Entry::Occupied(e) => {
+                if let Some(cache) = cache {
+                    cache.record_burst_hit();
+                }
+                *e.get()
+            }
+            Entry::Vacant(e) => {
+                let slot = self.uniq_ids.len();
+                let id = e.key().clone();
+                e.insert(slot);
+                self.uniq_ids.push(id);
+                self.uniq_keys.push(cache.and_then(|c| c.lookup(&self.uniq_ids[slot]).cloned()));
+                if self.uniq_keys[slot].is_none() {
+                    self.pending_slots.push(slot);
+                }
+                slot
+            }
+        };
+        self.key_of_pkt.push(slot);
+    }
+
+    /// The identities that missed the cache, in miss order — the input
+    /// of the engine's batch derive sweep.
+    pub fn pending(&self) -> impl Iterator<Item = &K> + '_ {
+        self.pending_slots.iter().map(|&slot| &self.uniq_ids[slot])
+    }
+
+    /// Installs the derive sweep's keys — one per
+    /// [`pending`](BurstKeyResolver::pending) identity, same order —
+    /// inserting each into `cache` (miss already counted by
+    /// [`visit`](BurstKeyResolver::visit)).
+    ///
+    /// # Panics
+    ///
+    /// If `keys` yields fewer keys than there were pending identities —
+    /// an engine bug the later [`key_of`](BurstKeyResolver::key_of)
+    /// would otherwise surface confusingly.
+    pub fn fill_pending(
+        &mut self,
+        keys: impl IntoIterator<Item = AuthKey>,
+        mut cache: Option<&mut AuthKeyCache<K>>,
+    ) {
+        let mut keys = keys.into_iter();
+        for &slot in &self.pending_slots {
+            let key = keys.next().expect("one derived key per pending identity");
+            if let Some(cache) = cache.as_deref_mut() {
+                cache.insert(self.uniq_ids[slot].clone(), key.clone());
+            }
+            self.uniq_keys[slot] = Some(key);
+        }
+        self.pending_slots.clear();
+    }
+
+    /// The distinct identities of the burst, in first-appearance order
+    /// (e.g. for deduplicated policer pre-touching).
+    pub fn uniq_ids(&self) -> &[K] {
+        &self.uniq_ids
+    }
+
+    /// The resolved key of the `i`-th visited packet.
+    ///
+    /// # Panics
+    ///
+    /// If the key is still unresolved (the engine skipped
+    /// [`fill_pending`](BurstKeyResolver::fill_pending)).
+    pub fn key_of(&self, i: usize) -> &AuthKey {
+        self.uniq_keys[self.key_of_pkt[i]].as_ref().expect("every burst key resolved")
     }
 }
 

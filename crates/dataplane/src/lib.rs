@@ -50,8 +50,8 @@ pub use multicore::{
 pub use policing::{FwdClass, Policer, DEFAULT_BURST_TIME_NS};
 pub use router::{BorderRouter, RouterConfig, RouterStats};
 pub use runtime::{
-    run_to_completion, RuntimeConfig, RuntimeMode, RuntimeReport, ShardMap, ShardReport,
-    ShardedRouter, Steering,
+    run_to_completion, EgressClassStats, EgressConfig, EgressStats, RuntimeConfig, RuntimeMode,
+    RuntimeReport, ShardMap, ShardReport, ShardedRouter, Steering,
 };
 pub use source::{GenError, SourceGenerator, SourceReservation};
 

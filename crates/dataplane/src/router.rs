@@ -21,11 +21,10 @@ use crate::datapath::{Datapath, DatapathBuilder, DatapathStats, PacketBuf};
 use crate::dup::DuplicateSuppressor;
 use crate::policing::{Policer, DEFAULT_BURST_TIME_NS};
 use hummingbird_crypto::{
-    flyover_tags_batch_with, AuthKey, AuthKeyCache, FlyoverMacInput, ResInfo, SecretValue, Tag,
+    flyover_tags_batch_with, AuthKey, AuthKeyCache, BurstKeyResolver, FlyoverMacInput, ResInfo,
+    SecretValue, Tag,
 };
 use hummingbird_wire::scion_mac::HopMacKey;
-use std::collections::hash_map::Entry;
-use std::collections::HashMap;
 
 pub use crate::datapath::{DropReason, Verdict};
 
@@ -551,19 +550,10 @@ pub mod stages {
 struct BatchScratch {
     /// Per-packet outcome of the read-only pipeline half.
     prepared: Vec<Result<(stages::Parsed, Option<stages::FlyoverInputs>), DropReason>>,
-    /// The burst's *distinct* reservations, in first-appearance order.
-    uniq_infos: Vec<ResInfo>,
-    /// Burst-local dedupe map: reservation → index into `uniq_infos`.
-    uniq_index: HashMap<ResInfo, usize>,
-    /// One expanded key per entry of `uniq_infos` (`None` until resolved
-    /// from the cache or the derivation sweep).
-    uniq_keys: Vec<Option<AuthKey>>,
+    /// Burst reservation dedupe + cache resolution (shared helper).
+    resolver: BurstKeyResolver<ResInfo>,
     /// Reservations that missed the cache, awaiting the derivation sweep.
     to_derive: Vec<ResInfo>,
-    /// The `uniq_keys` slots the sweep fills (parallel to `to_derive`).
-    derive_slots: Vec<usize>,
-    /// Per flyover packet: index into `uniq_keys`.
-    key_of_pkt: Vec<usize>,
     /// Per flyover packet: the MAC input of the tag sweep.
     mac_inputs: Vec<FlyoverMacInput>,
     /// 16-byte block scratch shared by both AES sweeps.
@@ -666,26 +656,11 @@ impl Datapath for BorderRouter {
     /// from sequential processing).
     fn process_batch(&mut self, pkts: &mut [PacketBuf], now_ns: u64, out: &mut Vec<Verdict>) {
         let BorderRouter { sv, hop_key, cfg, policer, dup, key_cache, stats, batch } = self;
-        let BatchScratch {
-            prepared,
-            uniq_infos,
-            uniq_index,
-            uniq_keys,
-            to_derive,
-            derive_slots,
-            key_of_pkt,
-            mac_inputs,
-            blocks,
-            derived,
-            tags,
-        } = batch;
+        let BatchScratch { prepared, resolver, to_derive, mac_inputs, blocks, derived, tags } =
+            batch;
         prepared.clear();
-        uniq_infos.clear();
-        uniq_index.clear();
-        uniq_keys.clear();
+        resolver.begin();
         to_derive.clear();
-        derive_slots.clear();
-        key_of_pkt.clear();
         mac_inputs.clear();
         derived.clear();
         tags.clear();
@@ -695,30 +670,7 @@ impl Datapath for BorderRouter {
         for pkt in pkts.iter() {
             let prep = stages::prepare(pkt.as_bytes());
             if let Ok((_, Some(inputs))) = &prep {
-                let info = inputs.res_info;
-                let slot = match uniq_index.entry(info) {
-                    Entry::Occupied(e) => {
-                        // A repeat within the burst: processed
-                        // sequentially, the first packet would have
-                        // populated the cache, so this counts as a hit.
-                        if let Some(cache) = key_cache.as_mut() {
-                            cache.record_burst_hit();
-                        }
-                        *e.get()
-                    }
-                    Entry::Vacant(e) => {
-                        let slot = uniq_infos.len();
-                        e.insert(slot);
-                        uniq_infos.push(info);
-                        uniq_keys.push(key_cache.as_mut().and_then(|c| c.lookup(&info).cloned()));
-                        if uniq_keys[slot].is_none() {
-                            to_derive.push(info);
-                            derive_slots.push(slot);
-                        }
-                        slot
-                    }
-                };
-                key_of_pkt.push(slot);
+                resolver.visit(inputs.res_info, key_cache.as_mut());
                 mac_inputs.push(inputs.mac_input);
             }
             prepared.push(prep);
@@ -728,22 +680,13 @@ impl Datapath for BorderRouter {
         // derivations that missed the cache, one multi-key AES pass over
         // every flyover tag, and a prefetch pass over the deduplicated
         // policing slots.
+        to_derive.extend(resolver.pending().copied());
         sv.derive_keys_batch(to_derive, blocks, derived);
-        for (slot, key) in derive_slots.drain(..).zip(derived.drain(..)) {
-            if let Some(cache) = key_cache.as_mut() {
-                cache.insert(uniq_infos[slot], key.clone());
-            }
-            uniq_keys[slot] = Some(key);
-        }
-        for info in uniq_infos.iter() {
+        resolver.fill_pending(derived.drain(..), key_cache.as_mut());
+        for info in resolver.uniq_ids() {
             policer.pre_touch(info.res_id);
         }
-        flyover_tags_batch_with(
-            |i| uniq_keys[key_of_pkt[i]].as_ref().expect("every burst key resolved"),
-            mac_inputs,
-            blocks,
-            tags,
-        );
+        flyover_tags_batch_with(|i| resolver.key_of(i), mac_inputs, blocks, tags);
 
         // Pass 2 (stateful, in input order).
         out.reserve(pkts.len());

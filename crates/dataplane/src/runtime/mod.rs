@@ -28,9 +28,16 @@
 //!   dispatcher like re-armed rx descriptors. No locks on the hot path —
 //!   workers share nothing but their rings.
 //!
-//! What the model deliberately simplifies: there is no tx path (verdicts
-//! are tallied, not transmitted), "line rate" is a cap applied in
-//! reporting, and the dispatcher is one thread — a software stand-in for
+//! * [`egress::TxScheduler`] — the tx path: per-shard egress rings of
+//!   `(PacketBuf, Verdict)` drained by the dispatcher into per-interface
+//!   FIFO + priority-class queues over a modeled link rate, recording
+//!   per-packet residence times ([`EgressStats`] on the report). Enabled
+//!   by [`RuntimeConfig::egress`]; see the [`egress`] module docs.
+//!
+//! What the model deliberately simplifies: "line rate" on the rx side is
+//! a cap applied in reporting, the tx link is modeled in virtual time
+//! (the scheduler computes departures, it does not pace the wire), and
+//! the dispatcher is one thread — a software stand-in for
 //! hashing hardware, so dispatch cost shows up on the dispatcher core
 //! instead of being free. Cross-shard duplicate detection holds for
 //! exact replays (bit-identical packets steer identically) but not for
@@ -38,9 +45,11 @@
 //! carrying different ResIDs — the same property a per-queue dup filter
 //! has on real RSS hardware.
 
+pub mod egress;
 pub mod ring;
 pub mod shard;
 
+pub use egress::{EgressClassStats, EgressConfig, EgressStats, TxPacket, TxScheduler};
 pub use ring::SpscRing;
 pub use shard::{FlowClass, ShardMap, Steering};
 
@@ -200,12 +209,20 @@ pub struct RuntimeConfig {
     pub policer_slots: u32,
     /// Flow steering policy (ignored in [`RuntimeMode::PerCoreClone`]).
     pub steering: Steering,
+    /// Tx-path model: `Some` routes every processed packet through
+    /// per-shard egress rings into the two-class [`TxScheduler`] and
+    /// reports [`EgressStats`]; `None` (the default) recycles buffers
+    /// directly, the historical rx-only harness. Only
+    /// [`RuntimeMode::Sharded`] has a tx port (the clone mode measures
+    /// independent engines, not one logical router), so the model is
+    /// ignored under [`RuntimeMode::PerCoreClone`].
+    pub egress: Option<EgressConfig>,
 }
 
 impl RuntimeConfig {
     /// A sensible default: `shards` workers, 256-deep rings,
     /// [`BATCH_SIZE`]-packet bursts, the paper's 10⁵ ResID slots,
-    /// reservation-aware steering.
+    /// reservation-aware steering, no tx path.
     pub fn new(shards: usize) -> Self {
         RuntimeConfig {
             shards: shards.max(1),
@@ -213,6 +230,7 @@ impl RuntimeConfig {
             batch_size: BATCH_SIZE,
             policer_slots: 100_000,
             steering: Steering::ByReservation,
+            egress: None,
         }
     }
 }
@@ -241,6 +259,9 @@ pub struct RuntimeReport {
     pub seconds: f64,
     /// Per-shard breakdown (reveals steering skew).
     pub per_shard: Vec<ShardReport>,
+    /// Tx-path statistics, when [`RuntimeConfig::egress`] enabled it:
+    /// per-class packet/byte counts and residence times.
+    pub egress: Option<EgressStats>,
 }
 
 impl RuntimeReport {
@@ -365,9 +386,23 @@ where
                 bits: results.iter().map(|(_, b, _)| *b).sum(),
                 seconds,
                 per_shard: results.into_iter().map(|(r, _, _)| r).collect(),
+                egress: None,
             }
         }
         RuntimeMode::Sharded => {
+            if let Some(ecfg) = cfg.egress {
+                return run_sharded_with_egress(
+                    cfg,
+                    &ecfg,
+                    make_engine,
+                    templates,
+                    total_pkts,
+                    now_ns,
+                );
+            }
+            // NOTE: this rx-only loop is deliberately mirrored (not
+            // shared) by `run_sharded_with_egress` — see its docs; keep
+            // the two disciplines in lockstep when editing either.
             let map = ShardMap::new(shards, cfg.policer_slots, cfg.steering);
             let rx: Vec<SpscRing<PacketBuf>> = (0..shards).map(|_| SpscRing::new(cap)).collect();
             let recycle: Vec<SpscRing<PacketBuf>> =
@@ -495,10 +530,182 @@ where
                     bits: results.iter().map(|(_, b)| *b).sum(),
                     seconds,
                     per_shard: results.into_iter().map(|(r, _)| r).collect(),
+                    egress: None,
                 }
             })
         }
     }
+}
+
+/// The [`RuntimeMode::Sharded`] run with the tx path enabled: workers
+/// push every processed packet — buffer, verdict, enqueue stamp,
+/// per-shard sequence number — into per-shard egress rings, and the
+/// dispatcher doubles as the tx scheduler, draining them through the
+/// per-interface two-class [`TxScheduler`] before re-arming the buffer
+/// onto the owning shard's rx ring. The per-shard sequence numbers are
+/// asserted on the drain side: within a shard (and therefore within a
+/// priority class of that shard) no packet is leaked, duplicated or
+/// reordered on its way through the egress ring.
+///
+/// This mirrors the rx-only `RuntimeMode::Sharded` arm of
+/// [`run_to_completion`] on purpose rather than sharing it: the rings
+/// carry a different element type ([`TxPacket`] vs bare [`PacketBuf`])
+/// and the rx-only path is the *benchmarked* configuration, which must
+/// not pay for per-packet `Instant` stamps it doesn't use. A fix to the
+/// shared discipline — prime-phase allocation, the stop/drain
+/// handshake, the yield policy — belongs in both loops.
+fn run_sharded_with_egress<D, F>(
+    cfg: &RuntimeConfig,
+    ecfg: &EgressConfig,
+    make_engine: F,
+    templates: &[Vec<u8>],
+    total_pkts: u64,
+    now_ns: u64,
+) -> RuntimeReport
+where
+    D: Datapath,
+    F: Fn(usize) -> D + Sync,
+{
+    let shards = cfg.shards.max(1);
+    let batch = cfg.batch_size.max(1);
+    let cap = cfg.ring_capacity.max(1);
+    let map = ShardMap::new(shards, cfg.policer_slots, cfg.steering);
+    let rx: Vec<SpscRing<PacketBuf>> = (0..shards).map(|_| SpscRing::new(cap)).collect();
+    let etx: Vec<SpscRing<TxPacket>> = (0..shards).map(|_| SpscRing::new(cap)).collect();
+    let stop = AtomicBool::new(false);
+    let ready = Barrier::new(shards + 1);
+    // One clock for enqueue stamps and the scheduler's `now`: every
+    // residence time is a difference of offsets from this epoch.
+    let epoch = Instant::now();
+
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..shards)
+            .map(|i| {
+                let make_engine = &make_engine;
+                let (rx, etx, stop, ready, epoch) = (&rx[i], &etx[i], &stop, &ready, &epoch);
+                s.spawn(move || {
+                    let mut engine = make_engine(i);
+                    let mut tally = WorkerTally { processed: 0, bits: 0, forwarded: 0, dropped: 0 };
+                    let mut burst = Vec::with_capacity(batch);
+                    let mut verdicts = Vec::with_capacity(batch);
+                    let mut seq = 0u64;
+                    ready.wait();
+                    loop {
+                        burst.clear();
+                        rx.pop_burst(&mut burst, batch);
+                        if burst.is_empty() {
+                            if stop.load(Ordering::Acquire) && rx.is_empty() {
+                                break;
+                            }
+                            std::thread::yield_now();
+                            continue;
+                        }
+                        verdicts.clear();
+                        engine.process_batch(&mut burst, now_ns, &mut verdicts);
+                        tally_burst(&mut tally, &burst, &verdicts);
+                        for (buf, &verdict) in burst.drain(..).zip(verdicts.iter()) {
+                            let enqueued_ns = epoch.elapsed().as_nanos() as u64;
+                            let mut item = TxPacket { buf, verdict, enqueued_ns, seq };
+                            seq += 1;
+                            // At most `cap` buffers circulate per shard,
+                            // so the egress ring always frees up.
+                            while let Err(back) = etx.try_push(item) {
+                                item = back;
+                                std::thread::yield_now();
+                            }
+                        }
+                    }
+                    let report = ShardReport {
+                        processed: tally.processed,
+                        forwarded: tally.forwarded,
+                        dropped: tally.dropped,
+                        stats: engine.stats(),
+                    };
+                    (report, tally.bits)
+                })
+            })
+            .collect();
+
+        // ---- Dispatcher + tx scheduler (this thread). ----
+        ready.wait();
+        let start = Instant::now();
+        let mut scheduler = TxScheduler::new(ecfg);
+        let mut sent = 0u64;
+        let mut drained = 0u64;
+        let mut expected_seq = vec![0u64; shards];
+        let mut allocated = vec![0usize; shards];
+        // Prime: exactly like the rx-only run.
+        'prime: loop {
+            let mut progress = false;
+            for t in templates {
+                if sent >= total_pkts {
+                    break 'prime;
+                }
+                let dst = map.shard_of(t);
+                if allocated[dst] < cap {
+                    rx[dst]
+                        .try_push(PacketBuf::new(t.clone()))
+                        .unwrap_or_else(|_| panic!("primed ring {dst} overflowed"));
+                    allocated[dst] += 1;
+                    sent += 1;
+                    progress = true;
+                }
+            }
+            if !progress {
+                break;
+            }
+        }
+        // Steady state: every processed packet comes back through its
+        // shard's egress ring, gets serialized by the scheduler, and its
+        // buffer re-arms onto the same shard's rx ring until the run is
+        // fully dispatched — then keeps draining until every packet has
+        // left through the tx path.
+        while drained < total_pkts {
+            let mut progress = false;
+            for s_idx in 0..shards {
+                while let Some(tx) = etx[s_idx].try_pop() {
+                    assert_eq!(
+                        tx.seq, expected_seq[s_idx],
+                        "egress ring of shard {s_idx} leaked, duplicated or reordered a packet"
+                    );
+                    expected_seq[s_idx] += 1;
+                    scheduler.stage(tx.verdict, tx.buf.wire_len(), tx.enqueued_ns);
+                    drained += 1;
+                    progress = true;
+                    if sent < total_pkts {
+                        let mut buf = tx.buf;
+                        buf.reset();
+                        debug_assert_eq!(
+                            map.shard_of(buf.as_bytes()),
+                            s_idx,
+                            "flow hash must be reset-stable"
+                        );
+                        let mut item = buf;
+                        while let Err(back) = rx[s_idx].try_push(item) {
+                            item = back;
+                            std::thread::yield_now();
+                        }
+                        sent += 1;
+                    }
+                }
+            }
+            scheduler.transmit(epoch.elapsed().as_nanos() as u64);
+            if !progress {
+                std::thread::yield_now();
+            }
+        }
+        stop.store(true, Ordering::Release);
+        let results: Vec<_> =
+            handles.into_iter().map(|h| h.join().expect("runtime worker panicked")).collect();
+        let seconds = start.elapsed().as_secs_f64();
+        RuntimeReport {
+            packets: results.iter().map(|(r, _)| r.processed).sum(),
+            bits: results.iter().map(|(_, b)| *b).sum(),
+            seconds,
+            per_shard: results.into_iter().map(|(r, _)| r).collect(),
+            egress: Some(scheduler.stats()),
+        }
+    })
 }
 
 #[cfg(test)]
@@ -591,6 +798,44 @@ mod tests {
             let forwarded: u64 = report.per_shard.iter().map(|r| r.forwarded).sum();
             assert_eq!(forwarded, 1_000, "valid reserved packets all forward ({mode:?})");
         }
+    }
+
+    #[test]
+    fn sharded_runtime_egress_reports_residence_times() {
+        let templates: Vec<Vec<u8>> =
+            [7u32, 33_000, 88_000].iter().map(|&r| reserved_packet(r)).collect();
+        let mut cfg = RuntimeConfig::new(3);
+        cfg.ring_capacity = 8;
+        cfg.egress = Some(EgressConfig::default());
+        let report = run_to_completion(
+            &cfg,
+            RuntimeMode::Sharded,
+            |_| hop_engine(),
+            &templates,
+            1_000,
+            NOW_NS,
+        );
+        assert_eq!(report.packets, 1_000);
+        let e = report.egress.expect("tx path enabled");
+        // Packet conservation through the tx path: everything processed
+        // either serialized or was a verdict drop.
+        assert_eq!(e.forwarded() + e.dropped, 1_000);
+        // Valid reserved traffic rides the priority class exclusively.
+        assert_eq!(e.priority.pkts, 1_000);
+        assert_eq!(e.best_effort.pkts, 0);
+        assert!(e.priority.bytes > 0);
+        assert!(e.priority.residence_ns_sum >= e.priority.pkts, "residence accrues");
+        assert!(e.priority.residence_ns_max > 0);
+        // Tiny and zero-packet runs drain the tx path cleanly too.
+        let mut cfg2 = RuntimeConfig::new(2);
+        cfg2.egress = Some(EgressConfig::default());
+        let report =
+            run_to_completion(&cfg2, RuntimeMode::Sharded, |_| hop_engine(), &templates, 3, NOW_NS);
+        assert_eq!(report.packets, 3);
+        assert_eq!(report.egress.expect("enabled").forwarded(), 3);
+        let report =
+            run_to_completion(&cfg2, RuntimeMode::Sharded, |_| hop_engine(), &templates, 0, NOW_NS);
+        assert_eq!(report.egress.expect("enabled").forwarded(), 0);
     }
 
     #[test]

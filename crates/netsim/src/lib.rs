@@ -22,8 +22,14 @@ pub mod scenario;
 pub mod sim;
 
 pub use multipath::{Branch, DiamondTopology};
-pub use scenario::{EngineFamily, EngineScenario, LinearTopology, LinkSpec};
-pub use sim::{Class, Flow, FlowId, FlowStats, Node, NodeId, ReplayTap, SimPacket, Simulator};
+pub use scenario::{
+    run_latency_scenario, run_multipath_scenario, run_partial_path_scenario, EngineFamily,
+    EngineScenario, LatencyOutcome, LatencySpec, LinearTopology, LinkSpec, MultipathOutcome,
+    PartialPathOutcome,
+};
+pub use sim::{
+    Class, Flow, FlowId, FlowStats, Node, NodeId, ReplayTap, ServiceModel, SimPacket, Simulator,
+};
 
 #[cfg(test)]
 mod tests {

@@ -12,8 +12,10 @@
 //! what creates the on-reservation-set adversary class (§5.1); this
 //! topology lets tests and examples exercise both with real packets.
 
-use crate::scenario::LinkSpec;
-use crate::sim::{Flow, FlowId, Node, NodeId, Simulator};
+use crate::scenario::{
+    deploy_engine, family_credential, family_engine, EngineFamily, EngineScenario, LinkSpec,
+};
+use crate::sim::{Flow, FlowId, Node, NodeId, ServiceModel, Simulator};
 use hummingbird_crypto::{ResInfo, SecretValue};
 use hummingbird_dataplane::{
     forge_path, BeaconHop, DatapathBuilder, RouterConfig, SourceGenerator, SourceReservation,
@@ -53,6 +55,9 @@ pub struct DiamondTopology {
     /// Destination host behind T.
     pub dest: NodeId,
     keys: HashMap<&'static str, (HopMacKey, SecretValue)>,
+    /// Per-AS DRKey masters for the baseline engine families, derived
+    /// from the SV bytes like [`crate::LinearTopology`] derives its own.
+    masters: HashMap<&'static str, [u8; 16]>,
     info_ts: u32,
     next_res_id: u32,
 }
@@ -61,8 +66,13 @@ impl DiamondTopology {
     /// Builds the diamond with uniform link parameters.
     pub fn build(link: LinkSpec, start_ns: u64, cfg: RouterConfig) -> Self {
         let mut keys = HashMap::new();
+        let mut masters = HashMap::new();
         for (name, seed) in [("P", 0x11u8), ("Q", 0x22), ("T", 0x33)] {
-            keys.insert(name, (HopMacKey::new([seed; 16]), SecretValue::new([seed ^ 0xFF; 16])));
+            let sv_bytes = [seed ^ 0xFF; 16];
+            keys.insert(name, (HopMacKey::new([seed; 16]), SecretValue::new(sv_bytes)));
+            let mut master = sv_bytes;
+            master[0] ^= 0xA5; // distinct hierarchy root per AS
+            masters.insert(name, master);
         }
         let mut sim = Simulator::new(start_ns);
         let dest = sim.add_node(Node::Host);
@@ -89,6 +99,7 @@ impl DiamondTopology {
             as_t,
             dest,
             keys,
+            masters,
             info_ts: (start_ns / 1_000_000_000) as u32,
             next_res_id: 0,
         }
@@ -99,6 +110,71 @@ impl DiamondTopology {
             Branch::P => ("P", T_INGRESS_P),
             Branch::Q => ("Q", T_INGRESS_Q),
         }
+    }
+
+    /// Swaps every router node's engine for `scenario`'s family (sharded
+    /// across `scenario.shards` engines when more than one) — the
+    /// multipath face of the family sweep, mirroring
+    /// [`crate::LinearTopology::install_engines`].
+    pub fn install_engines(&mut self, scenario: EngineScenario, cfg: RouterConfig) {
+        for (name, node) in [("P", self.as_p), ("Q", self.as_q), ("T", self.as_t)] {
+            let (hop_key, sv) = &self.keys[name];
+            let master = &self.masters[name];
+            let engine = deploy_engine(scenario, cfg, || {
+                family_engine(scenario.family, sv, hop_key, master, cfg)
+            });
+            self.sim.replace_engine(node, engine).ok().expect("diamond nodes are routers");
+        }
+    }
+
+    /// Installs `model` on every router node (or clears it with `None`).
+    pub fn set_service_model(&mut self, model: Option<ServiceModel>) {
+        for node in [self.as_p, self.as_q, self.as_t] {
+            self.sim.set_router_service(node, model);
+        }
+    }
+
+    /// [`add_flow`](DiamondTopology::add_flow) generalized over the
+    /// engine family: `credential_kbps` of `Some(r)` attaches the
+    /// family's credential at both on-path ASes (the branch AS and T);
+    /// `None` sends plain best-effort SCION. Pair with
+    /// [`install_engines`](DiamondTopology::install_engines).
+    #[allow(clippy::too_many_arguments)]
+    pub fn add_family_flow(
+        &mut self,
+        family: EngineFamily,
+        branch: Branch,
+        src: IsdAs,
+        dst: IsdAs,
+        payload_len: usize,
+        rate_kbps: u64,
+        credential_kbps: Option<u64>,
+        start_ns: u64,
+        stop_ns: u64,
+    ) -> FlowId {
+        let (name, t_ingress) = Self::branch_names(branch);
+        let mut reservations = Vec::new();
+        if let Some(r) = credential_kbps {
+            let now_s = start_ns / 1_000_000_000;
+            for (hop, as_name, ingress, egress) in
+                [(0usize, name, 0u16, BRANCH_EGRESS), (1, "T", t_ingress, 0)]
+            {
+                let (_, sv) = &self.keys[as_name];
+                let credential = family_credential(
+                    family,
+                    sv,
+                    &self.masters[as_name],
+                    ingress,
+                    egress,
+                    &mut self.next_res_id,
+                    src,
+                    r,
+                    now_s,
+                );
+                reservations.push((hop, credential));
+            }
+        }
+        self.add_flow(branch, src, dst, payload_len, rate_kbps, reservations, start_ns, stop_ns)
     }
 
     /// A beaconed 2-hop path over `branch` then T.

@@ -2,9 +2,12 @@
 //! ready-made flows, and reservation plumbing for the QoS experiments —
 //! plus the [`EngineScenario`] config that reruns any experiment with
 //! every node swapped to a baseline engine family (Helia, DRKey, EPIC),
-//! optionally sharded.
+//! optionally sharded, and the ready-made experiment runners
+//! ([`run_latency_scenario`], [`run_partial_path_scenario`],
+//! [`run_multipath_scenario`]) behind the Fig. 3/4-style per-family
+//! sweeps.
 
-use crate::sim::{Flow, FlowId, Node, NodeId, Simulator};
+use crate::sim::{Flow, FlowId, FlowStats, Node, NodeId, ServiceModel, Simulator};
 use hummingbird_baselines::drkey::{epoch_of, DrKeySecret, EPOCH_SECS};
 use hummingbird_baselines::engine::helia_packet_key;
 use hummingbird_baselines::{
@@ -12,8 +15,8 @@ use hummingbird_baselines::{
 };
 use hummingbird_crypto::{AuthKey, ResInfo, SecretValue};
 use hummingbird_dataplane::{
-    forge_path, BeaconHop, Datapath, DatapathBuilder, RouterConfig, ShardedRouter, SourceGenerator,
-    SourceReservation, Steering,
+    forge_path, BeaconHop, Datapath, DatapathBuilder, DatapathStats, RouterConfig, ShardedRouter,
+    SourceGenerator, SourceReservation, Steering,
 };
 use hummingbird_wire::bwcls;
 use hummingbird_wire::scion_mac::HopMacKey;
@@ -80,8 +83,9 @@ impl EngineFamily {
 /// One rerun configuration of a QoS/DoS experiment: which engine family
 /// every router node runs, and across how many shards.
 ///
-/// Apply with [`LinearTopology::install_engines`]; attach matching
-/// per-hop credentials to flows with
+/// Apply with [`LinearTopology::install_engines`] (or
+/// [`DiamondTopology::install_engines`](crate::DiamondTopology::install_engines));
+/// attach matching per-hop credentials to flows with
 /// [`LinearTopology::add_family_cbr_flow`].
 #[derive(Clone, Copy, Debug)]
 pub struct EngineScenario {
@@ -89,6 +93,123 @@ pub struct EngineScenario {
     pub family: EngineFamily,
     /// Shards per router node (`1` = a plain single engine).
     pub shards: usize,
+}
+
+/// A fresh engine of `family` over one AS's secrets — the constructor
+/// both scenario topologies (linear and diamond) install per node.
+pub(crate) fn family_engine(
+    family: EngineFamily,
+    sv: &SecretValue,
+    hop_key: &HopMacKey,
+    master: &[u8; 16],
+    cfg: RouterConfig,
+) -> Box<dyn Datapath + Send> {
+    match family {
+        EngineFamily::Hummingbird => {
+            DatapathBuilder::new(sv.clone(), hop_key.clone()).config(cfg).build_boxed()
+        }
+        EngineFamily::Helia => Box::new(HeliaDatapath::new(*master, hop_key.clone(), cfg)),
+        EngineFamily::Drkey => Box::new(DrKeyDatapath::new(*master, hop_key.clone())),
+        EngineFamily::Epic => Box::new(EpicDatapath::new(*master, hop_key.clone(), cfg)),
+    }
+}
+
+/// `make` deployed per [`EngineScenario`]: one bare engine, or
+/// `scenario.shards` of them behind a [`ShardedRouter`] with the
+/// family's steering.
+pub(crate) fn deploy_engine(
+    scenario: EngineScenario,
+    cfg: RouterConfig,
+    mut make: impl FnMut() -> Box<dyn Datapath + Send>,
+) -> Box<dyn Datapath + Send> {
+    if scenario.shards > 1 {
+        Box::new(ShardedRouter::new(
+            (0..scenario.shards).map(|_| make()).collect(),
+            cfg.policer_slots,
+            scenario.family.steering(),
+        ))
+    } else {
+        make()
+    }
+}
+
+/// The per-hop credential a `family` sender attaches, derived exactly as
+/// that hop's [`family_engine`] re-derives it: a Hummingbird reservation
+/// under `sv`, a Helia slot grant or a DRKey/EPIC per-source key under
+/// `master`. The reservation-keyed families allocate a fresh identity
+/// from the caller's `next_res_id` counter; the identity-keyed
+/// DRKey/EPIC families carry the null grant (ResID 0) and leave the
+/// counter untouched — this is the single place that rule lives.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn family_credential(
+    family: EngineFamily,
+    sv: &SecretValue,
+    master: &[u8; 16],
+    ingress: u16,
+    egress: u16,
+    next_res_id: &mut u32,
+    src: IsdAs,
+    bw_kbps: u64,
+    now_s: u64,
+) -> SourceReservation {
+    let res_id = match family {
+        EngineFamily::Drkey | EngineFamily::Epic => 0,
+        EngineFamily::Hummingbird | EngineFamily::Helia => {
+            let id = *next_res_id;
+            *next_res_id += 1;
+            id
+        }
+    };
+    match family {
+        EngineFamily::Hummingbird => {
+            let res_info = ResInfo {
+                ingress,
+                egress,
+                res_id,
+                bw_encoded: bwcls::encode_ceil(bw_kbps).expect("encodable bandwidth"),
+                res_start: now_s.saturating_sub(5) as u32,
+                duration: u16::MAX,
+            };
+            let key = sv.derive_key(&res_info);
+            SourceReservation { res_info, key }
+        }
+        EngineFamily::Helia => {
+            let slot = slot_of(now_s);
+            let bw_encoded = bwcls::encode_floor(bw_kbps).expect("encodable AS-assigned share");
+            let key = helia_packet_key(master, src, slot, res_id, bw_encoded);
+            SourceReservation {
+                res_info: ResInfo {
+                    ingress,
+                    egress,
+                    res_id,
+                    bw_encoded,
+                    res_start: (slot * SLOT_SECS) as u32,
+                    duration: SLOT_SECS as u16,
+                },
+                key: AuthKey::new(key),
+            }
+        }
+        EngineFamily::Drkey | EngineFamily::Epic => {
+            let epoch = epoch_of(now_s);
+            let secret = DrKeySecret::derive(master, epoch);
+            let key = if family == EngineFamily::Epic {
+                epic_auth_key(&secret, src, SRC_HOST)
+            } else {
+                secret.as_to_host(src, SRC_HOST)
+            };
+            SourceReservation {
+                res_info: ResInfo {
+                    ingress,
+                    egress,
+                    res_id: 0,
+                    bw_encoded: 0,
+                    res_start: (epoch * EPOCH_SECS) as u32,
+                    duration: u16::MAX, // covers the 6 h epoch
+                },
+                key: AuthKey::new(key),
+            }
+        }
+    }
 }
 
 /// A linear chain of `n` ASes with a destination host behind the last one.
@@ -103,6 +224,8 @@ pub struct LinearTopology {
     pub as_nodes: Vec<NodeId>,
     /// The destination host node.
     pub dest_host: NodeId,
+    /// Link `i` carries AS `i`'s egress toward AS `i+1`.
+    pub links: Vec<crate::sim::LinkId>,
     hop_keys: Vec<HopMacKey>,
     svs: Vec<SecretValue>,
     /// Per-AS DRKey masters for the baseline engine families (derived
@@ -212,6 +335,7 @@ impl LinearTopology {
             })
             .collect();
         // Wire AS i's egress to AS i+1.
+        let mut links = Vec::with_capacity(n.saturating_sub(1));
         for i in 0..n - 1 {
             let l = sim.add_link(
                 as_nodes[i + 1],
@@ -221,12 +345,14 @@ impl LinearTopology {
             );
             let (_, egress) = Self::interfaces(n, i);
             sim.connect_interface(as_nodes[i], egress, l);
+            links.push(l);
         }
         let info_ts = (start_ns / 1_000_000_000) as u32;
         LinearTopology {
             sim,
             as_nodes,
             dest_host,
+            links,
             hop_keys,
             svs,
             drkey_masters,
@@ -275,22 +401,7 @@ impl LinearTopology {
         hop: usize,
         cfg: RouterConfig,
     ) -> Box<dyn Datapath + Send> {
-        match family {
-            EngineFamily::Hummingbird => self.make_hop_engine(hop, cfg),
-            EngineFamily::Helia => Box::new(HeliaDatapath::new(
-                self.drkey_masters[hop],
-                self.hop_keys[hop].clone(),
-                cfg,
-            )),
-            EngineFamily::Drkey => {
-                Box::new(DrKeyDatapath::new(self.drkey_masters[hop], self.hop_keys[hop].clone()))
-            }
-            EngineFamily::Epic => Box::new(EpicDatapath::new(
-                self.drkey_masters[hop],
-                self.hop_keys[hop].clone(),
-                cfg,
-            )),
-        }
+        family_engine(family, &self.svs[hop], &self.hop_keys[hop], &self.drkey_masters[hop], cfg)
     }
 
     /// Swaps every router node's engine for `scenario`'s family, sharded
@@ -299,18 +410,19 @@ impl LinearTopology {
     /// unchanged topology, flows and adversaries.
     pub fn install_engines(&mut self, scenario: EngineScenario, cfg: RouterConfig) {
         for hop in 0..self.n_ases() {
-            let engine: Box<dyn Datapath + Send> = if scenario.shards > 1 {
-                Box::new(ShardedRouter::new(
-                    (0..scenario.shards)
-                        .map(|_| self.make_family_hop_engine(scenario.family, hop, cfg))
-                        .collect(),
-                    cfg.policer_slots,
-                    scenario.family.steering(),
-                ))
-            } else {
+            let engine = deploy_engine(scenario, cfg, || {
                 self.make_family_hop_engine(scenario.family, hop, cfg)
-            };
+            });
             self.sim.replace_engine(self.as_nodes[hop], engine).ok().expect("AS nodes are routers");
+        }
+    }
+
+    /// Installs `model` on every router node (or clears the service
+    /// models with `None`) — the per-node knob is
+    /// [`Simulator::set_router_service`].
+    pub fn set_service_model(&mut self, model: Option<ServiceModel>) {
+        for &node in &self.as_nodes {
+            self.sim.set_router_service(node, model);
         }
     }
 
@@ -404,50 +516,17 @@ impl LinearTopology {
     ) -> SourceReservation {
         let n = self.n_ases();
         let (ingress, egress) = Self::interfaces(n, hop);
-        let master = &self.drkey_masters[hop];
-        match family {
-            EngineFamily::Hummingbird => {
-                self.make_reservation(hop, bw_kbps, now_s.saturating_sub(5) as u32, u16::MAX)
-            }
-            EngineFamily::Helia => {
-                let slot = slot_of(now_s);
-                let res_id = self.next_res_id;
-                self.next_res_id += 1;
-                let bw_encoded = bwcls::encode_floor(bw_kbps).expect("encodable AS-assigned share");
-                let key = helia_packet_key(master, src, slot, res_id, bw_encoded);
-                SourceReservation {
-                    res_info: ResInfo {
-                        ingress,
-                        egress,
-                        res_id,
-                        bw_encoded,
-                        res_start: (slot * SLOT_SECS) as u32,
-                        duration: SLOT_SECS as u16,
-                    },
-                    key: AuthKey::new(key),
-                }
-            }
-            EngineFamily::Drkey | EngineFamily::Epic => {
-                let epoch = epoch_of(now_s);
-                let secret = DrKeySecret::derive(master, epoch);
-                let key = if family == EngineFamily::Epic {
-                    epic_auth_key(&secret, src, SRC_HOST)
-                } else {
-                    secret.as_to_host(src, SRC_HOST)
-                };
-                SourceReservation {
-                    res_info: ResInfo {
-                        ingress,
-                        egress,
-                        res_id: 0,
-                        bw_encoded: 0,
-                        res_start: (epoch * EPOCH_SECS) as u32,
-                        duration: u16::MAX, // covers the 6 h epoch
-                    },
-                    key: AuthKey::new(key),
-                }
-            }
-        }
+        family_credential(
+            family,
+            &self.svs[hop],
+            &self.drkey_masters[hop],
+            ingress,
+            egress,
+            &mut self.next_res_id,
+            src,
+            bw_kbps,
+            now_s,
+        )
     }
 
     /// [`add_cbr_flow`](LinearTopology::add_cbr_flow) generalized over
@@ -469,10 +548,41 @@ impl LinearTopology {
         start_ns: u64,
         stop_ns: u64,
     ) -> FlowId {
+        let hops: Vec<usize> = (0..self.n_ases()).collect();
+        self.add_family_cbr_flow_on_hops(
+            family,
+            src,
+            dst,
+            payload_len,
+            rate_kbps,
+            credential_kbps,
+            &hops,
+            start_ns,
+            stop_ns,
+        )
+    }
+
+    /// [`add_family_cbr_flow`](LinearTopology::add_family_cbr_flow) with
+    /// the credential attached only on `credential_hops` — the partial-
+    /// path shape (§3.3 ❸): reserve (or authenticate) exactly the
+    /// congested hop and ride best effort elsewhere.
+    #[allow(clippy::too_many_arguments)]
+    pub fn add_family_cbr_flow_on_hops(
+        &mut self,
+        family: EngineFamily,
+        src: IsdAs,
+        dst: IsdAs,
+        payload_len: usize,
+        rate_kbps: u64,
+        credential_kbps: Option<u64>,
+        credential_hops: &[usize],
+        start_ns: u64,
+        stop_ns: u64,
+    ) -> FlowId {
         let mut generator = self.make_generator(src, dst);
         if let Some(r) = credential_kbps {
             let now_s = start_ns / 1_000_000_000;
-            for hop in 0..self.n_ases() {
+            for &hop in credential_hops {
                 let credential = self.make_family_credential(family, hop, src, r, now_s);
                 generator.attach_reservation(hop, credential).expect("matching interfaces");
             }
@@ -481,4 +591,268 @@ impl LinearTopology {
         let entry = self.as_nodes[0];
         self.sim.add_flow(Flow { generator, entry, payload_len, interval_ns, start_ns, stop_ns })
     }
+}
+
+/// The fixed cast of the ready-made experiment runners.
+const VICTIM_SRC: (u16, u64) = (1, 0xa);
+const DEST: (u16, u64) = (2, 0xb);
+const ATTACKER_SRC: (u16, u64) = (3, 0xc);
+
+fn victim_src() -> IsdAs {
+    IsdAs::new(VICTIM_SRC.0, VICTIM_SRC.1)
+}
+fn dest() -> IsdAs {
+    IsdAs::new(DEST.0, DEST.1)
+}
+fn attacker_src() -> IsdAs {
+    IsdAs::new(ATTACKER_SRC.0, ATTACKER_SRC.1)
+}
+
+/// Knobs of a Fig. 3/4-style end-to-end latency run: one credentialed
+/// victim CBR flow over an `n_ases` chain, optionally against a
+/// best-effort flood, with every router running `scenario`'s engine
+/// family under the worker-ring service model.
+#[derive(Clone, Copy, Debug)]
+pub struct LatencySpec {
+    /// Engine family + shard deployment every router node runs.
+    pub scenario: EngineScenario,
+    /// Chain length (ASes).
+    pub n_ases: usize,
+    /// Link parameters (the bottleneck axis).
+    pub link: LinkSpec,
+    /// Victim CBR rate, kbps.
+    pub victim_kbps: u64,
+    /// Credential (reservation/grant) rate attached on every hop, kbps.
+    pub credential_kbps: u64,
+    /// Victim payload bytes per packet.
+    pub payload_len: usize,
+    /// Best-effort flood rate, kbps (`0` = uncontended).
+    pub flood_kbps: u64,
+    /// Per-router, per-core datapath service time, ns (`0` =
+    /// instantaneous forwarding). The deployed core count is
+    /// `scenario.shards`, so a 4-shard deployment drains its ingress 4
+    /// packets at a time — the latency face of the worker-ring runtime.
+    pub service_per_pkt_ns: u64,
+    /// Run length, seconds.
+    pub run_s: u64,
+}
+
+impl LatencySpec {
+    /// The default Fig. 3/4 shape: a 3-AS chain of 10 Mbps bottleneck
+    /// links, a 2 Mbps victim with 3 Mbps credentials, no flood, and the
+    /// paper's ~300 ns/pkt single-core router budget.
+    pub fn new(scenario: EngineScenario) -> Self {
+        LatencySpec {
+            scenario,
+            n_ases: 3,
+            link: LinkSpec::default(),
+            victim_kbps: 2_000,
+            credential_kbps: 3_000,
+            payload_len: 1_000,
+            flood_kbps: 0,
+            service_per_pkt_ns: 300,
+            run_s: 2,
+        }
+    }
+
+    /// The same spec with a `flood_kbps` best-effort flood.
+    pub fn with_flood(mut self, flood_kbps: u64) -> Self {
+        self.flood_kbps = flood_kbps;
+        self
+    }
+}
+
+/// What a [`run_latency_scenario`] measured.
+#[derive(Clone, Debug)]
+pub struct LatencyOutcome {
+    /// The credentialed victim flow.
+    pub victim: FlowStats,
+    /// The best-effort flood, when one ran.
+    pub flood: Option<FlowStats>,
+    /// Engine counters of the entry router (authentication sanity: the
+    /// victim must never lose packets to MAC verification).
+    pub entry_stats: DatapathStats,
+}
+
+/// Runs the Fig. 3/4-style latency experiment for one `spec`: build the
+/// chain, install the family engines (sharded per the scenario) and the
+/// service model, run victim + optional flood, and report per-flow
+/// latency/delivery. The contrast the sweep surfaces: under flood, the
+/// reservation families hold the victim's latency at the uncontended
+/// level while the authentication-only families leave it queueing behind
+/// the flood in the best-effort class.
+pub fn run_latency_scenario(
+    cfg: RouterConfig,
+    spec: &LatencySpec,
+    start_ns: u64,
+) -> LatencyOutcome {
+    let mut topo = LinearTopology::build(spec.n_ases, spec.link, start_ns, cfg);
+    topo.install_engines(spec.scenario, cfg);
+    if spec.service_per_pkt_ns > 0 {
+        topo.set_service_model(Some(ServiceModel {
+            per_pkt_ns: spec.service_per_pkt_ns,
+            shards: spec.scenario.shards,
+        }));
+    }
+    let sec = 1_000_000_000u64;
+    let stop_ns = start_ns + spec.run_s * sec;
+    let victim = topo.add_family_cbr_flow(
+        spec.scenario.family,
+        victim_src(),
+        dest(),
+        spec.payload_len,
+        spec.victim_kbps,
+        Some(spec.credential_kbps),
+        start_ns,
+        stop_ns,
+    );
+    let flood = (spec.flood_kbps > 0).then(|| {
+        topo.add_family_cbr_flow(
+            spec.scenario.family,
+            attacker_src(),
+            dest(),
+            spec.payload_len,
+            spec.flood_kbps,
+            None,
+            start_ns,
+            stop_ns,
+        )
+    });
+    topo.sim.run_until(stop_ns + sec);
+    LatencyOutcome {
+        victim: topo.sim.stats(victim),
+        flood: flood.map(|f| topo.sim.stats(f)),
+        entry_stats: topo.sim.router_stats(topo.as_nodes[0]).expect("entry is a router"),
+    }
+}
+
+/// What a [`run_partial_path_scenario`] measured.
+#[derive(Clone, Debug)]
+pub struct PartialPathOutcome {
+    /// The victim, credentialed on the middle hop only.
+    pub victim: FlowStats,
+    /// Engine counters per hop: `flyover` shows exactly where priority
+    /// rode (the middle hop for the reservation families, nowhere for
+    /// the authentication-only ones).
+    pub per_hop: Vec<DatapathStats>,
+}
+
+/// The partial-path variant (§3.3 ❸) of the family sweep: a 3-AS chain
+/// whose *middle* hop's egress link is narrowed to the 10 Mbps
+/// bottleneck (the other links have 10× headroom), a flood across the
+/// whole path, and a victim holding a credential only at that middle
+/// hop. Reservation families protect the victim with that single hop's
+/// priority; authentication-only families validate it there and still
+/// lose it to the flooded queue.
+pub fn run_partial_path_scenario(
+    cfg: RouterConfig,
+    scenario: EngineScenario,
+    service_per_pkt_ns: u64,
+    start_ns: u64,
+) -> PartialPathOutcome {
+    let sec = 1_000_000_000u64;
+    let run_s = 2u64;
+    // Uniform 100 Mbps links, then narrow the middle hop's egress to the
+    // 10 Mbps bottleneck: the only contested queue is the one the victim
+    // holds a credential for.
+    let fat = LinkSpec { bandwidth_bps: 100_000_000, ..Default::default() };
+    let mut topo = LinearTopology::build(3, fat, start_ns, cfg);
+    topo.sim.set_link_bandwidth(topo.links[1], 10_000_000);
+    topo.install_engines(scenario, cfg);
+    if service_per_pkt_ns > 0 {
+        topo.set_service_model(Some(ServiceModel {
+            per_pkt_ns: service_per_pkt_ns,
+            shards: scenario.shards,
+        }));
+    }
+    let stop_ns = start_ns + run_s * sec;
+    // Credential on hop 1 (the middle AS) only.
+    let victim = topo.add_family_cbr_flow_on_hops(
+        scenario.family,
+        victim_src(),
+        dest(),
+        1_000,
+        2_000,
+        Some(3_000),
+        &[1],
+        start_ns,
+        stop_ns,
+    );
+    // The flood reaches hop 1's egress queue too: 2× the bottleneck.
+    let _flood = topo.add_family_cbr_flow(
+        scenario.family,
+        attacker_src(),
+        dest(),
+        1_000,
+        20_000,
+        None,
+        start_ns,
+        stop_ns,
+    );
+    topo.sim.run_until(stop_ns + sec);
+    let per_hop =
+        topo.as_nodes.iter().map(|&n| topo.sim.router_stats(n).expect("router")).collect();
+    PartialPathOutcome { victim: topo.sim.stats(victim), per_hop }
+}
+
+/// What a [`run_multipath_scenario`] measured.
+#[derive(Clone, Debug)]
+pub struct MultipathOutcome {
+    /// The victim flow over the clean branch P.
+    pub p: FlowStats,
+    /// The victim flow over the flooded branch Q.
+    pub q: FlowStats,
+}
+
+/// The multipath variant of the family sweep, on the Fig. 3 diamond: the
+/// victim splits its traffic across branches P and Q, the flood rides Q
+/// only. Path choice isolates P for every family; on Q the usual D2
+/// split applies — reservation families keep the flow whole, the
+/// authentication-only families lose it to the flooded best-effort
+/// queue.
+pub fn run_multipath_scenario(
+    cfg: RouterConfig,
+    scenario: EngineScenario,
+    start_ns: u64,
+) -> MultipathOutcome {
+    let sec = 1_000_000_000u64;
+    let run_s = 2u64;
+    let mut topo = crate::DiamondTopology::build(LinkSpec::default(), start_ns, cfg);
+    topo.install_engines(scenario, cfg);
+    let stop_ns = start_ns + run_s * sec;
+    let p = topo.add_family_flow(
+        scenario.family,
+        crate::Branch::P,
+        victim_src(),
+        dest(),
+        1_000,
+        2_000,
+        Some(3_000),
+        start_ns,
+        stop_ns,
+    );
+    let q = topo.add_family_flow(
+        scenario.family,
+        crate::Branch::Q,
+        victim_src(),
+        dest(),
+        1_000,
+        2_000,
+        Some(3_000),
+        start_ns,
+        stop_ns,
+    );
+    let _flood = topo.add_family_flow(
+        scenario.family,
+        crate::Branch::Q,
+        attacker_src(),
+        dest(),
+        1_000,
+        30_000,
+        None,
+        start_ns,
+        stop_ns,
+    );
+    topo.sim.run_until(stop_ns + sec);
+    MultipathOutcome { p: topo.sim.stats(p), q: topo.sim.stats(q) }
 }

@@ -112,7 +112,7 @@ pub enum Node {
 }
 
 /// Per-flow statistics.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct FlowStats {
     /// Packets sent by the source.
     pub sent_pkts: u64,
@@ -130,26 +130,36 @@ pub struct FlowStats {
     pub latency_sum_ns: u64,
     /// Maximum end-to-end latency (ns).
     pub latency_max_ns: u64,
+    /// Deliveries that arrived out of send order (a packet sent *after*
+    /// an already-delivered one landing *before* it). Zero whenever the
+    /// flow rides one class over one path: strict-priority links and the
+    /// router service model are both FIFO within a class.
+    pub reordered_pkts: u64,
 }
 
 impl FlowStats {
-    /// Mean end-to-end latency in milliseconds.
+    /// Mean end-to-end latency in milliseconds; `0.0` when nothing was
+    /// delivered (a starved flow reads as zero, never `NaN`).
     pub fn mean_latency_ms(&self) -> f64 {
         if self.delivered_pkts == 0 {
-            return f64::NAN;
+            return 0.0;
         }
         self.latency_sum_ns as f64 / self.delivered_pkts as f64 / 1e6
     }
 
-    /// Delivered goodput over `window_s` seconds, in kbps.
+    /// Delivered goodput over `window_s` seconds, in kbps; `0.0` when
+    /// nothing was delivered or the window is empty (never `inf`/`NaN`).
     pub fn goodput_kbps(&self, window_s: f64) -> f64 {
+        if self.delivered_bytes == 0 || window_s <= 0.0 {
+            return 0.0;
+        }
         self.delivered_bytes as f64 * 8.0 / window_s / 1e3
     }
 
-    /// Delivery ratio.
+    /// Delivery ratio; `0.0` when nothing was sent (never `NaN`).
     pub fn delivery_ratio(&self) -> f64 {
         if self.sent_pkts == 0 {
-            return f64::NAN;
+            return 0.0;
         }
         self.delivered_pkts as f64 / self.sent_pkts as f64
     }
@@ -172,9 +182,75 @@ pub struct Flow {
 }
 
 enum Event {
-    FlowSend { flow: FlowId },
-    Arrival { node: NodeId, pkt: SimPacket },
-    LinkDone { link: LinkId },
+    FlowSend {
+        flow: FlowId,
+    },
+    Arrival {
+        node: NodeId,
+        pkt: SimPacket,
+    },
+    LinkDone {
+        link: LinkId,
+    },
+    /// A router finished serving a packet: hand it to its egress target.
+    Egress {
+        target: EgressTarget,
+        pkt: SimPacket,
+        class: Class,
+    },
+}
+
+/// Where a router's verdict sends a forwarded packet.
+#[derive(Clone, Copy, Debug)]
+enum EgressTarget {
+    /// Local delivery to the attached host.
+    Local(NodeId),
+    /// Onto an inter-AS link.
+    Link(LinkId),
+}
+
+/// The per-router packet-service model: how long the router's datapath
+/// holds a packet before it reaches the egress queue, and across how
+/// many parallel cores.
+///
+/// `None` (the default) keeps the historical instantaneous forwarding.
+/// With a model installed ([`Simulator::set_router_service`]), every
+/// forwarded packet is served by the earliest-free of `shards` cores for
+/// `per_pkt_ns` — the M/D/c shape of the worker-ring runtime, where a
+/// [`hummingbird_dataplane::ShardedRouter`] with `c` shards drains its
+/// ingress `c` packets at a time. Feeding the measured per-packet engine
+/// cost (e.g. `BENCH_hotpath.json`'s ns/pkt) in here is what lets the
+/// Fig. 3/4-style latency sweeps run on the real multi-core datapath
+/// numbers instead of zero-cost routers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ServiceModel {
+    /// Per-packet service time, ns (one core's datapath cost).
+    pub per_pkt_ns: u64,
+    /// Parallel cores (≥ 1): the shard count of the deployed engine.
+    pub shards: usize,
+}
+
+/// Run-time state of a [`ServiceModel`] on one router node.
+struct RouterService {
+    per_pkt_ns: u64,
+    /// Per-core busy horizon, ns.
+    busy_until: Vec<u64>,
+}
+
+impl RouterService {
+    /// Serves one packet arriving at `now`: the earliest-free core takes
+    /// it (first index on ties, so the choice is deterministic) and the
+    /// departure time comes back. Equal service times keep departures in
+    /// arrival order — the FIFO-within-class property the latency tests
+    /// pin.
+    fn serve(&mut self, now: u64) -> u64 {
+        let core = (0..self.busy_until.len())
+            .min_by_key(|&i| self.busy_until[i])
+            .expect("at least one core");
+        let depart = self.busy_until[core].max(now) + self.per_pkt_ns;
+        self.busy_until[core] = depart;
+        depart
+    }
 }
 
 /// An on-path / on-reservation-set duplicating adversary (Fig. 3, §5.4):
@@ -201,7 +277,11 @@ pub struct Simulator {
     links: Vec<Link>,
     flows: Vec<Flow>,
     stats: Vec<FlowStats>,
+    /// Per flow: latest `sent_at` delivered so far (reorder detection).
+    newest_delivered: Vec<u64>,
     taps: Vec<ReplayTap>,
+    /// Per node: the installed service model, if any.
+    services: Vec<Option<RouterService>>,
     queue: BinaryHeap<Reverse<(u64, u64, usize)>>,
     pending: Vec<Option<Event>>,
     seq: u64,
@@ -216,7 +296,9 @@ impl Simulator {
             links: Vec::new(),
             flows: Vec::new(),
             stats: Vec::new(),
+            newest_delivered: Vec::new(),
             taps: Vec::new(),
+            services: Vec::new(),
             queue: BinaryHeap::new(),
             pending: Vec::new(),
             seq: 0,
@@ -227,7 +309,19 @@ impl Simulator {
     /// Adds a node, returning its ID.
     pub fn add_node(&mut self, node: Node) -> NodeId {
         self.nodes.push(node);
+        self.services.push(None);
         self.nodes.len() - 1
+    }
+
+    /// Installs (or clears, with `None`) the packet-service model of a
+    /// router node: with a model, forwarded packets reach their egress
+    /// queue only after the earliest-free of `model.shards` cores has
+    /// spent `model.per_pkt_ns` on them, instead of instantaneously.
+    pub fn set_router_service(&mut self, node: NodeId, model: Option<ServiceModel>) {
+        self.services[node] = model.map(|m| RouterService {
+            per_pkt_ns: m.per_pkt_ns,
+            busy_until: vec![0; m.shards.max(1)],
+        });
     }
 
     /// Adds a link, returning its ID.
@@ -249,6 +343,14 @@ impl Simulator {
         }
     }
 
+    /// Re-rates a link (e.g. to narrow one hop of a uniform topology
+    /// into the bottleneck). Packets already being serialized keep their
+    /// scheduled completion; everything queued serializes at the new
+    /// rate.
+    pub fn set_link_bandwidth(&mut self, link: LinkId, bandwidth_bps: u64) {
+        self.links[link].bandwidth_bps = bandwidth_bps.max(1);
+    }
+
     /// Registers a flow, returning its ID. Send events are scheduled
     /// lazily, one at a time.
     pub fn add_flow(&mut self, flow: Flow) -> FlowId {
@@ -256,6 +358,7 @@ impl Simulator {
         let start = flow.start_ns.max(self.now_ns);
         self.flows.push(flow);
         self.stats.push(FlowStats::default());
+        self.newest_delivered.push(0);
         self.schedule(start, Event::FlowSend { flow: id });
         id
     }
@@ -271,6 +374,7 @@ impl Simulator {
     ) -> FlowId {
         let attacker_flow = self.stats.len();
         self.stats.push(FlowStats::default());
+        self.newest_delivered.push(0);
         self.taps.push(ReplayTap { victim, inject_at, copies, delay_ns, attacker_flow });
         attacker_flow
     }
@@ -350,6 +454,7 @@ impl Simulator {
             Event::FlowSend { flow } => self.handle_flow_send(flow),
             Event::Arrival { node, pkt } => self.handle_arrival(node, pkt),
             Event::LinkDone { link } => self.handle_link_done(link),
+            Event::Egress { target, pkt, class } => self.handle_egress(target, pkt, class),
         }
     }
 
@@ -415,6 +520,11 @@ impl Simulator {
                 let lat = now - pkt.sent_at;
                 st.latency_sum_ns += lat;
                 st.latency_max_ns = st.latency_max_ns.max(lat);
+                let newest = &mut self.newest_delivered[pkt.flow];
+                if st.delivered_pkts > 1 && pkt.sent_at < *newest {
+                    st.reordered_pkts += 1;
+                }
+                *newest = (*newest).max(pkt.sent_at);
             }
             Node::Router { router, interfaces, local } => {
                 let mut bytes = pkt.bytes;
@@ -427,21 +537,43 @@ impl Simulator {
                     Verdict::Flyover { egress } | Verdict::BestEffort { egress } => {
                         let class =
                             if verdict.is_flyover() { Class::Priority } else { Class::BestEffort };
-                        if egress == 0 {
-                            // Local delivery at the destination AS.
-                            if let Some(host) = *local {
-                                self.schedule(now, Event::Arrival { node: host, pkt });
-                            } else {
-                                self.stats[pkt.flow].router_drops += 1;
-                            }
-                        } else if let Some(&link_id) = interfaces.get(&egress) {
-                            self.enqueue_on_link(link_id, pkt, class);
+                        // Resolve the egress target while the node borrow
+                        // is live; the forwarding itself may be delayed by
+                        // the node's service model.
+                        let target = if egress == 0 {
+                            local.map(EgressTarget::Local)
                         } else {
-                            self.stats[pkt.flow].router_drops += 1;
+                            interfaces.get(&egress).map(|&l| EgressTarget::Link(l))
+                        };
+                        match target {
+                            None => self.stats[pkt.flow].router_drops += 1,
+                            Some(target) => {
+                                let depart = match &mut self.services[node_id] {
+                                    Some(svc) => svc.serve(now),
+                                    None => now,
+                                };
+                                if depart <= now {
+                                    self.handle_egress(target, pkt, class);
+                                } else {
+                                    self.schedule(depart, Event::Egress { target, pkt, class });
+                                }
+                            }
                         }
                     }
                 }
             }
+        }
+    }
+
+    /// Hands a served packet to its egress target: the attached host
+    /// (scheduled as an immediate arrival) or a link's two-class queue.
+    fn handle_egress(&mut self, target: EgressTarget, pkt: SimPacket, class: Class) {
+        match target {
+            EgressTarget::Local(host) => {
+                let now = self.now_ns;
+                self.schedule(now, Event::Arrival { node: host, pkt });
+            }
+            EgressTarget::Link(link_id) => self.enqueue_on_link(link_id, pkt, class),
         }
     }
 

@@ -1,0 +1,319 @@
+//! The egress latency model, pinned:
+//!
+//! 1. **Fig. 3/4-style sweep** (the headline): end-to-end latency per
+//!    engine family × {single, 4-shard} — reservation families hold the
+//!    victim's latency flat under a flood, authentication-only families
+//!    watch it blow up with the best-effort queue.
+//! 2. **Closed form**: an uncontended CBR flow's latency is *exactly*
+//!    `hops·service + links·(serialization + propagation)` — the link
+//!    rate, propagation delay and router service model compose with no
+//!    hidden queueing.
+//! 3. **FIFO invariants**: per class, per link, departures match
+//!    arrivals (no reordering), and adding a competing best-effort flow
+//!    never reduces a flyover flow's delivery ratio.
+//! 4. The partial-path and multipath variants of the family sweep.
+//! 5. `FlowStats` zero-division edges.
+
+use hummingbird_dataplane::RouterConfig;
+use hummingbird_netsim::{
+    run_latency_scenario, run_multipath_scenario, run_partial_path_scenario, EngineFamily,
+    EngineScenario, FlowStats, LatencySpec, LinearTopology, LinkSpec, ServiceModel,
+};
+use hummingbird_wire::IsdAs;
+use proptest::prelude::*;
+
+const START_S: u64 = 1_700_000_000;
+const START_NS: u64 = START_S * 1_000_000_000;
+const SEC: u64 = 1_000_000_000;
+
+fn src() -> IsdAs {
+    IsdAs::new(1, 0xa)
+}
+fn dst() -> IsdAs {
+    IsdAs::new(2, 0xb)
+}
+fn atk() -> IsdAs {
+    IsdAs::new(3, 0xc)
+}
+
+/// The acceptance sweep: Fig. 3/4-style latency across all four engine
+/// families × {single, 4-shard}. The D2 axis shows up as *latency*:
+/// under a 3× flood of the bottleneck, the reservation families keep
+/// the victim's mean delay at the uncontended level (priority class
+/// past the queue) while the authentication-only families lose the
+/// victim to the flooded best-effort queue — what does arrive arrives
+/// late.
+#[test]
+fn fig34_latency_sweep_across_families_and_shards() {
+    let cfg = RouterConfig::default();
+    for family in EngineFamily::ALL {
+        for shards in [1usize, 4] {
+            let scenario = EngineScenario { family, shards };
+            let spec = LatencySpec::new(scenario);
+            let base = run_latency_scenario(cfg, &spec, START_NS);
+            let loaded = run_latency_scenario(cfg, &spec.with_flood(30_000), START_NS);
+            let label = format!("{}x{shards}", family.name());
+
+            // Uncontended: everything arrives, in order, never dropped
+            // by authentication, with a positive modeled delay.
+            assert!(base.victim.delivery_ratio() > 0.99, "{label}: base delivery");
+            assert_eq!(base.victim.router_drops, 0, "{label}: victim must authenticate");
+            assert_eq!(base.victim.reordered_pkts, 0, "{label}: base FIFO");
+            let base_ms = base.victim.mean_latency_ms();
+            assert!(base_ms > 0.0, "{label}: latency model must accrue delay");
+
+            // Under flood.
+            assert_eq!(loaded.victim.router_drops, 0, "{label}: flood never forges MACs");
+            assert_eq!(loaded.victim.reordered_pkts, 0, "{label}: loaded FIFO");
+            let loaded_ms = loaded.victim.mean_latency_ms();
+            if family.has_priority_class() {
+                assert!(
+                    loaded.victim.delivery_ratio() > 0.99,
+                    "{label}: reservation family must protect delivery, ratio {}",
+                    loaded.victim.delivery_ratio()
+                );
+                assert!(
+                    loaded_ms < base_ms * 1.5,
+                    "{label}: victim latency must stay flat under flood \
+                     ({loaded_ms:.2} ms vs base {base_ms:.2} ms)"
+                );
+            } else {
+                assert!(
+                    loaded.victim.delivery_ratio() < 0.7,
+                    "{label}: authentication-only family cannot protect, ratio {}",
+                    loaded.victim.delivery_ratio()
+                );
+                assert!(
+                    loaded_ms > base_ms * 3.0,
+                    "{label}: victim latency must degrade under flood \
+                     ({loaded_ms:.2} ms vs base {base_ms:.2} ms)"
+                );
+            }
+            // The entry router saw every packet exactly once, however
+            // many shards it runs across.
+            let flood = loaded.flood.expect("flood ran");
+            assert_eq!(
+                loaded.entry_stats.processed,
+                loaded.victim.sent_pkts + flood.sent_pkts,
+                "{label}: every packet counted once"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Closed form: with no competing traffic, every packet of a CBR
+    /// flow takes exactly
+    /// `n_ases·service + (n_ases−1)·(tx_time + propagation)` ns — bit-
+    /// exact against the integer arithmetic of the link and service
+    /// models, for any chain length, payload, link rate, propagation
+    /// delay, service cost and core count.
+    #[test]
+    fn uncontended_cbr_latency_matches_closed_form(
+        n_ases in 2usize..5,
+        payload in 300usize..1200,
+        bw_mbps in 10u64..100,
+        prop_us in 100u64..2000,
+        service_ns in 0u64..5000,
+        shards in 1usize..5,
+    ) {
+        let link = LinkSpec {
+            bandwidth_bps: bw_mbps * 1_000_000,
+            propagation_ns: prop_us * 1000,
+            queue_cap_bytes: 64 * 1024,
+        };
+        let mut topo = LinearTopology::build(n_ases, link, START_NS, RouterConfig::default());
+        if service_ns > 0 {
+            topo.set_service_model(Some(ServiceModel { per_pkt_ns: service_ns, shards }));
+        }
+        // 1 Mbps CBR: the packet interval (≥ 2.4 ms) dwarfs both the
+        // worst-case serialization (~1.1 ms) and the service time, so no
+        // queueing ever happens — the closed form is exact.
+        let flow = topo.add_cbr_flow(src(), dst(), payload, 1_000, Some(3_000), START_NS,
+            START_NS + SEC);
+        topo.sim.run_until(START_NS + 2 * SEC);
+        let v = topo.sim.stats(flow);
+        prop_assert!(v.sent_pkts > 0);
+        prop_assert_eq!(v.delivered_pkts, v.sent_pkts, "uncontended: everything arrives");
+        let wire_len = v.sent_bytes / v.sent_pkts;
+        let tx_ns = (wire_len * 8).saturating_mul(1_000_000_000) / link.bandwidth_bps;
+        let hops = n_ases as u64;
+        let expected = hops * service_ns + (hops - 1) * (tx_ns + link.propagation_ns);
+        prop_assert_eq!(v.latency_max_ns, expected, "per-packet latency is the closed form");
+        prop_assert_eq!(
+            v.latency_sum_ns,
+            v.delivered_pkts * expected,
+            "every packet takes exactly the closed-form delay"
+        );
+        prop_assert_eq!(v.reordered_pkts, 0);
+    }
+
+    /// Monotonicity: adding a competing best-effort flow — at any rate,
+    /// including 5× the bottleneck — never reduces a flyover flow's
+    /// delivery ratio, and its latency stays at the uncontended level.
+    #[test]
+    fn competing_best_effort_never_hurts_flyover_flow(
+        flood_kbps in 0u64..50_000,
+        shards in 1usize..5,
+    ) {
+        let cfg = RouterConfig::default();
+        let scenario = EngineScenario { family: EngineFamily::Hummingbird, shards };
+        let mut spec = LatencySpec::new(scenario);
+        spec.run_s = 1;
+        let alone = run_latency_scenario(cfg, &spec, START_NS);
+        let contested = run_latency_scenario(cfg, &spec.with_flood(flood_kbps), START_NS);
+        prop_assert!(
+            contested.victim.delivery_ratio() >= alone.victim.delivery_ratio(),
+            "best-effort competitor reduced flyover delivery: {} -> {}",
+            alone.victim.delivery_ratio(),
+            contested.victim.delivery_ratio()
+        );
+        prop_assert!(contested.victim.delivery_ratio() > 0.99);
+        prop_assert!(
+            contested.victim.mean_latency_ms() < alone.victim.mean_latency_ms() * 1.5,
+            "flyover latency must not track the flood"
+        );
+        prop_assert_eq!(contested.victim.reordered_pkts, 0);
+    }
+}
+
+/// FIFO per class per link, under heavy contention: a priority victim
+/// and two best-effort flows fight over a flooded chain (with the
+/// service model on); every flow's deliveries arrive in send order —
+/// the strict-priority queues never reorder *within* a class, they only
+/// interleave *across* classes.
+#[test]
+fn per_class_departures_stay_fifo_under_contention() {
+    let cfg = RouterConfig::default();
+    let mut topo = LinearTopology::build(3, LinkSpec::default(), START_NS, cfg);
+    topo.set_service_model(Some(ServiceModel { per_pkt_ns: 300, shards: 2 }));
+    let run_s = 2u64;
+    let victim =
+        topo.add_cbr_flow(src(), dst(), 1000, 2_000, Some(3_000), START_NS, START_NS + run_s * SEC);
+    let be_a =
+        topo.add_cbr_flow(atk(), dst(), 1000, 12_000, None, START_NS, START_NS + run_s * SEC);
+    let be_b = topo.add_cbr_flow(
+        IsdAs::new(4, 0xd),
+        dst(),
+        700,
+        9_000,
+        None,
+        START_NS,
+        START_NS + run_s * SEC,
+    );
+    topo.sim.run_until(START_NS + (run_s + 1) * SEC);
+    for (name, flow) in [("victim", victim), ("be_a", be_a), ("be_b", be_b)] {
+        let s = topo.sim.stats(flow);
+        assert!(s.delivered_pkts > 0, "{name} delivered nothing");
+        assert_eq!(s.reordered_pkts, 0, "{name}: departures must match arrivals per class");
+    }
+    // The flood actually contested the bottleneck.
+    let a = topo.sim.stats(be_a);
+    assert!(a.queue_drops > 0, "flood must overflow the best-effort queue");
+}
+
+/// The partial-path variant across the family sweep: a credential at
+/// *only* the congested middle hop protects a reservation-family victim
+/// (priority exactly there, best effort elsewhere), while the
+/// authentication-only families validate the same credential and still
+/// starve.
+#[test]
+fn partial_path_family_sweep() {
+    let cfg = RouterConfig::default();
+    for family in EngineFamily::ALL {
+        for shards in [1usize, 4] {
+            let scenario = EngineScenario { family, shards };
+            let out = run_partial_path_scenario(cfg, scenario, 300, START_NS);
+            let label = format!("{}x{shards}", family.name());
+            assert_eq!(out.victim.router_drops, 0, "{label}: victim must authenticate");
+            // Priority rode exactly the credentialed hop — and only for
+            // the families that have a priority class at all.
+            assert_eq!(out.per_hop[0].flyover, 0, "{label}: hop 0 is uncredentialed");
+            assert_eq!(out.per_hop[2].flyover, 0, "{label}: hop 2 is uncredentialed");
+            if family.has_priority_class() {
+                assert!(out.per_hop[1].flyover > 0, "{label}: middle hop carries priority");
+                assert!(
+                    out.victim.delivery_ratio() > 0.99,
+                    "{label}: middle-hop credential must protect, ratio {}",
+                    out.victim.delivery_ratio()
+                );
+            } else {
+                assert_eq!(out.per_hop[1].flyover, 0, "{label}: no priority class");
+                assert!(
+                    out.victim.delivery_ratio() < 0.7,
+                    "{label}: authentication-only family cannot protect, ratio {}",
+                    out.victim.delivery_ratio()
+                );
+            }
+        }
+    }
+}
+
+/// The multipath variant across the family sweep, on the Fig. 3
+/// diamond: the flood rides branch Q only. Path choice isolates branch
+/// P for *every* family; on Q the D2 split applies.
+#[test]
+fn multipath_family_sweep() {
+    let cfg = RouterConfig::default();
+    for family in EngineFamily::ALL {
+        for shards in [1usize, 4] {
+            let scenario = EngineScenario { family, shards };
+            let out = run_multipath_scenario(cfg, scenario, START_NS);
+            let label = format!("{}x{shards}", family.name());
+            assert!(
+                out.p.delivery_ratio() > 0.99,
+                "{label}: the clean branch is isolated by path choice, ratio {}",
+                out.p.delivery_ratio()
+            );
+            assert_eq!(out.p.router_drops + out.q.router_drops, 0, "{label}: both authenticate");
+            if family.has_priority_class() {
+                assert!(
+                    out.q.delivery_ratio() > 0.99,
+                    "{label}: reservation family must protect the flooded branch, ratio {}",
+                    out.q.delivery_ratio()
+                );
+            } else {
+                assert!(
+                    out.q.delivery_ratio() < 0.7,
+                    "{label}: authentication-only family starves on the flooded branch, ratio {}",
+                    out.q.delivery_ratio()
+                );
+            }
+        }
+    }
+}
+
+/// `FlowStats` zero-division edges: every ratio/mean is `0.0` — finite,
+/// never `NaN` or `inf` — when nothing was sent or delivered.
+#[test]
+fn flow_stats_zero_division_edges() {
+    let empty = FlowStats::default();
+    assert_eq!(empty.mean_latency_ms(), 0.0);
+    assert_eq!(empty.delivery_ratio(), 0.0);
+    assert_eq!(empty.goodput_kbps(2.0), 0.0);
+    assert_eq!(empty.goodput_kbps(0.0), 0.0, "empty window must not divide");
+
+    // Sent but fully starved: ratio 0, latency 0, goodput 0.
+    let starved = FlowStats { sent_pkts: 10, sent_bytes: 10_000, ..Default::default() };
+    assert_eq!(starved.delivery_ratio(), 0.0);
+    assert_eq!(starved.mean_latency_ms(), 0.0);
+    assert_eq!(starved.goodput_kbps(1.0), 0.0);
+    assert!(starved.delivery_ratio().is_finite() && starved.mean_latency_ms().is_finite());
+
+    // The healthy path still computes real values.
+    let ok = FlowStats {
+        sent_pkts: 4,
+        sent_bytes: 4_000,
+        delivered_pkts: 2,
+        delivered_bytes: 1_000,
+        latency_sum_ns: 4_000_000,
+        latency_max_ns: 3_000_000,
+        ..Default::default()
+    };
+    assert_eq!(ok.delivery_ratio(), 0.5);
+    assert_eq!(ok.mean_latency_ms(), 2.0);
+    assert!((ok.goodput_kbps(1.0) - 8.0).abs() < 1e-9);
+    assert_eq!(ok.goodput_kbps(-1.0), 0.0, "negative windows are refused, not inverted");
+}
