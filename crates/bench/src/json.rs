@@ -1,11 +1,12 @@
-//! Machine-readable benchmark output: `BENCH_hotpath.json`.
+//! Machine-readable benchmark output: `BENCH_hotpath.json` and
+//! `BENCH_netsim.json`.
 //!
 //! The figure binaries print human-readable tables; this module emits the
-//! same hot-path numbers as a small JSON document so the performance
-//! trajectory can be tracked across PRs (one run is checked in at the
-//! repository root as the trajectory seed).
+//! same numbers as small JSON documents so the performance trajectory can
+//! be tracked across PRs (one run of each is checked in at the repository
+//! root as the trajectory seed).
 //!
-//! # Schema (`schema = 1`)
+//! # Hot-path schema (`schema = 1`)
 //!
 //! ```json
 //! {
@@ -30,9 +31,46 @@
 //! duration) produced a non-finite value — consumers should drop such
 //! points rather than read them as zeros.
 //!
-//! No JSON library exists in the offline build environment, so the writer
-//! is hand-rolled for exactly this shape; all strings it emits are
-//! engine/backend identifiers (lowercase ASCII, no escaping needed).
+//! # Netsim-scale schema (`schema = 1`)
+//!
+//! Written by the `netsim_scale` binary: one churned four-family sweep of
+//! the generated ring-of-PoPs backbone (`netsim::topo` + `netsim::churn`),
+//! tracking how fast the discrete-event simulator chews through an
+//! Internet-scale topology and whether the recovery contrast holds.
+//!
+//! ```json
+//! {
+//!   "schema": 1,
+//!   "bench": "netsim",
+//!   "seed": 12648430,             // topology/key/background-mesh seed
+//!   "sim_s": 3,                   // simulated seconds per family run
+//!   "records": [
+//!     {
+//!       "family": "hummingbird",  // EngineFamily name
+//!       "shards": 1,              // shards per router datapath
+//!       "routers": 100,           // generated backbone routers
+//!       "adjacencies": 131,       // bidirectional backbone links
+//!       "flows": 258,             // victim + flood + background flows
+//!       "events": 5922331,        // simulator events processed
+//!       "wall_ms": 812.402,       // host wall-clock for the run
+//!       "events_per_sec": 7289e3, // events / wall second (the trend)
+//!       "recovery_delivery": 0.97,// victim delivery after the reroute
+//!       "recovery_ms": 12.31,     // victim mean latency after reroute
+//!       "link_failures": 3,       // injected mid-epoch link failures
+//!       "rerouted": 2,            // flows moved onto surviving paths
+//!       "stranded": 0             // flows left with no surviving path
+//!     }
+//!   ]
+//! }
+//! ```
+//!
+//! `wall_ms` / `events_per_sec` are host-dependent (trend, not truth);
+//! everything else in a record is deterministic for a given seed. Floats
+//! degrade to `null` when non-finite, as in the hot-path schema.
+//!
+//! No JSON library exists in the offline build environment, so the writers
+//! are hand-rolled for exactly these shapes; all strings they emit are
+//! engine/family identifiers (lowercase ASCII, no escaping needed).
 
 use std::io::Write as _;
 
@@ -105,6 +143,85 @@ pub fn write_hotpath_json(
     f.write_all(hotpath_json(aes_backend, hardware_threads, records).as_bytes())
 }
 
+/// One churned netsim run of a single engine family on the generated
+/// backbone (the `BENCH_netsim.json` record; schema in the module docs).
+#[derive(Clone, Debug, PartialEq)]
+pub struct NetsimRecord {
+    /// Engine family name (`EngineFamily::name`).
+    pub family: &'static str,
+    /// Shards per router datapath.
+    pub shards: usize,
+    /// Routers in the generated backbone.
+    pub routers: usize,
+    /// Bidirectional adjacencies in the generated backbone.
+    pub adjacencies: usize,
+    /// Total flows driven (victim + flood + background mesh).
+    pub flows: usize,
+    /// Simulator events processed over the run.
+    pub events: u64,
+    /// Host wall-clock for the run, milliseconds.
+    pub wall_ms: f64,
+    /// Events per wall-clock second — the throughput trend.
+    pub events_per_sec: f64,
+    /// Victim delivery ratio over the post-reroute recovery window.
+    pub recovery_delivery: f64,
+    /// Victim mean latency over the recovery window, milliseconds.
+    pub recovery_ms: f64,
+    /// Mid-epoch link failures injected.
+    pub link_failures: usize,
+    /// Flows rerouted onto surviving paths.
+    pub rerouted: usize,
+    /// Flows stranded with no surviving path.
+    pub stranded: usize,
+}
+
+/// Serializes `records` to the `BENCH_netsim.json` schema.
+pub fn netsim_json(seed: u64, sim_s: u64, records: &[NetsimRecord]) -> String {
+    let mut out = String::with_capacity(256 + records.len() * 256);
+    out.push_str("{\n");
+    out.push_str("  \"schema\": 1,\n");
+    out.push_str("  \"bench\": \"netsim\",\n");
+    out.push_str(&format!("  \"seed\": {seed},\n"));
+    out.push_str(&format!("  \"sim_s\": {sim_s},\n"));
+    out.push_str("  \"records\": [");
+    for (i, r) in records.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        out.push_str(&format!(
+            "    {{\"family\": \"{}\", \"shards\": {}, \"routers\": {}, \"adjacencies\": {}, \
+             \"flows\": {}, \"events\": {}, \"wall_ms\": {}, \"events_per_sec\": {}, \
+             \"recovery_delivery\": {}, \"recovery_ms\": {}, \"link_failures\": {}, \
+             \"rerouted\": {}, \"stranded\": {}}}",
+            r.family,
+            r.shards,
+            r.routers,
+            r.adjacencies,
+            r.flows,
+            r.events,
+            num(r.wall_ms),
+            num(r.events_per_sec),
+            num(r.recovery_delivery),
+            num(r.recovery_ms),
+            r.link_failures,
+            r.rerouted,
+            r.stranded,
+        ));
+    }
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+/// Writes the netsim document to `path` (truncate + write, like
+/// [`write_hotpath_json`]).
+pub fn write_netsim_json(
+    path: &str,
+    seed: u64,
+    sim_s: u64,
+    records: &[NetsimRecord],
+) -> std::io::Result<()> {
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(netsim_json(seed, sim_s, records).as_bytes())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -149,5 +266,40 @@ mod tests {
     fn empty_record_set_is_valid() {
         let doc = hotpath_json("soft", 1, &[]);
         assert!(doc.contains("\"records\": [\n  ]"));
+    }
+
+    #[test]
+    fn netsim_schema_shape_is_stable() {
+        let records = [NetsimRecord {
+            family: "hummingbird",
+            shards: 1,
+            routers: 100,
+            adjacencies: 131,
+            flows: 258,
+            events: 5_922_331,
+            wall_ms: 812.4019,
+            events_per_sec: 7_289_456.7,
+            recovery_delivery: 0.9734,
+            recovery_ms: f64::INFINITY,
+            link_failures: 3,
+            rerouted: 2,
+            stranded: 0,
+        }];
+        let doc = netsim_json(0xC0FFEE, 3, &records);
+        assert!(doc.starts_with("{\n  \"schema\": 1,\n  \"bench\": \"netsim\","));
+        assert!(doc.contains("\"seed\": 12648430"));
+        assert!(doc.contains("\"sim_s\": 3"));
+        assert!(doc.contains(
+            "{\"family\": \"hummingbird\", \"shards\": 1, \"routers\": 100, \
+             \"adjacencies\": 131, \"flows\": 258, \"events\": 5922331, \
+             \"wall_ms\": 812.402, \"events_per_sec\": 7289456.700, \
+             \"recovery_delivery\": 0.973, \"recovery_ms\": null, \
+             \"link_failures\": 3, \"rerouted\": 2, \"stranded\": 0}"
+        ));
+        // Balanced braces/brackets (cheap well-formedness check).
+        assert_eq!(doc.matches('{').count(), doc.matches('}').count());
+        assert_eq!(doc.matches('[').count(), doc.matches(']').count());
+        // Empty sweeps still serialize.
+        assert!(netsim_json(1, 1, &[]).contains("\"records\": [\n  ]"));
     }
 }

@@ -6,13 +6,15 @@
 //! identical across experiments.
 //!
 //! Besides the human-readable tables, the forwarding binaries emit
-//! `BENCH_hotpath.json` ([`json`] documents the schema) so ns/pkt and
-//! Mpps per engine, AES backend, and core count are tracked machine-
-//! readably across PRs.
+//! `BENCH_hotpath.json` and the `netsim_scale` binary emits
+//! `BENCH_netsim.json` ([`json`] documents both schemas) so ns/pkt,
+//! Mpps and simulator events/s are tracked machine-readably across PRs.
 
 pub mod json;
 
-pub use json::{hotpath_json, write_hotpath_json, BenchRecord};
+pub use json::{
+    hotpath_json, netsim_json, write_hotpath_json, write_netsim_json, BenchRecord, NetsimRecord,
+};
 
 use hummingbird_baselines::drkey::epoch_of;
 use hummingbird_baselines::{
@@ -156,6 +158,20 @@ fn flag_value(name: &str) -> Option<String> {
         i += 1;
     }
     None
+}
+
+/// Parses `--<name> <v>` as a `u64` from the process arguments;
+/// `default` applies when the flag is absent. Exits with a usage
+/// message on malformed input.
+pub fn u64_from_args(name: &str, default: u64) -> u64 {
+    let Some(v) = flag_value(name) else { return default };
+    match v.parse::<u64>() {
+        Ok(n) => n,
+        Err(_) => {
+            eprintln!("bad --{name} '{v}'; expected an unsigned integer");
+            std::process::exit(2);
+        }
+    }
 }
 
 /// Whether the bare flag `--<name>` appears in the process arguments.

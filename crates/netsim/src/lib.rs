@@ -13,22 +13,36 @@
 //!   plus the [`EngineScenario`] config that reruns any experiment with
 //!   every router node swapped to a baseline engine family (Helia,
 //!   DRKey, EPIC — see `hummingbird-baselines`), optionally sharded.
+//! * [`topo`] — seed-driven Internet-scale topology generation
+//!   (ring-of-PoPs backbones, fat trees, AS hierarchies) over the same
+//!   real-router nodes, with BFS routing and per-family credentials.
+//! * [`churn`] — fault injection on the simulator clock: link down/up,
+//!   cold router reboots, and mid-epoch reroute of stranded flows.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod churn;
 pub mod multipath;
 pub mod scenario;
 pub mod sim;
+pub mod topo;
 
+pub use churn::{
+    apply_action, run_with_churn, ChurnAction, ChurnEvent, ChurnOutcome, ChurnPlan, ChurnRecord,
+    ChurnReport,
+};
 pub use multipath::{Branch, DiamondTopology};
 pub use scenario::{
-    run_latency_scenario, run_multipath_scenario, run_partial_path_scenario, EngineFamily,
-    EngineScenario, LatencyOutcome, LatencySpec, LinearTopology, LinkSpec, MultipathOutcome,
-    PartialPathOutcome,
+    run_churn_scenario, run_latency_scenario, run_multipath_scenario, run_partial_path_scenario,
+    ChurnScenarioOutcome, ChurnSpec, EngineFamily, EngineScenario, LatencyOutcome, LatencySpec,
+    LinearTopology, LinkSpec, MultipathOutcome, PartialPathOutcome,
 };
 pub use sim::{
     Class, Flow, FlowId, FlowStats, Node, NodeId, ReplayTap, ServiceModel, SimPacket, Simulator,
+};
+pub use topo::{
+    AdjId, Adjacency, BackboneSpec, HierarchySpec, RouterId, TopologyBuilder, TopologyParts,
 };
 
 #[cfg(test)]

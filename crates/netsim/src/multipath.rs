@@ -15,10 +15,10 @@
 use crate::scenario::{
     deploy_engine, family_credential, family_engine, EngineFamily, EngineScenario, LinkSpec,
 };
-use crate::sim::{Flow, FlowId, Node, NodeId, ServiceModel, Simulator};
+use crate::sim::{Flow, FlowId, NodeId, ServiceModel, Simulator};
 use hummingbird_crypto::{ResInfo, SecretValue};
 use hummingbird_dataplane::{
-    forge_path, BeaconHop, DatapathBuilder, RouterConfig, SourceGenerator, SourceReservation,
+    forge_path, BeaconHop, RouterConfig, SourceGenerator, SourceReservation,
 };
 use hummingbird_wire::bwcls;
 use hummingbird_wire::scion_mac::HopMacKey;
@@ -63,41 +63,38 @@ pub struct DiamondTopology {
 }
 
 impl DiamondTopology {
-    /// Builds the diamond with uniform link parameters.
+    /// Builds the diamond with uniform link parameters. Wiring (and the
+    /// DRKey-master derivation) goes through the shared
+    /// [`TopologyBuilder`](crate::TopologyBuilder) primitives; only the
+    /// branch/T interface convention is owned here.
     pub fn build(link: LinkSpec, start_ns: u64, cfg: RouterConfig) -> Self {
         let mut keys = HashMap::new();
-        let mut masters = HashMap::new();
-        for (name, seed) in [("P", 0x11u8), ("Q", 0x22), ("T", 0x33)] {
+        let mut builder = crate::TopologyBuilder::new(start_ns, cfg);
+        let mut ids = Vec::new();
+        for (i, (name, seed)) in [("P", 0x11u8), ("Q", 0x22), ("T", 0x33)].iter().enumerate() {
             let sv_bytes = [seed ^ 0xFF; 16];
-            keys.insert(name, (HopMacKey::new([seed; 16]), SecretValue::new(sv_bytes)));
-            let mut master = sv_bytes;
-            master[0] ^= 0xA5; // distinct hierarchy root per AS
-            masters.insert(name, master);
+            keys.insert(*name, (HopMacKey::new([*seed; 16]), SecretValue::new(sv_bytes)));
+            ids.push(builder.add_router_keyed(
+                [*seed; 16],
+                sv_bytes,
+                IsdAs::new(1, 0x100 + i as u64),
+            ));
         }
-        let mut sim = Simulator::new(start_ns);
-        let dest = sim.add_node(Node::Host);
-        let router = |name: &str, local: Option<NodeId>| {
-            let (hk, sv) = &keys[name];
-            Node::Router {
-                router: DatapathBuilder::new(sv.clone(), hk.clone()).config(cfg).build_boxed(),
-                interfaces: HashMap::new(),
-                local,
-            }
-        };
-        let as_p = sim.add_node(router("P", None));
-        let as_q = sim.add_node(router("Q", None));
-        let as_t = sim.add_node(router("T", Some(dest)));
-        for from in [as_p, as_q] {
-            let l =
-                sim.add_link(as_t, link.bandwidth_bps, link.propagation_ns, link.queue_cap_bytes);
-            sim.connect_interface(from, BRANCH_EGRESS, l);
-        }
+        let (p, q, t) = (ids[0], ids[1], ids[2]);
+        builder.attach_host(t);
+        builder.connect_oneway(p, BRANCH_EGRESS, t, link);
+        builder.connect_oneway(q, BRANCH_EGRESS, t, link);
+        let parts = builder.into_parts();
+        let masters = ["P", "Q", "T"]
+            .into_iter()
+            .zip(parts.drkey_masters.iter().copied())
+            .collect::<HashMap<_, _>>();
         DiamondTopology {
-            sim,
-            as_p,
-            as_q,
-            as_t,
-            dest,
+            sim: parts.sim,
+            as_p: parts.router_nodes[p],
+            as_q: parts.router_nodes[q],
+            as_t: parts.router_nodes[t],
+            dest: parts.hosts[t].expect("host attached to T"),
             keys,
             masters,
             info_ts: (start_ns / 1_000_000_000) as u32,

@@ -7,7 +7,9 @@
 //! [`run_multipath_scenario`]) behind the Fig. 3/4-style per-family
 //! sweeps.
 
-use crate::sim::{Flow, FlowId, FlowStats, Node, NodeId, ServiceModel, Simulator};
+use crate::churn::{apply_action, ChurnAction, ChurnReport};
+use crate::sim::{Flow, FlowId, FlowStats, NodeId, ServiceModel, Simulator};
+use crate::topo::{AdjId, BackboneSpec, TopologyBuilder};
 use hummingbird_baselines::drkey::{epoch_of, DrKeySecret, EPOCH_SECS};
 use hummingbird_baselines::engine::helia_packet_key;
 use hummingbird_baselines::{
@@ -21,7 +23,7 @@ use hummingbird_dataplane::{
 use hummingbird_wire::bwcls;
 use hummingbird_wire::scion_mac::HopMacKey;
 use hummingbird_wire::IsdAs;
-use std::collections::HashMap;
+use rand::{rngs::StdRng, Rng as _, SeedableRng as _};
 
 /// The host address every [`SourceGenerator`]-built packet carries —
 /// what the source-keyed baseline engines (DRKey, EPIC) derive their
@@ -299,7 +301,10 @@ impl LinearTopology {
 
     /// Builds a chain with explicit AS key material — how the end-to-end
     /// testbed wires the same secrets into both the control-plane
-    /// `AsService`s and the simulated border routers.
+    /// `AsService`s and the simulated border routers. The wiring (and
+    /// the DRKey-master derivation) goes through the shared
+    /// [`TopologyBuilder`] primitives; only the `2i`/`2i+1` interface
+    /// convention is owned here.
     pub fn build_with_keys(
         n: usize,
         link: LinkSpec,
@@ -311,52 +316,34 @@ impl LinearTopology {
         assert!(n >= 1);
         assert_eq!(hop_key_bytes.len(), n);
         assert_eq!(sv_key_bytes.len(), n);
-        let drkey_masters: Vec<[u8; 16]> = sv_key_bytes
-            .iter()
-            .map(|k| {
-                let mut m = *k;
-                m[0] ^= 0xA5; // distinct hierarchy root per AS
-                m
-            })
-            .collect();
-        let hop_keys: Vec<HopMacKey> = hop_key_bytes.into_iter().map(HopMacKey::new).collect();
-        let svs: Vec<SecretValue> = sv_key_bytes.into_iter().map(SecretValue::new).collect();
-        let mut sim = Simulator::new(start_ns);
-        let dest_host = sim.add_node(Node::Host);
-        let as_nodes: Vec<NodeId> = (0..n)
-            .map(|i| {
-                sim.add_node(Node::Router {
-                    router: DatapathBuilder::new(svs[i].clone(), hop_keys[i].clone())
-                        .config(cfg)
-                        .build_boxed(),
-                    interfaces: HashMap::new(),
-                    local: if i == n - 1 { Some(dest_host) } else { None },
-                })
-            })
-            .collect();
+        let hop_keys: Vec<HopMacKey> = hop_key_bytes.iter().copied().map(HopMacKey::new).collect();
+        let svs: Vec<SecretValue> = sv_key_bytes.iter().copied().map(SecretValue::new).collect();
+        let mut builder = TopologyBuilder::new(start_ns, cfg);
+        for i in 0..n {
+            builder.add_router_keyed(
+                hop_key_bytes[i],
+                sv_key_bytes[i],
+                IsdAs::new(1, 0x100 + i as u64),
+            );
+        }
+        builder.attach_host(n - 1);
         // Wire AS i's egress to AS i+1.
         let mut links = Vec::with_capacity(n.saturating_sub(1));
         for i in 0..n - 1 {
-            let l = sim.add_link(
-                as_nodes[i + 1],
-                link.bandwidth_bps,
-                link.propagation_ns,
-                link.queue_cap_bytes,
-            );
             let (_, egress) = Self::interfaces(n, i);
-            sim.connect_interface(as_nodes[i], egress, l);
-            links.push(l);
+            links.push(builder.connect_oneway(i, egress, i + 1, link));
         }
-        let info_ts = (start_ns / 1_000_000_000) as u32;
+        let parts = builder.into_parts();
+        let dest_host = parts.hosts[n - 1].expect("host attached to the last AS");
         LinearTopology {
-            sim,
-            as_nodes,
+            sim: parts.sim,
+            as_nodes: parts.router_nodes,
             dest_host,
             links,
             hop_keys,
             svs,
-            drkey_masters,
-            info_ts,
+            drkey_masters: parts.drkey_masters,
+            info_ts: (start_ns / 1_000_000_000) as u32,
             beta0: 0x4242,
             next_res_id: 0,
         }
@@ -855,4 +842,267 @@ pub fn run_multipath_scenario(
     );
     topo.sim.run_until(stop_ns + sec);
     MultipathOutcome { p: topo.sim.stats(p), q: topo.sim.stats(q) }
+}
+
+/// Knobs of a churn run: the QoS/DoS experiment (credentialed victim vs
+/// best-effort flood) moved onto a generated ring-of-PoPs backbone with
+/// a seeded background-flow mesh, plus mid-epoch fault injection — ≥ 1
+/// link failures on the victim's path at one third of the run, a
+/// reroute pass after `reroute_delay_ns`, and optionally a cold reboot
+/// of a transit router on the failover path.
+#[derive(Clone, Copy, Debug)]
+pub struct ChurnSpec {
+    /// Engine family + shard deployment every router node runs.
+    pub scenario: EngineScenario,
+    /// PoPs on the backbone ring (≥ 3).
+    pub pops: usize,
+    /// Routers per PoP (≥ 2 for failover paths to exist).
+    pub routers_per_pop: usize,
+    /// Seed for topology, key material and the background mesh.
+    pub seed: u64,
+    /// How many PoPs the victim's path spans (dst = PoP `span_pops`).
+    pub span_pops: usize,
+    /// Victim CBR rate, kbps.
+    pub victim_kbps: u64,
+    /// Credential (reservation/grant) rate on every victim hop, kbps.
+    pub credential_kbps: u64,
+    /// Payload bytes per victim/flood packet.
+    pub payload_len: usize,
+    /// Best-effort flood rate on the victim's route, kbps (`0` = none).
+    pub flood_kbps: u64,
+    /// Seeded random background flows across the whole backbone.
+    pub background_flows: usize,
+    /// Rate of each background flow, kbps.
+    pub background_kbps: u64,
+    /// Credential rate attached to each background flow (`None` = best
+    /// effort) — `Some` puts thousands of live reservations on the
+    /// backbone at bench scale.
+    pub background_credential_kbps: Option<u64>,
+    /// Link failures to inject at `run_s / 3` (victim-path adjacencies
+    /// first, padded with further ring links if the path is shorter).
+    pub failures: usize,
+    /// Delay from failure to the reroute pass, ns.
+    pub reroute_delay_ns: u64,
+    /// Also cold-reboot a transit router on the victim's failover path.
+    pub reboot_on_path: bool,
+    /// Per-router, per-core datapath service time, ns (`0` = off).
+    pub service_per_pkt_ns: u64,
+    /// Run length, seconds.
+    pub run_s: u64,
+}
+
+impl ChurnSpec {
+    /// The default acceptance shape: a 26-PoP × 4-router backbone (104
+    /// routers), a victim spanning 2 PoPs (with `routers_per_pop ≥ 2`
+    /// that ring path is *strictly* hop-count shortest — chords attach
+    /// to each PoP's last router, so any chord detour costs ≥ 3 hops —
+    /// making base and failover paths seed-independent), 3 link
+    /// failures with a 50 ms reroute delay plus an on-path reboot, and
+    /// a 64-flow background mesh. Add the flood with
+    /// [`with_flood`](ChurnSpec::with_flood).
+    pub fn new(scenario: EngineScenario) -> Self {
+        ChurnSpec {
+            scenario,
+            pops: 26,
+            routers_per_pop: 4,
+            seed: 0xC0FFEE,
+            span_pops: 2,
+            victim_kbps: 2_000,
+            credential_kbps: 3_000,
+            payload_len: 1_000,
+            flood_kbps: 0,
+            background_flows: 64,
+            background_kbps: 64,
+            background_credential_kbps: None,
+            failures: 3,
+            reroute_delay_ns: 50_000_000,
+            reboot_on_path: true,
+            service_per_pkt_ns: 300,
+            run_s: 3,
+        }
+    }
+
+    /// The same spec with a `flood_kbps` best-effort flood.
+    pub fn with_flood(mut self, flood_kbps: u64) -> Self {
+        self.flood_kbps = flood_kbps;
+        self
+    }
+}
+
+/// What a [`run_churn_scenario`] measured. `PartialEq` so two same-seed
+/// runs can be asserted bit-identical wholesale.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ChurnScenarioOutcome {
+    /// Victim counters over the clean window `[start, failure)`.
+    pub victim_base: FlowStats,
+    /// Victim delta over the outage window `[failure, reroute)` —
+    /// where `link_down_drops` shows the stranded reservation.
+    pub victim_outage: FlowStats,
+    /// Victim delta over the recovery window `[reroute, end]` — what
+    /// the acceptance criteria (latency < 2× base, delivery > 0.9)
+    /// are asserted on.
+    pub victim_recovery: FlowStats,
+    /// Victim counters over the whole run.
+    pub victim_total: FlowStats,
+    /// The flood's whole-run counters, when one ran.
+    pub flood_total: Option<FlowStats>,
+    /// Background mesh totals: packets sent.
+    pub background_sent: u64,
+    /// Background mesh totals: packets delivered.
+    pub background_delivered: u64,
+    /// The applied fault timeline with per-action effects.
+    pub report: ChurnReport,
+    /// Routers in the generated backbone.
+    pub routers: usize,
+    /// Bidirectional adjacencies in the generated backbone.
+    pub adjacencies: usize,
+    /// Engine counters of the victim's entry router (never rebooted).
+    pub entry_stats: DatapathStats,
+    /// Simulator events processed over the whole run.
+    pub events: u64,
+}
+
+/// Runs the QoS/DoS experiment unchanged on a generated 100+-router
+/// backbone with mid-epoch fault injection: build the ring-of-PoPs
+/// topology, install the family engines and service model, start the
+/// victim, the optional flood and the background mesh, then at one
+/// third of the run
+/// take down the victim's path (≥ `spec.failures` link failures), let
+/// packets die at the dead links for `reroute_delay_ns` (reservation
+/// stranding, counted per flow), reroute every affected flow onto a
+/// surviving path with fresh credentials, optionally cold-reboot a
+/// transit router on the failover path, and run to the end.
+///
+/// The D2 contrast survives churn: after the reroute, reservation
+/// families restore the victim's latency and delivery at the clean
+/// level, while authentication-only families leave it queueing behind
+/// the (also rerouted) flood.
+pub fn run_churn_scenario(
+    cfg: RouterConfig,
+    spec: &ChurnSpec,
+    start_ns: u64,
+) -> ChurnScenarioOutcome {
+    let sec = 1_000_000_000u64;
+    let backbone = BackboneSpec::new(spec.pops, spec.routers_per_pop, spec.seed);
+    let mut topo = TopologyBuilder::ring_of_pops(&backbone, start_ns, cfg);
+    topo.install_engines(spec.scenario, cfg);
+    if spec.service_per_pkt_ns > 0 {
+        topo.set_service_model(Some(ServiceModel {
+            per_pkt_ns: spec.service_per_pkt_ns,
+            shards: spec.scenario.shards,
+        }));
+    }
+    let stop_ns = start_ns + spec.run_s * sec;
+    let rpp = spec.routers_per_pop;
+    let src_router = 0; // PoP 0, router 0
+    let span = spec.span_pops.clamp(1, spec.pops - 1);
+    let dst_router = span * rpp; // PoP `span`, router 0
+    let victim = topo.add_family_flow(
+        spec.scenario.family,
+        src_router,
+        dst_router,
+        spec.payload_len,
+        spec.victim_kbps,
+        Some(spec.credential_kbps),
+        start_ns,
+        stop_ns,
+    );
+    let flood = (spec.flood_kbps > 0).then(|| {
+        topo.add_family_flow(
+            spec.scenario.family,
+            src_router,
+            dst_router,
+            spec.payload_len,
+            spec.flood_kbps,
+            None,
+            start_ns,
+            stop_ns,
+        )
+    });
+    let mut rng = StdRng::seed_from_u64(spec.seed ^ 0x9E37_79B9_7F4A_7C15);
+    let n = topo.n_routers();
+    let background: Vec<FlowId> = (0..spec.background_flows)
+        .map(|_| {
+            let a = rng.gen_range(0..n);
+            let mut b = rng.gen_range(0..n);
+            if b == a {
+                b = (a + 1) % n;
+            }
+            topo.add_family_flow(
+                spec.scenario.family,
+                a,
+                b,
+                500,
+                spec.background_kbps,
+                spec.background_credential_kbps,
+                start_ns,
+                stop_ns,
+            )
+        })
+        .collect();
+
+    // The failure set: the victim's own path adjacencies first, padded
+    // with further lane-0 ring links when the path is shorter than the
+    // requested failure count.
+    let path: Vec<usize> = topo.route_of(victim).expect("victim routed").to_vec();
+    let mut fail_adjs: Vec<AdjId> = path
+        .windows(2)
+        .filter_map(|w| topo.adjacency_between(w[0], w[1]))
+        .take(spec.failures)
+        .collect();
+    let mut lane = 0;
+    while fail_adjs.len() < spec.failures && lane + 1 < spec.pops {
+        if let Some(adj) = topo.adjacency_between(lane * rpp, (lane + 1) * rpp) {
+            if !fail_adjs.contains(&adj) {
+                fail_adjs.push(adj);
+            }
+        }
+        lane += 1;
+    }
+
+    // Phase 1: clean run to the failure instant.
+    let t_fail = start_ns + spec.run_s * sec / 3;
+    let t_reroute = t_fail + spec.reroute_delay_ns;
+    topo.sim.run_until(t_fail);
+    let victim_base = topo.sim.stats(victim);
+    let mut report = ChurnReport::default();
+    for &adj in &fail_adjs {
+        report.records.push(apply_action(&mut topo, ChurnAction::LinkDown(adj)));
+    }
+
+    // Phase 2: the outage — flows keep sending into the dead links.
+    topo.sim.run_until(t_reroute);
+    let victim_at_reroute = topo.sim.stats(victim);
+    report.records.push(apply_action(&mut topo, ChurnAction::RerouteAffected));
+    if spec.reboot_on_path {
+        let new_path = topo.route_of(victim).expect("victim routed");
+        if new_path.len() > 2 {
+            let mid = new_path[new_path.len() / 2];
+            if mid != src_router {
+                report.records.push(apply_action(&mut topo, ChurnAction::RouterReboot(mid)));
+            }
+        }
+    }
+
+    // Phase 3: recovery, plus a drain second for in-flight packets.
+    topo.sim.run_until(stop_ns + sec);
+    let victim_total = topo.sim.stats(victim);
+    let (background_sent, background_delivered) = background
+        .iter()
+        .map(|&f| topo.sim.stats(f))
+        .fold((0, 0), |(s, d), st| (s + st.sent_pkts, d + st.delivered_pkts));
+    ChurnScenarioOutcome {
+        victim_base,
+        victim_outage: victim_at_reroute.since(&victim_base),
+        victim_recovery: victim_total.since(&victim_at_reroute),
+        victim_total,
+        flood_total: flood.map(|f| topo.sim.stats(f)),
+        background_sent,
+        background_delivered,
+        report,
+        routers: topo.n_routers(),
+        adjacencies: topo.n_adjacencies(),
+        entry_stats: topo.sim.router_stats(topo.router_node(src_router)).expect("entry router"),
+        events: topo.sim.events_processed(),
+    }
 }

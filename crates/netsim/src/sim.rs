@@ -53,6 +53,8 @@ pub struct Link {
     prio_bytes: usize,
     be_bytes: usize,
     busy: bool,
+    /// Whether the link is up (churn: [`Simulator::set_link_up`]).
+    up: bool,
 }
 
 impl Link {
@@ -67,6 +69,7 @@ impl Link {
             prio_bytes: 0,
             be_bytes: 0,
             busy: false,
+            up: true,
         }
     }
 
@@ -135,6 +138,15 @@ pub struct FlowStats {
     /// flow rides one class over one path: strict-priority links and the
     /// router service model are both FIFO within a class.
     pub reordered_pkts: u64,
+    /// Packets lost to a downed link (churn): packets handed to a link
+    /// while it was down, plus packets drained from its queues at the
+    /// moment it went down. A stranded reservation shows up here — the
+    /// flow keeps sending onto a dead path until it is rerouted.
+    pub link_down_drops: u64,
+    /// Path reconfigurations applied to this flow
+    /// ([`Simulator::set_flow_route`]): each reroute after a link
+    /// failure increments this once.
+    pub reroutes: u64,
 }
 
 impl FlowStats {
@@ -162,6 +174,27 @@ impl FlowStats {
             return 0.0;
         }
         self.delivered_pkts as f64 / self.sent_pkts as f64
+    }
+
+    /// The stats accrued *since* an `earlier` snapshot of the same flow
+    /// — how churn experiments isolate a phase (base window, outage,
+    /// post-reroute recovery) out of the cumulative counters. All sums
+    /// and counts subtract; `latency_max_ns` and `reroutes` are
+    /// cumulative high-water marks and carry the later value.
+    pub fn since(&self, earlier: &FlowStats) -> FlowStats {
+        FlowStats {
+            sent_pkts: self.sent_pkts - earlier.sent_pkts,
+            sent_bytes: self.sent_bytes - earlier.sent_bytes,
+            delivered_pkts: self.delivered_pkts - earlier.delivered_pkts,
+            delivered_bytes: self.delivered_bytes - earlier.delivered_bytes,
+            router_drops: self.router_drops - earlier.router_drops,
+            queue_drops: self.queue_drops - earlier.queue_drops,
+            latency_sum_ns: self.latency_sum_ns - earlier.latency_sum_ns,
+            latency_max_ns: self.latency_max_ns,
+            reordered_pkts: self.reordered_pkts - earlier.reordered_pkts,
+            link_down_drops: self.link_down_drops - earlier.link_down_drops,
+            reroutes: self.reroutes,
+        }
     }
 }
 
@@ -286,6 +319,7 @@ pub struct Simulator {
     pending: Vec<Option<Event>>,
     seq: u64,
     now_ns: u64,
+    events_processed: u64,
 }
 
 impl Simulator {
@@ -303,6 +337,7 @@ impl Simulator {
             pending: Vec::new(),
             seq: 0,
             now_ns: start_ns,
+            events_processed: 0,
         }
     }
 
@@ -351,6 +386,49 @@ impl Simulator {
         self.links[link].bandwidth_bps = bandwidth_bps.max(1);
     }
 
+    /// Takes a link down (`up = false`) or restores it (`up = true`) —
+    /// the churn primitive behind scheduled link failures.
+    ///
+    /// Going down drains both class queues immediately (those packets
+    /// were committed to a cable that just died; each counts into its
+    /// flow's [`FlowStats::link_down_drops`]) and every packet handed to
+    /// the link while it is down is dropped the same way. A packet whose
+    /// serialization already started keeps its scheduled arrival — it
+    /// was on the wire when the link was cut. Restoring the link leaves
+    /// the queues empty; traffic flows again from the next enqueue.
+    ///
+    /// Returns how many queued packets were drained.
+    pub fn set_link_up(&mut self, link: LinkId, up: bool) -> u64 {
+        let l = &mut self.links[link];
+        let was_up = l.up;
+        l.up = up;
+        if up || !was_up {
+            return 0;
+        }
+        let mut drained_flows = Vec::new();
+        while let Some(pkt) = l.pop_next() {
+            drained_flows.push(pkt.flow);
+        }
+        for flow in &drained_flows {
+            self.stats[*flow].link_down_drops += 1;
+        }
+        drained_flows.len() as u64
+    }
+
+    /// Whether a link is currently up.
+    pub fn link_is_up(&self, link: LinkId) -> bool {
+        self.links[link].up
+    }
+
+    /// Wires local delivery of a router node to `host` — packets the
+    /// router forwards on egress interface 0 arrive there. No-op on
+    /// non-router nodes.
+    pub fn set_local_delivery(&mut self, node: NodeId, host: NodeId) {
+        if let Node::Router { local, .. } = &mut self.nodes[node] {
+            *local = Some(host);
+        }
+    }
+
     /// Registers a flow, returning its ID. Send events are scheduled
     /// lazily, one at a time.
     pub fn add_flow(&mut self, flow: Flow) -> FlowId {
@@ -387,6 +465,32 @@ impl Simulator {
     /// Current simulation time, ns.
     pub fn now_ns(&self) -> u64 {
         self.now_ns
+    }
+
+    /// Events dispatched so far — the sim-throughput denominator the
+    /// `netsim_scale` bench reports (events per wall-clock second).
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Whether `flow` still has sends ahead of the current sim time.
+    pub fn flow_is_active(&self, flow: FlowId) -> bool {
+        self.flows.get(flow).is_some_and(|f| f.stop_ns > self.now_ns)
+    }
+
+    /// Reconfigures a flow's path mid-run (churn: reroute after a link
+    /// failure): future sends use `generator` — carrying the new path
+    /// and its freshly attached credentials — and enter at `entry`.
+    /// Packets already in flight finish on the old path. Bumps the
+    /// flow's [`FlowStats::reroutes`].
+    ///
+    /// Panics if `flow` is a replay tap's pseudo-flow (taps observe a
+    /// victim; they have no path of their own).
+    pub fn set_flow_route(&mut self, flow: FlowId, generator: SourceGenerator, entry: NodeId) {
+        let f = self.flows.get_mut(flow).expect("set_flow_route: not a real flow");
+        f.generator = generator;
+        f.entry = entry;
+        self.stats[flow].reroutes += 1;
     }
 
     /// Engine statistics of a node, if it is a router.
@@ -428,6 +532,17 @@ impl Simulator {
         }
     }
 
+    /// Enqueues `event` at `at_ns`.
+    ///
+    /// Equal-timestamp determinism contract: the queue orders by
+    /// `(time, seq)` with `seq` strictly increasing per `schedule` call,
+    /// so events at the same instant dispatch in exactly the order they
+    /// were scheduled — FIFO, never heap-arbitrary. This is what makes
+    /// reruns bit-identical, and what gives churn a stable tie-break:
+    /// [`run_until`](Simulator::run_until) drains every event at `t`
+    /// before returning, so an externally applied churn action at `t`
+    /// (link down, reboot, reroute) always acts *after* the packet
+    /// events of that instant.
     fn schedule(&mut self, at_ns: u64, event: Event) {
         let slot = self.pending.len();
         self.pending.push(Some(event));
@@ -435,7 +550,10 @@ impl Simulator {
         self.seq += 1;
     }
 
-    /// Runs until `end_ns` (or until no events remain).
+    /// Runs until `end_ns` inclusive (or until no events remain): every
+    /// event with timestamp `<= end_ns` — including ones scheduled
+    /// during the run — has been dispatched when this returns, in
+    /// `(time, schedule-order)` order.
     pub fn run_until(&mut self, end_ns: u64) {
         while let Some(&Reverse((t, _, slot))) = self.queue.peek() {
             if t > end_ns {
@@ -444,6 +562,7 @@ impl Simulator {
             self.queue.pop();
             self.now_ns = t;
             let event = self.pending[slot].take().expect("event consumed twice");
+            self.events_processed += 1;
             self.dispatch(event);
         }
         self.now_ns = self.now_ns.max(end_ns);
@@ -580,6 +699,10 @@ impl Simulator {
     fn enqueue_on_link(&mut self, link_id: LinkId, pkt: SimPacket, class: Class) {
         let now = self.now_ns;
         let link = &mut self.links[link_id];
+        if !link.up {
+            self.stats[pkt.flow].link_down_drops += 1;
+            return;
+        }
         if !link.busy {
             link.busy = true;
             let done = now + link.tx_time_ns(pkt.bytes.len());
@@ -604,6 +727,12 @@ impl Simulator {
     fn handle_link_done(&mut self, link_id: LinkId) {
         let now = self.now_ns;
         let link = &mut self.links[link_id];
+        if !link.up {
+            // The queues were drained when the link went down; the
+            // serializer just goes idle.
+            link.busy = false;
+            return;
+        }
         match link.pop_next() {
             Some(pkt) => {
                 let done = now + link.tx_time_ns(pkt.bytes.len());

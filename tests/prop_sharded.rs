@@ -509,6 +509,34 @@ fn same_seed_same_topology_is_bit_identical() {
     }
 }
 
+/// Determinism under churn: the full fault timeline — link failures,
+/// stranding, the reroute pass, an on-path cold reboot — replays
+/// bit-identically for the same seed, for every family, single and
+/// 4-shard. The churn layer adds no hidden entropy on top of the event
+/// loop's `(time, seq)` ordering.
+#[test]
+fn same_seed_churned_run_is_bit_identical() {
+    use hummingbird::netsim::{run_churn_scenario, ChurnSpec, EngineFamily, EngineScenario};
+    let cfg = RouterConfig::default();
+    const START_NS: u64 = 1_700_000_000 * 1_000_000_000;
+    for family in EngineFamily::ALL {
+        for shards in [1usize, 4] {
+            let mut spec = ChurnSpec::new(EngineScenario { family, shards }).with_flood(8_000);
+            // A small backbone keeps the root suite quick; the full
+            // 104-router acceptance sweep lives in the netsim crate.
+            spec.pops = 6;
+            spec.routers_per_pop = 2;
+            spec.background_flows = 16;
+            spec.run_s = 2;
+            let a = run_churn_scenario(cfg, &spec, START_NS);
+            let b = run_churn_scenario(cfg, &spec, START_NS);
+            let label = format!("{}x{shards}", family.name());
+            assert!(a.report.link_failures() >= 3, "{label}: {:?}", a.report);
+            assert_eq!(a, b, "{label}: churned runs with one seed must be bit-identical");
+        }
+    }
+}
+
 /// Determinism, threaded side: two runs over the same single-flow
 /// workload produce identical per-shard packet/verdict counts, engine
 /// stats and egress class totals (wall-clock fields aside). A single
