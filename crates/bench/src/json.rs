@@ -6,14 +6,20 @@
 //! be tracked across PRs (one run of each is checked in at the repository
 //! root as the trajectory seed).
 //!
-//! # Hot-path schema (`schema = 1`)
+//! # Hot-path schema (`schema = 2`)
 //!
 //! ```json
 //! {
-//!   "schema": 1,
+//!   "schema": 2,
 //!   "bench": "hotpath",
 //!   "aes_backend": "ni",          // active AES backend: "soft" | "ni"
 //!   "hardware_threads": 8,        // available parallelism of the host
+//!   "wait": "backoff",            // worker wait strategy:
+//!                                 //   "busy" | "yield:<n>" | "backoff"
+//!   "rx_queues": "multi",         // rx layout: "multi" (per-shard rx
+//!                                 //   queues) | "single" (legacy
+//!                                 //   dispatcher thread)
+//!   "batch": 32,                  // packets per burst in the hot loop
 //!   "records": [
 //!     {
 //!       "engine": "hummingbird",  // EngineKind name
@@ -23,13 +29,31 @@
 //!       "ns_per_pkt": 308.2,      // per-core-seconds per packet
 //!       "mpps": 3.24              // aggregate million packets / second
 //!     }
+//!   ],
+//!   "scaling": [
+//!     {
+//!       "engine": "null",         // EngineKind name
+//!       "mode": "sharded",        // "clone" | "sharded"
+//!       "curve": [
+//!         {
+//!           "cores": 2,           // worker cores at this point
+//!           "mpps": 18.1,         // aggregate throughput at this point
+//!           "speedup": 1.94      // mpps relative to the 1-core point
+//!         }                       //   of the same (engine, mode) curve
+//!       ]
+//!     }
 //!   ]
 //! }
 //! ```
 //!
-//! `ns_per_pkt` / `mpps` are `null` when a degenerate run (zero
-//! duration) produced a non-finite value — consumers should drop such
-//! points rather than read them as zeros.
+//! Schema 2 added the `wait` / `rx_queues` / `batch` runtime knobs and
+//! the `scaling` section (per-engine core-scaling curves, the Fig. 5
+//! "does N shards buy ~N×?" question in machine-readable form). The
+//! `records` rows are unchanged from schema 1.
+//!
+//! `ns_per_pkt` / `mpps` / `speedup` are `null` when a degenerate run
+//! (zero duration) produced a non-finite value — consumers should drop
+//! such points rather than read them as zeros.
 //!
 //! # Netsim-scale schema (`schema = 1`)
 //!
@@ -105,14 +129,62 @@ fn num(v: f64) -> String {
     }
 }
 
-/// Serializes `records` to the `BENCH_hotpath.json` schema.
-pub fn hotpath_json(aes_backend: &str, hardware_threads: usize, records: &[BenchRecord]) -> String {
-    let mut out = String::with_capacity(256 + records.len() * 128);
+/// Host and runtime configuration stamped into the hot-path document
+/// head (everything a reader needs to reproduce the run).
+#[derive(Clone, Debug, PartialEq)]
+pub struct HotpathMeta {
+    /// Active AES backend: `soft` or `ni`.
+    pub aes_backend: &'static str,
+    /// Available parallelism of the host.
+    pub hardware_threads: usize,
+    /// Worker wait strategy: `busy`, `yield:<n>`, or `backoff`.
+    pub wait: String,
+    /// Rx layout: `multi` (per-shard rx queues, producer-side RSS) or
+    /// `single` (legacy dispatcher thread).
+    pub rx_queues: &'static str,
+    /// Packets per burst in the runtime hot loop.
+    pub batch: usize,
+}
+
+/// One point on a core-scaling curve: throughput at `cores` workers and
+/// its ratio to the 1-core point of the same curve.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ScalingPoint {
+    /// Worker cores at this point.
+    pub cores: usize,
+    /// Aggregate throughput in million packets per second.
+    pub mpps: f64,
+    /// `mpps` relative to the curve's 1-core point (1.0 at 1 core).
+    pub speedup: f64,
+}
+
+/// A per-(engine, mode) core-scaling curve for the `scaling` section.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ScalingCurve {
+    /// Engine name (`EngineKind::name`).
+    pub engine: &'static str,
+    /// Runtime layout: `clone` or `sharded`.
+    pub mode: &'static str,
+    /// The measured points, in ascending core order.
+    pub points: Vec<ScalingPoint>,
+}
+
+/// Serializes `records` and `scaling` to the `BENCH_hotpath.json`
+/// schema (version 2; shape in the module docs).
+pub fn hotpath_json(
+    meta: &HotpathMeta,
+    records: &[BenchRecord],
+    scaling: &[ScalingCurve],
+) -> String {
+    let mut out = String::with_capacity(512 + records.len() * 128 + scaling.len() * 256);
     out.push_str("{\n");
-    out.push_str("  \"schema\": 1,\n");
+    out.push_str("  \"schema\": 2,\n");
     out.push_str("  \"bench\": \"hotpath\",\n");
-    out.push_str(&format!("  \"aes_backend\": \"{aes_backend}\",\n"));
-    out.push_str(&format!("  \"hardware_threads\": {hardware_threads},\n"));
+    out.push_str(&format!("  \"aes_backend\": \"{}\",\n", meta.aes_backend));
+    out.push_str(&format!("  \"hardware_threads\": {},\n", meta.hardware_threads));
+    out.push_str(&format!("  \"wait\": \"{}\",\n", meta.wait));
+    out.push_str(&format!("  \"rx_queues\": \"{}\",\n", meta.rx_queues));
+    out.push_str(&format!("  \"batch\": {},\n", meta.batch));
     out.push_str("  \"records\": [");
     for (i, r) in records.iter().enumerate() {
         out.push_str(if i == 0 { "\n" } else { ",\n" });
@@ -127,6 +199,25 @@ pub fn hotpath_json(aes_backend: &str, hardware_threads: usize, records: &[Bench
             num(r.mpps),
         ));
     }
+    out.push_str("\n  ],\n");
+    out.push_str("  \"scaling\": [");
+    for (i, c) in scaling.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        out.push_str(&format!(
+            "    {{\"engine\": \"{}\", \"mode\": \"{}\", \"curve\": [",
+            c.engine, c.mode
+        ));
+        for (j, p) in c.points.iter().enumerate() {
+            out.push_str(if j == 0 { "\n" } else { ",\n" });
+            out.push_str(&format!(
+                "      {{\"cores\": {}, \"mpps\": {}, \"speedup\": {}}}",
+                p.cores,
+                num(p.mpps),
+                num(p.speedup),
+            ));
+        }
+        out.push_str("\n    ]}");
+    }
     out.push_str("\n  ]\n}\n");
     out
 }
@@ -135,12 +226,12 @@ pub fn hotpath_json(aes_backend: &str, hardware_threads: usize, records: &[Bench
 /// truncate + write).
 pub fn write_hotpath_json(
     path: &str,
-    aes_backend: &str,
-    hardware_threads: usize,
+    meta: &HotpathMeta,
     records: &[BenchRecord],
+    scaling: &[ScalingCurve],
 ) -> std::io::Result<()> {
     let mut f = std::fs::File::create(path)?;
-    f.write_all(hotpath_json(aes_backend, hardware_threads, records).as_bytes())
+    f.write_all(hotpath_json(meta, records, scaling).as_bytes())
 }
 
 /// One churned netsim run of a single engine family on the generated
@@ -226,6 +317,16 @@ pub fn write_netsim_json(
 mod tests {
     use super::*;
 
+    fn meta() -> HotpathMeta {
+        HotpathMeta {
+            aes_backend: "ni",
+            hardware_threads: 8,
+            wait: "yield:64".to_string(),
+            rx_queues: "multi",
+            batch: 32,
+        }
+    }
+
     #[test]
     fn schema_shape_is_stable() {
         let records = [
@@ -246,17 +347,30 @@ mod tests {
                 mpps: f64::NAN,
             },
         ];
-        let doc = hotpath_json("ni", 8, &records);
-        assert!(doc.starts_with("{\n  \"schema\": 1,"));
+        let scaling = [ScalingCurve {
+            engine: "null",
+            mode: "sharded",
+            points: vec![
+                ScalingPoint { cores: 1, mpps: 9.31, speedup: 1.0 },
+                ScalingPoint { cores: 2, mpps: 18.1004, speedup: f64::INFINITY },
+            ],
+        }];
+        let doc = hotpath_json(&meta(), &records, &scaling);
+        assert!(doc.starts_with("{\n  \"schema\": 2,"));
         assert!(doc.contains("\"aes_backend\": \"ni\""));
         assert!(doc.contains("\"hardware_threads\": 8"));
+        assert!(doc.contains("\"wait\": \"yield:64\""));
+        assert!(doc.contains("\"rx_queues\": \"multi\""));
+        assert!(doc.contains("\"batch\": 32"));
         assert!(doc.contains(
             "{\"engine\": \"hummingbird\", \"mode\": \"clone\", \"cores\": 1, \
              \"payload_b\": 500, \"ns_per_pkt\": 308.250, \"mpps\": 3.245}"
         ));
-        // Non-finite values degrade to null (rejectable), never NaN.
+        assert!(doc.contains("{\"engine\": \"null\", \"mode\": \"sharded\", \"curve\": ["));
+        assert!(doc.contains("{\"cores\": 2, \"mpps\": 18.100, \"speedup\": null}"));
+        // Non-finite values degrade to null (rejectable), never NaN/inf.
         assert!(doc.contains("\"mpps\": null"));
-        assert!(!doc.contains("NaN"));
+        assert!(!doc.contains("NaN") && !doc.contains("inf"));
         // Balanced braces/brackets (cheap well-formedness check).
         assert_eq!(doc.matches('{').count(), doc.matches('}').count());
         assert_eq!(doc.matches('[').count(), doc.matches(']').count());
@@ -264,8 +378,11 @@ mod tests {
 
     #[test]
     fn empty_record_set_is_valid() {
-        let doc = hotpath_json("soft", 1, &[]);
-        assert!(doc.contains("\"records\": [\n  ]"));
+        let doc = hotpath_json(&meta(), &[], &[]);
+        assert!(doc.contains("\"records\": [\n  ],"));
+        assert!(doc.contains("\"scaling\": [\n  ]"));
+        assert_eq!(doc.matches('{').count(), doc.matches('}').count());
+        assert_eq!(doc.matches('[').count(), doc.matches(']').count());
     }
 
     #[test]

@@ -13,7 +13,8 @@
 pub mod json;
 
 pub use json::{
-    hotpath_json, netsim_json, write_hotpath_json, write_netsim_json, BenchRecord, NetsimRecord,
+    hotpath_json, netsim_json, write_hotpath_json, write_netsim_json, BenchRecord, HotpathMeta,
+    NetsimRecord, ScalingCurve, ScalingPoint,
 };
 
 use hummingbird_baselines::drkey::epoch_of;
@@ -24,7 +25,7 @@ use hummingbird_baselines::{
 use hummingbird_crypto::{ResInfo, SecretValue};
 use hummingbird_dataplane::{
     forge_path, BeaconHop, BorderRouter, Datapath, Gateway, HostShare, NullEngine, RouterConfig,
-    ShardedRouter, SourceGenerator, SourceReservation, Steering,
+    RxMode, ShardedRouter, SourceGenerator, SourceReservation, Steering, WaitStrategy,
 };
 use hummingbird_wire::scion_mac::HopMacKey;
 use hummingbird_wire::IsdAs;
@@ -91,17 +92,27 @@ impl EngineKind {
         }
     }
 
+    /// Parses one engine selector or a comma-separated list of them
+    /// (`null,hummingbird`); `all` expands to every engine.
     fn parse(s: &str) -> Option<Vec<EngineKind>> {
-        match s {
-            "hummingbird" => Some(vec![EngineKind::Hummingbird]),
-            "scion" => Some(vec![EngineKind::Scion]),
-            "helia" => Some(vec![EngineKind::Helia]),
-            "drkey" => Some(vec![EngineKind::Drkey]),
-            "epic" => Some(vec![EngineKind::Epic]),
-            "gateway" => Some(vec![EngineKind::Gateway]),
-            "null" => Some(vec![EngineKind::Null]),
-            "all" => Some(EngineKind::ALL.to_vec()),
-            _ => None,
+        let mut kinds = Vec::new();
+        for part in s.split(',') {
+            match part.trim() {
+                "hummingbird" => kinds.push(EngineKind::Hummingbird),
+                "scion" => kinds.push(EngineKind::Scion),
+                "helia" => kinds.push(EngineKind::Helia),
+                "drkey" => kinds.push(EngineKind::Drkey),
+                "epic" => kinds.push(EngineKind::Epic),
+                "gateway" => kinds.push(EngineKind::Gateway),
+                "null" => kinds.push(EngineKind::Null),
+                "all" => kinds.extend(EngineKind::ALL),
+                _ => return None,
+            }
+        }
+        if kinds.is_empty() {
+            None
+        } else {
+            Some(kinds)
         }
     }
 }
@@ -214,6 +225,74 @@ pub fn pkts_from_args(default: u64) -> u64 {
 /// sweep next to the per-core-clone one).
 pub fn sharded_from_args() -> bool {
     flag_present("sharded")
+}
+
+/// Parses `--wait busy|yield[:n]|backoff` into a runtime
+/// [`WaitStrategy`]; the runtime default (backoff) applies when the flag
+/// is absent. `yield` without a count spins 64 times before yielding.
+/// Exits with a usage message on malformed input.
+pub fn wait_from_args() -> WaitStrategy {
+    let Some(v) = flag_value("wait") else { return WaitStrategy::default() };
+    match v.as_str() {
+        "busy" => WaitStrategy::BusyPoll,
+        "yield" => WaitStrategy::YieldAfter(64),
+        "backoff" => WaitStrategy::Backoff,
+        other => match other.strip_prefix("yield:").map(str::parse::<u32>) {
+            Some(Ok(n)) => WaitStrategy::YieldAfter(n),
+            _ => {
+                eprintln!("bad --wait '{v}'; expected busy|yield[:n]|backoff");
+                std::process::exit(2);
+            }
+        },
+    }
+}
+
+/// The `--wait` spelling of a [`WaitStrategy`] (for JSON metadata and
+/// log lines).
+pub fn wait_label(wait: WaitStrategy) -> String {
+    match wait {
+        WaitStrategy::BusyPoll => "busy".to_string(),
+        WaitStrategy::YieldAfter(n) => format!("yield:{n}"),
+        WaitStrategy::Backoff => "backoff".to_string(),
+    }
+}
+
+/// The `--rx-queues` spelling of an [`RxMode`] (for JSON metadata and
+/// log lines).
+pub fn rx_label(rx: RxMode) -> &'static str {
+    match rx {
+        RxMode::MultiQueue => "multi",
+        RxMode::SingleDispatcher => "single",
+    }
+}
+
+/// Parses `--rx-queues multi|single` into a runtime [`RxMode`]; the
+/// runtime default (multi-queue) applies when the flag is absent. Exits
+/// with a usage message on malformed input.
+pub fn rx_from_args() -> RxMode {
+    let Some(v) = flag_value("rx-queues") else { return RxMode::default() };
+    match v.as_str() {
+        "multi" => RxMode::MultiQueue,
+        "single" => RxMode::SingleDispatcher,
+        _ => {
+            eprintln!("bad --rx-queues '{v}'; expected multi|single");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Parses `--batch <n>` (packets per burst in the runtime hot loop, the
+/// knob the batch-size ablation sweeps); `default` applies when the flag
+/// is absent. Exits with a usage message on malformed or zero input.
+pub fn batch_from_args(default: usize) -> usize {
+    let Some(v) = flag_value("batch") else { return default };
+    match v.parse::<usize>() {
+        Ok(n) if n > 0 => n,
+        _ => {
+            eprintln!("bad --batch '{v}'; expected a positive packet count");
+            std::process::exit(2);
+        }
+    }
 }
 
 /// A self-contained data-plane fixture: one source path of `h` hops plus
@@ -574,6 +653,18 @@ mod tests {
         let mut null = fx.engine(EngineKind::Null);
         let pkt = fx.flow_packets(EngineKind::Null, 100, 2).remove(0);
         assert_eq!(null.process(&mut pkt.clone(), EPOCH_NS), Verdict::BestEffort { egress: 0 });
+    }
+
+    #[test]
+    fn engine_parse_accepts_lists() {
+        assert_eq!(EngineKind::parse("null"), Some(vec![EngineKind::Null]));
+        assert_eq!(
+            EngineKind::parse("null,hummingbird"),
+            Some(vec![EngineKind::Null, EngineKind::Hummingbird])
+        );
+        assert_eq!(EngineKind::parse("all"), Some(EngineKind::ALL.to_vec()));
+        assert_eq!(EngineKind::parse("null,bogus"), None);
+        assert_eq!(EngineKind::parse(""), None);
     }
 
     #[test]

@@ -50,8 +50,9 @@ pub use multicore::{
 pub use policing::{FwdClass, Policer, DEFAULT_BURST_TIME_NS};
 pub use router::{BorderRouter, RouterConfig, RouterStats};
 pub use runtime::{
-    run_to_completion, EgressClassStats, EgressConfig, EgressStats, RuntimeConfig, RuntimeMode,
-    RuntimeReport, ShardMap, ShardReport, ShardedRouter, Steering,
+    run_to_completion, EgressClassStats, EgressConfig, EgressStats, ExecMode, RuntimeConfig,
+    RuntimeMode, RuntimeReport, RxMode, ShardMap, ShardReport, ShardedRouter, Steering,
+    WaitStrategy,
 };
 pub use source::{GenError, SourceGenerator, SourceReservation};
 

@@ -19,7 +19,7 @@
 //! [`crate::PacketBuf`].
 
 use crate::datapath::Datapath;
-use crate::runtime::{run_to_completion, RuntimeConfig, RuntimeMode};
+use crate::runtime::{run_to_completion, ExecMode, RuntimeConfig, RuntimeMode};
 use crate::source::SourceGenerator;
 use std::time::Instant;
 
@@ -95,6 +95,9 @@ where
     let mut cfg = RuntimeConfig::new(cores);
     cfg.batch_size = BATCH_SIZE.min(pkts_per_core.max(1) as usize);
     cfg.ring_capacity = cfg.batch_size.max(2);
+    // Benchmark setting: real threads when the host has the cores,
+    // dedicated-core critical-path estimate when it doesn't.
+    cfg.exec = ExecMode::Auto;
     let templates = [packet.to_vec()];
     let report = run_to_completion(
         &cfg,

@@ -84,6 +84,15 @@ impl EgressClassStats {
         }
         self.residence_ns_sum as f64 / self.pkts as f64
     }
+
+    /// Folds another shard's class counters into this one: counts and
+    /// residence sums add, the max residence is the max of maxes.
+    pub fn merge(&mut self, other: &EgressClassStats) {
+        self.pkts += other.pkts;
+        self.bytes += other.bytes;
+        self.residence_ns_sum += other.residence_ns_sum;
+        self.residence_ns_max = self.residence_ns_max.max(other.residence_ns_max);
+    }
 }
 
 /// What the tx path did during one run — the latency face of
@@ -107,6 +116,15 @@ impl EgressStats {
     /// Total packets that reached an egress queue.
     pub fn forwarded(&self) -> u64 {
         self.priority.pkts + self.best_effort.pkts
+    }
+
+    /// Folds another shard's egress statistics into this one — how the
+    /// multi-queue runtime aggregates its per-worker [`TxScheduler`]s
+    /// into the single [`EgressStats`] the report carries.
+    pub fn merge(&mut self, other: &EgressStats) {
+        self.priority.merge(&other.priority);
+        self.best_effort.merge(&other.best_effort);
+        self.dropped += other.dropped;
     }
 }
 
@@ -261,6 +279,47 @@ mod tests {
         let s = tx.stats();
         assert_eq!(s.dropped, 1);
         assert_eq!(s.forwarded(), 0);
+    }
+
+    #[test]
+    fn merge_adds_counts_and_maxes_residence() {
+        let mut a = EgressStats {
+            priority: EgressClassStats {
+                pkts: 3,
+                bytes: 1500,
+                residence_ns_sum: 900,
+                residence_ns_max: 400,
+            },
+            best_effort: EgressClassStats::default(),
+            dropped: 1,
+        };
+        let b = EgressStats {
+            priority: EgressClassStats {
+                pkts: 2,
+                bytes: 1000,
+                residence_ns_sum: 1_000,
+                residence_ns_max: 700,
+            },
+            best_effort: EgressClassStats {
+                pkts: 5,
+                bytes: 250,
+                residence_ns_sum: 50,
+                residence_ns_max: 20,
+            },
+            dropped: 4,
+        };
+        a.merge(&b);
+        assert_eq!(a.priority.pkts, 5);
+        assert_eq!(a.priority.bytes, 2500);
+        assert_eq!(a.priority.residence_ns_sum, 1_900);
+        assert_eq!(a.priority.residence_ns_max, 700);
+        assert_eq!(a.best_effort.pkts, 5);
+        assert_eq!(a.dropped, 5);
+        assert_eq!(a.forwarded(), 10);
+        // Merging a default is the identity.
+        let before = a;
+        a.merge(&EgressStats::default());
+        assert_eq!(a, before);
     }
 
     #[test]

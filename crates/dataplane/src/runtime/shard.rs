@@ -133,6 +133,31 @@ impl ShardMap {
         }
     }
 
+    /// Producer-side RSS: partitions a template workload into per-shard
+    /// injection plans, the multi-queue runtime's replacement for a
+    /// dispatcher thread. Template `j` of `T` contributes exactly
+    /// `total_pkts / T` packets (+1 when `j < total_pkts % T`, the
+    /// largest-remainder rule a round-robin generator realizes), and
+    /// lands whole on the shard [`ShardMap::shard_of`] assigns it —
+    /// steering is per *flow*, and a template is one flow. Returns one
+    /// `(template index, packet count)` plan per shard; counts sum to
+    /// `total_pkts` (packet conservation) and the assignment is a pure
+    /// function of the bytes, so every run over the same workload
+    /// splits identically.
+    pub fn partition_templates(
+        &self,
+        templates: &[Vec<u8>],
+        total_pkts: u64,
+    ) -> Vec<Vec<(usize, u64)>> {
+        let n = templates.len().max(1) as u64;
+        let mut plans = vec![Vec::new(); self.shards];
+        for (j, t) in templates.iter().enumerate() {
+            let count = total_pkts / n + u64::from((j as u64) < total_pkts % n);
+            plans[self.shard_of(t)].push((j, count));
+        }
+        plans
+    }
+
     /// The shard that must process `pkt` — the RSS function of the model
     /// NIC. Deterministic in the packet bytes, so retransmissions and
     /// replays always revisit the same shard.
@@ -200,6 +225,38 @@ mod tests {
             assert_eq!(map.shard_of_res_id(res_id), 0);
         }
         assert_eq!(map.shard_of(&[0u8; 8]), 0);
+    }
+
+    #[test]
+    fn partition_conserves_packets_and_matches_shard_of() {
+        let map = ShardMap::new(4, 100_000, Steering::ByReservation);
+        // Opaque templates steer by byte hash; counts follow the
+        // largest-remainder rule regardless of where they land.
+        let templates: Vec<Vec<u8>> =
+            (0..7u8).map(|i| vec![i, 0xA5, i.wrapping_mul(31), 9, 9, 0, 1, 2]).collect();
+        let plans = map.partition_templates(&templates, 1_003);
+        assert_eq!(plans.len(), 4);
+        let total: u64 = plans.iter().flatten().map(|&(_, c)| c).sum();
+        assert_eq!(total, 1_003, "packet conservation");
+        // Each template appears exactly once, on the shard shard_of picks,
+        // with its largest-remainder count.
+        let mut seen = vec![false; templates.len()];
+        for (shard, plan) in plans.iter().enumerate() {
+            for &(j, count) in plan {
+                assert!(!seen[j], "template {j} assigned twice");
+                seen[j] = true;
+                assert_eq!(map.shard_of(&templates[j]), shard);
+                let expected = 1_003 / 7 + u64::from((j as u64) < 1_003 % 7);
+                assert_eq!(count, expected, "template {j}");
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+        // Deterministic: the same workload partitions identically.
+        assert_eq!(plans, map.partition_templates(&templates, 1_003));
+        // Zero packets still yields a structurally complete plan.
+        let empty = map.partition_templates(&templates, 0);
+        assert_eq!(empty.iter().flatten().map(|&(_, c)| c).sum::<u64>(), 0);
+        assert_eq!(empty.iter().map(|p| p.len()).sum::<usize>(), templates.len());
     }
 
     #[test]
