@@ -22,7 +22,10 @@
 //!
 //! Run with: `cargo run --release -p hummingbird-bench --bin
 //! latency_comparison` (`--pkts <n>` bounds both the per-run victim
-//! packet count and the runtime leg, for CI smoke runs).
+//! packet count and the runtime leg, for CI smoke runs). The simulated
+//! router service cost is calibrated from the checked-in
+//! `BENCH_hotpath.json` clone/1-core measurements when the file is
+//! readable; otherwise the hand-set default is kept (and logged).
 
 use hummingbird::netsim::{
     run_latency_scenario, EngineFamily, EngineScenario, LatencySpec, LinearTopology, LinkSpec,
@@ -77,7 +80,8 @@ fn main() {
     let pkts = pkts_from_args(500);
     println!("== Fig. 3/4-style latency comparison: engine family x shards ==");
     println!(
-        "3-AS chain, 10 Mbps bottlenecks, 1 ms links, 300 ns/pkt/core router service;\n\
+        "3-AS chain, 10 Mbps bottlenecks, 1 ms links, per-family router service cost\n\
+         calibrated from BENCH_hotpath.json (hand-set fallback when unreadable);\n\
          victim 2 Mbps credentialed, flood 30 Mbps best effort, ~{pkts} victim pkts/run\n"
     );
     let widths = [12usize, 7, 8, 8, 10, 11, 11, 10];
@@ -111,7 +115,7 @@ fn main() {
     for family in EngineFamily::ALL {
         for shards in [1usize, 4] {
             let scenario = EngineScenario { family, shards };
-            let mut spec = LatencySpec::new(scenario);
+            let mut spec = LatencySpec::new(scenario).calibrated();
             spec.run_s = run_s;
             let base = run_latency_scenario(cfg, &spec, START_NS);
             let loaded = run_latency_scenario(cfg, &spec.with_flood(30_000), START_NS);

@@ -1,5 +1,5 @@
-//! Machine-readable benchmark output: `BENCH_hotpath.json` and
-//! `BENCH_netsim.json`.
+//! Machine-readable benchmark output: `BENCH_hotpath.json`,
+//! `BENCH_netsim.json` and `BENCH_overload.json`.
 //!
 //! The figure binaries print human-readable tables; this module emits the
 //! same numbers as small JSON documents so the performance trajectory can
@@ -91,6 +91,59 @@
 //! `wall_ms` / `events_per_sec` are host-dependent (trend, not truth);
 //! everything else in a record is deterministic for a given seed. Floats
 //! degrade to `null` when non-finite, as in the hot-path schema.
+//!
+//! # Overload schema (`schema = 1`)
+//!
+//! Written by the `overload_sweep` binary: the closed-loop overload
+//! sweep (`netsim::run_overload_scenario`) per engine family ×
+//! {single, 4-shard} — a credentialed reserved flow against a
+//! best-effort flow whose offered load is swept through and past the
+//! bottleneck's saturation point, with bounded link and router queues.
+//! The binary verifies conservation and termination for every point
+//! before writing, so a checked-in document is also a green light.
+//!
+//! ```json
+//! {
+//!   "schema": 1,
+//!   "bench": "overload",
+//!   "pkts_cap": 2000,             // per-flow packet cap (0 = uncapped)
+//!   "service_calibrated": true,   // per-pkt cost from BENCH_hotpath.json
+//!   "records": [
+//!     {
+//!       "family": "hummingbird",  // EngineFamily name
+//!       "shards": 1,              // shards per router datapath
+//!       "offered_kbps": 16000,    // best-effort offered load
+//!       "reserved_delivery": 1.0, // reserved delivered / sent copies
+//!       "reserved_goodput_kbps": 2230.1,  // over its completion time
+//!       "reserved_p99_ms": 8.39,  // reserved p99 end-to-end latency
+//!       "be_delivery": 0.945,     // best-effort delivered / sent
+//!       "be_goodput_kbps": 6395.2,// over its completion time
+//!       "be_p99_ms": 33.55,       // best-effort p99 latency (bounded
+//!                                 //   by the queue caps)
+//!       "retransmits": 114,       // both flows' retried copies
+//!       "timeouts": 116,          // both flows' RTO fires
+//!       "stalls": 1950,           // both flows' full-window stalls
+//!       "queue_drops": 116,       // link-queue tail drops, both flows
+//!       "service_queue_drops": 0, // router-queue drops, both flows
+//!       "completed": true         // both flows terminated (no livelock)
+//!     }
+//!   ],
+//!   "saturation": [
+//!     {
+//!       "family": "hummingbird",  // EngineFamily name
+//!       "shards": 1,
+//!       "saturation_kbps": 8000,  // largest offered step the best-
+//!                                 //   effort flow still finished at
+//!                                 //   ≥ 0.9 of (0 = none did)
+//!       "post_goodput_kbps": 6953.2, // best-effort goodput at the
+//!                                 //   highest (2.5×) step — graceful
+//!                                 //   degradation, not collapse
+//!       "reserved_held": true     // reserved delivery > 0.95 at every
+//!                                 //   step (the reservation promise)
+//!     }
+//!   ]
+//! }
+//! ```
 //!
 //! No JSON library exists in the offline build environment, so the writers
 //! are hand-rolled for exactly these shapes; all strings they emit are
@@ -313,6 +366,128 @@ pub fn write_netsim_json(
     f.write_all(netsim_json(seed, sim_s, records).as_bytes())
 }
 
+/// One swept overload point of one (family, shards) deployment (the
+/// `BENCH_overload.json` record; schema in the module docs).
+#[derive(Clone, Debug, PartialEq)]
+pub struct OverloadRecord {
+    /// Engine family name (`EngineFamily::name`).
+    pub family: &'static str,
+    /// Shards per router datapath.
+    pub shards: usize,
+    /// Best-effort offered load at this point, kbps.
+    pub offered_kbps: u64,
+    /// Reserved flow: delivered / sent wire copies.
+    pub reserved_delivery: f64,
+    /// Reserved flow: goodput over its own completion time, kbps.
+    pub reserved_goodput_kbps: f64,
+    /// Reserved flow: p99 end-to-end latency, ms.
+    pub reserved_p99_ms: f64,
+    /// Best-effort flow: delivered / sent wire copies.
+    pub be_delivery: f64,
+    /// Best-effort flow: goodput over its own completion time, kbps.
+    pub be_goodput_kbps: f64,
+    /// Best-effort flow: p99 end-to-end latency, ms.
+    pub be_p99_ms: f64,
+    /// Retransmitted copies, both flows.
+    pub retransmits: u64,
+    /// RTO fires, both flows.
+    pub timeouts: u64,
+    /// Full-window send stalls, both flows.
+    pub stalls: u64,
+    /// Link-queue tail drops, both flows.
+    pub queue_drops: u64,
+    /// Bounded router-queue drops, both flows.
+    pub service_queue_drops: u64,
+    /// Both flows terminated (no livelock).
+    pub completed: bool,
+}
+
+/// The per-(family, shards) saturation summary of an overload sweep.
+#[derive(Clone, Debug, PartialEq)]
+pub struct OverloadSaturation {
+    /// Engine family name (`EngineFamily::name`).
+    pub family: &'static str,
+    /// Shards per router datapath.
+    pub shards: usize,
+    /// Largest offered step the best-effort flow still finished at
+    /// ≥ 0.9× of (0 when even the first step saturated).
+    pub saturation_kbps: u64,
+    /// Best-effort goodput at the highest offered step, kbps.
+    pub post_goodput_kbps: f64,
+    /// Whether reserved delivery stayed above 0.95 at every step.
+    pub reserved_held: bool,
+}
+
+/// Serializes the overload sweep to the `BENCH_overload.json` schema.
+pub fn overload_json(
+    pkts_cap: u64,
+    service_calibrated: bool,
+    records: &[OverloadRecord],
+    saturation: &[OverloadSaturation],
+) -> String {
+    let mut out = String::with_capacity(256 + records.len() * 320 + saturation.len() * 128);
+    out.push_str("{\n");
+    out.push_str("  \"schema\": 1,\n");
+    out.push_str("  \"bench\": \"overload\",\n");
+    out.push_str(&format!("  \"pkts_cap\": {pkts_cap},\n"));
+    out.push_str(&format!("  \"service_calibrated\": {service_calibrated},\n"));
+    out.push_str("  \"records\": [");
+    for (i, r) in records.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        out.push_str(&format!(
+            "    {{\"family\": \"{}\", \"shards\": {}, \"offered_kbps\": {}, \
+             \"reserved_delivery\": {}, \"reserved_goodput_kbps\": {}, \"reserved_p99_ms\": {}, \
+             \"be_delivery\": {}, \"be_goodput_kbps\": {}, \"be_p99_ms\": {}, \
+             \"retransmits\": {}, \"timeouts\": {}, \"stalls\": {}, \"queue_drops\": {}, \
+             \"service_queue_drops\": {}, \"completed\": {}}}",
+            r.family,
+            r.shards,
+            r.offered_kbps,
+            num(r.reserved_delivery),
+            num(r.reserved_goodput_kbps),
+            num(r.reserved_p99_ms),
+            num(r.be_delivery),
+            num(r.be_goodput_kbps),
+            num(r.be_p99_ms),
+            r.retransmits,
+            r.timeouts,
+            r.stalls,
+            r.queue_drops,
+            r.service_queue_drops,
+            r.completed,
+        ));
+    }
+    out.push_str("\n  ],\n");
+    out.push_str("  \"saturation\": [");
+    for (i, s) in saturation.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        out.push_str(&format!(
+            "    {{\"family\": \"{}\", \"shards\": {}, \"saturation_kbps\": {}, \
+             \"post_goodput_kbps\": {}, \"reserved_held\": {}}}",
+            s.family,
+            s.shards,
+            s.saturation_kbps,
+            num(s.post_goodput_kbps),
+            s.reserved_held,
+        ));
+    }
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+/// Writes the overload document to `path` (truncate + write, like
+/// [`write_hotpath_json`]).
+pub fn write_overload_json(
+    path: &str,
+    pkts_cap: u64,
+    service_calibrated: bool,
+    records: &[OverloadRecord],
+    saturation: &[OverloadSaturation],
+) -> std::io::Result<()> {
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(overload_json(pkts_cap, service_calibrated, records, saturation).as_bytes())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -418,5 +593,58 @@ mod tests {
         assert_eq!(doc.matches('[').count(), doc.matches(']').count());
         // Empty sweeps still serialize.
         assert!(netsim_json(1, 1, &[]).contains("\"records\": [\n  ]"));
+    }
+
+    #[test]
+    fn overload_schema_shape_is_stable() {
+        let records = [OverloadRecord {
+            family: "hummingbird",
+            shards: 1,
+            offered_kbps: 16_000,
+            reserved_delivery: 1.0,
+            reserved_goodput_kbps: 2230.11,
+            reserved_p99_ms: 8.3886,
+            be_delivery: 0.9455,
+            be_goodput_kbps: 6395.249,
+            be_p99_ms: f64::NAN,
+            retransmits: 114,
+            timeouts: 116,
+            stalls: 1950,
+            queue_drops: 116,
+            service_queue_drops: 0,
+            completed: true,
+        }];
+        let saturation = [OverloadSaturation {
+            family: "hummingbird",
+            shards: 1,
+            saturation_kbps: 8_000,
+            post_goodput_kbps: 6953.2,
+            reserved_held: true,
+        }];
+        let doc = overload_json(2000, true, &records, &saturation);
+        assert!(doc.starts_with("{\n  \"schema\": 1,\n  \"bench\": \"overload\","));
+        assert!(doc.contains("\"pkts_cap\": 2000"));
+        assert!(doc.contains("\"service_calibrated\": true"));
+        assert!(doc.contains(
+            "{\"family\": \"hummingbird\", \"shards\": 1, \"offered_kbps\": 16000, \
+             \"reserved_delivery\": 1.000, \"reserved_goodput_kbps\": 2230.110, \
+             \"reserved_p99_ms\": 8.389, \"be_delivery\": 0.946, \
+             \"be_goodput_kbps\": 6395.249, \"be_p99_ms\": null, \
+             \"retransmits\": 114, \"timeouts\": 116, \"stalls\": 1950, \"queue_drops\": 116, \
+             \"service_queue_drops\": 0, \"completed\": true}"
+        ));
+        assert!(doc.contains(
+            "{\"family\": \"hummingbird\", \"shards\": 1, \"saturation_kbps\": 8000, \
+             \"post_goodput_kbps\": 6953.200, \"reserved_held\": true}"
+        ));
+        // Non-finite floats degrade to null; booleans are bare.
+        assert!(!doc.contains("NaN") && !doc.contains("inf"));
+        // Balanced braces/brackets (cheap well-formedness check).
+        assert_eq!(doc.matches('{').count(), doc.matches('}').count());
+        assert_eq!(doc.matches('[').count(), doc.matches(']').count());
+        // Empty sweeps still serialize.
+        let empty = overload_json(0, false, &[], &[]);
+        assert!(empty.contains("\"records\": [\n  ],"));
+        assert!(empty.contains("\"saturation\": [\n  ]"));
     }
 }

@@ -13,8 +13,9 @@
 pub mod json;
 
 pub use json::{
-    hotpath_json, netsim_json, write_hotpath_json, write_netsim_json, BenchRecord, HotpathMeta,
-    NetsimRecord, ScalingCurve, ScalingPoint,
+    hotpath_json, netsim_json, overload_json, write_hotpath_json, write_netsim_json,
+    write_overload_json, BenchRecord, HotpathMeta, NetsimRecord, OverloadRecord,
+    OverloadSaturation, ScalingCurve, ScalingPoint,
 };
 
 use hummingbird_baselines::drkey::epoch_of;

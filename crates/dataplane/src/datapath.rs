@@ -67,6 +67,14 @@ pub enum DropReason {
     /// baseline, whose replay suppression covers exactly that window);
     /// Hummingbird demotes stale packets to best effort instead.
     Untimely,
+    /// Tail-dropped at a full bounded tx queue. Engines never return
+    /// this — it is the egress path's drop vocabulary: a forwarded
+    /// verdict that arrives at a
+    /// [`TxScheduler`](crate::runtime::TxScheduler) whose per-port class
+    /// queue is at its [`BackpressureConfig`](crate::runtime::BackpressureConfig)
+    /// bound is dropped under this reason and counted in
+    /// [`EgressStats::tx_queue_full`](crate::runtime::EgressStats::tx_queue_full).
+    TxQueueFull,
 }
 
 /// An engine's forwarding decision for one packet.

@@ -50,9 +50,9 @@ pub use multicore::{
 pub use policing::{FwdClass, Policer, DEFAULT_BURST_TIME_NS};
 pub use router::{BorderRouter, RouterConfig, RouterStats};
 pub use runtime::{
-    run_to_completion, EgressClassStats, EgressConfig, EgressStats, ExecMode, RuntimeConfig,
-    RuntimeMode, RuntimeReport, RxMode, ShardMap, ShardReport, ShardedRouter, Steering,
-    WaitStrategy,
+    run_to_completion, BackpressureConfig, BackpressurePolicy, EgressClassStats, EgressConfig,
+    EgressStats, ExecMode, LatencyHistogram, RuntimeConfig, RuntimeMode, RuntimeReport, RxMode,
+    ShardMap, ShardReport, ShardedRouter, Steering, WaitStrategy,
 };
 pub use source::{GenError, SourceGenerator, SourceReservation};
 

@@ -74,7 +74,10 @@ pub mod egress;
 pub mod ring;
 pub mod shard;
 
-pub use egress::{EgressClassStats, EgressConfig, EgressStats, TxPacket, TxScheduler};
+pub use egress::{
+    BackpressureConfig, BackpressurePolicy, EgressClassStats, EgressConfig, EgressStats,
+    LatencyHistogram, TxPacket, TxScheduler,
+};
 pub use ring::SpscRing;
 pub use shard::{FlowClass, ShardMap, Steering};
 
@@ -377,6 +380,19 @@ pub struct RuntimeConfig {
     /// independent engines, not one logical router), so the model is
     /// ignored under [`RuntimeMode::PerCoreClone`].
     pub egress: Option<EgressConfig>,
+    /// Bounded-queue and backpressure tuning of the tx path (only
+    /// meaningful when [`egress`](RuntimeConfig::egress) is `Some`):
+    /// per-port per-class queue bound, the high-watermark past which a
+    /// worker stops draining its rx ring, and what the rx side does
+    /// while stalled ([`BackpressurePolicy::Block`] holds producers,
+    /// [`BackpressurePolicy::Drop`] sheds offered packets into
+    /// [`ShardReport::rx_backpressure_drops`]). The single-dispatcher
+    /// layout honors the queue bound (tail drop under
+    /// [`DropReason`](crate::DropReason)`::TxQueueFull`) but not the
+    /// watermark stall: its workers and dispatcher already form a
+    /// closed buffer-recycling loop, and a stalled dispatcher could
+    /// deadlock against workers blocked on their egress rings.
+    pub backpressure: BackpressureConfig,
     /// How threads wait on empty/full rings. Default
     /// [`WaitStrategy::Backoff`].
     pub wait: WaitStrategy,
@@ -401,6 +417,7 @@ impl RuntimeConfig {
             policer_slots: 100_000,
             steering: Steering::ByReservation,
             egress: None,
+            backpressure: BackpressureConfig::default(),
             wait: WaitStrategy::default(),
             rx_mode: RxMode::default(),
             exec: ExecMode::default(),
@@ -417,6 +434,11 @@ pub struct ShardReport {
     pub forwarded: u64,
     /// Packets dropped by the engine.
     pub dropped: u64,
+    /// Offered packets shed at the rx ring while this shard's tx queue
+    /// was over the high-watermark under [`BackpressurePolicy::Drop`]
+    /// (never counted in `processed` — they were refused before the
+    /// engine saw them).
+    pub rx_backpressure_drops: u64,
     /// The shard engine's counters.
     pub stats: DatapathStats,
 }
@@ -432,6 +454,10 @@ pub struct RuntimeReport {
     /// self-fed layouts (threaded or sequential — see [`ExecMode`]),
     /// the dispatcher's wall clock in [`RxMode::SingleDispatcher`].
     pub seconds: f64,
+    /// Offered packets shed at rx rings under backpressure, summed
+    /// across shards. Conservation: `packets + rx_backpressure_drops`
+    /// equals the offered total in every mode and policy.
+    pub rx_backpressure_drops: u64,
     /// Per-shard breakdown (reveals steering skew).
     pub per_shard: Vec<ShardReport>,
     /// Tx-path statistics, when [`RuntimeConfig::egress`] enabled it:
@@ -563,6 +589,19 @@ struct SelfFedOutcome {
 /// drains it into its *own* [`TxScheduler`] (the per-core NIC tx
 /// queue), asserting the per-shard sequence numbers.
 ///
+/// Backpressure: each iteration first gives the scheduler a wire-paced
+/// [`transmit`](TxScheduler::transmit) tick; while the tx queue is over
+/// [`BackpressureConfig::high_watermark`] the worker refuses to drain
+/// its rx ring — under [`BackpressurePolicy::Block`] it waits for the
+/// wire (no loss, the closed-loop shape), under
+/// [`BackpressurePolicy::Drop`] the offered packets that would have
+/// arrived are shed at the rx ring and counted in
+/// [`ShardReport::rx_backpressure_drops`] (the open-loop shape). The
+/// run's offered total is conserved either way:
+/// `processed + rx_backpressure_drops = target`, and a final
+/// [`flush`](TxScheduler::flush) serializes the queued residue so the
+/// egress side conserves too.
+///
 /// `plan` lists `(template index, packet count)`; buffers are pooled
 /// per template (a buffer's bytes *are* its template, `reset()` only
 /// restores the header), at most one burst's worth each, so steady
@@ -576,7 +615,7 @@ fn run_self_fed_shard<D: Datapath>(
     cap: usize,
     wait: WaitStrategy,
     now_ns: u64,
-    egress: Option<(EgressConfig, Instant)>,
+    egress: Option<(EgressConfig, BackpressureConfig, Instant)>,
 ) -> SelfFedOutcome {
     let target: u64 = plan.iter().map(|&(_, c)| c).sum();
     // (template index, packets remaining, buffer pool) per feed.
@@ -590,10 +629,18 @@ fn run_self_fed_shard<D: Datapath>(
         })
         .collect();
     let rx: SpscRing<PacketBuf> = SpscRing::new(cap);
-    let mut tx_state = egress.map(|(ecfg, epoch)| {
-        (SpscRing::<TxPacket>::new(cap), TxScheduler::new(&ecfg), epoch, 0u64, 0u64)
+    let bp = egress.map(|(_, bp, _)| bp).unwrap_or_default();
+    let mut tx_state = egress.map(|(ecfg, bp, epoch)| {
+        (
+            SpscRing::<TxPacket>::new(cap),
+            TxScheduler::with_backpressure(&ecfg, &bp),
+            epoch,
+            0u64,
+            0u64,
+        )
     });
     let mut tally = WorkerTally::default();
+    let mut rx_backpressure_drops = 0u64;
     let mut staging: Vec<PacketBuf> = Vec::with_capacity(batch);
     let mut staged_feeds: Vec<usize> = Vec::with_capacity(batch);
     let mut verdicts: Vec<Verdict> = Vec::with_capacity(batch);
@@ -602,7 +649,47 @@ fn run_self_fed_shard<D: Datapath>(
     let mut waiter = Waiter::new(wait);
 
     let start = Instant::now();
-    while tally.processed < target {
+    while tally.processed + rx_backpressure_drops < target {
+        // Give the wire its paced tick, then honor the high-watermark:
+        // a worker whose tx queue is over it stops draining rx — the
+        // backpressure edge producers feel.
+        if let Some((_, sched, epoch, ..)) = &mut tx_state {
+            sched.transmit(epoch.elapsed().as_nanos() as u64);
+            if sched.queued_pkts() > bp.high_watermark {
+                match bp.policy {
+                    BackpressurePolicy::Block => {
+                        // Closed loop: hold the producers; wall time
+                        // advances and the next tick drains the wire.
+                        waiter.wait();
+                    }
+                    BackpressurePolicy::Drop => {
+                        // Open loop: the offered packets that arrived
+                        // during the stall are refused at the rx ring,
+                        // round-robin across feeds like the fill loop.
+                        let mut shed = 0usize;
+                        'shed: loop {
+                            let mut progress = false;
+                            for feed in feeds.iter_mut() {
+                                if shed >= batch {
+                                    break 'shed;
+                                }
+                                if feed.1 == 0 {
+                                    continue;
+                                }
+                                feed.1 -= 1;
+                                shed += 1;
+                                progress = true;
+                            }
+                            if !progress {
+                                break;
+                            }
+                        }
+                        rx_backpressure_drops += shed as u64;
+                    }
+                }
+                continue;
+            }
+        }
         // Fill: round-robin across the feeds with work left, one buffer
         // each per pass, until the burst is full. Every buffer is home
         // between iterations, so a feed with `remaining > 0` always
@@ -670,12 +757,19 @@ fn run_self_fed_shard<D: Datapath>(
                         "egress ring leaked, duplicated or reordered a packet"
                     );
                     *expected_seq += 1;
-                    sched.stage(tx.verdict, tx.buf.wire_len(), tx.enqueued_ns);
+                    // Tail drops are counted inside the scheduler
+                    // (`tx_queue_full`); the buffer recycles either way.
+                    let _ = sched.stage(tx.verdict, tx.buf.wire_len(), tx.enqueued_ns);
                     feeds[staged_feeds[k]].2.push(tx.buf);
                 }
                 sched.transmit(epoch.elapsed().as_nanos() as u64);
             }
         }
+    }
+    // End-of-run residue drain, in virtual time: after this the egress
+    // conservation identity is exact.
+    if let Some((_, sched, ..)) = &mut tx_state {
+        sched.flush();
     }
     let seconds = start.elapsed().as_secs_f64();
 
@@ -684,6 +778,7 @@ fn run_self_fed_shard<D: Datapath>(
             processed: tally.processed,
             forwarded: tally.forwarded,
             dropped: tally.dropped,
+            rx_backpressure_drops,
             stats: engine.stats(),
         },
         bits: tally.bits,
@@ -710,6 +805,7 @@ where
     let batch = cfg.batch_size.max(1);
     let cap = cfg.ring_capacity.max(1);
     let wait = cfg.wait;
+    let bp = cfg.backpressure;
     // One clock for all egress stamps, started before any worker.
     let epoch = Instant::now();
     let threaded = match cfg.exec {
@@ -740,7 +836,7 @@ where
                             cap,
                             wait,
                             now_ns,
-                            egress.map(|e| (e, epoch)),
+                            egress.map(|e| (e, bp, epoch)),
                         )
                     })
                 })
@@ -761,7 +857,7 @@ where
                     cap,
                     wait,
                     now_ns,
-                    egress.map(|e| (e, epoch)),
+                    egress.map(|e| (e, bp, epoch)),
                 )
             })
             .collect()
@@ -779,6 +875,7 @@ where
         packets: outcomes.iter().map(|o| o.report.processed).sum(),
         bits: outcomes.iter().map(|o| o.bits).sum(),
         seconds,
+        rx_backpressure_drops: outcomes.iter().map(|o| o.report.rx_backpressure_drops).sum(),
         per_shard: outcomes.into_iter().map(|o| o.report).collect(),
         egress: egress_total,
     }
@@ -857,6 +954,7 @@ where
                         processed: tally.processed,
                         forwarded: tally.forwarded,
                         dropped: tally.dropped,
+                        rx_backpressure_drops: 0,
                         stats: engine.stats(),
                     };
                     (report, tally.bits)
@@ -965,6 +1063,7 @@ where
             packets: results.iter().map(|(r, _)| r.processed).sum(),
             bits: results.iter().map(|(_, b)| *b).sum(),
             seconds,
+            rx_backpressure_drops: 0,
             per_shard: results.into_iter().map(|(r, _)| r).collect(),
             egress: None,
         }
@@ -1059,6 +1158,7 @@ where
                         processed: tally.processed,
                         forwarded: tally.forwarded,
                         dropped: tally.dropped,
+                        rx_backpressure_drops: 0,
                         stats: engine.stats(),
                     };
                     (report, tally.bits)
@@ -1070,7 +1170,7 @@ where
         ready.wait();
         let start = Instant::now();
         let mut waiter = Waiter::new(wait);
-        let mut scheduler = TxScheduler::new(ecfg);
+        let mut scheduler = TxScheduler::with_backpressure(ecfg, &cfg.backpressure);
         let mut sent = 0u64;
         let mut drained = 0u64;
         let mut expected_seq = vec![0u64; shards];
@@ -1125,7 +1225,10 @@ where
                             "egress ring of shard {s_idx} leaked, duplicated or reordered a packet"
                         );
                         expected_seq[s_idx] += 1;
-                        scheduler.stage(tx.verdict, tx.buf.wire_len(), tx.enqueued_ns);
+                        // Tail drops land in the scheduler's own
+                        // `tx_queue_full` counter; the packet is still
+                        // drained (its buffer re-arms below).
+                        let _ = scheduler.stage(tx.verdict, tx.buf.wire_len(), tx.enqueued_ns);
                         drained += 1;
                         if sent < total_pkts {
                             let mut buf = tx.buf;
@@ -1160,6 +1263,10 @@ where
                 waiter.wait();
             }
         }
+        // Residue drain in virtual time: after this, the egress stats
+        // conserve exactly (`forwarded + dropped + tx_queue_full` =
+        // every packet staged).
+        scheduler.flush();
         stop.store(true, Ordering::Release);
         let results: Vec<_> =
             handles.into_iter().map(|h| h.join().expect("runtime worker panicked")).collect();
@@ -1168,6 +1275,7 @@ where
             packets: results.iter().map(|(r, _)| r.processed).sum(),
             bits: results.iter().map(|(_, b)| *b).sum(),
             seconds,
+            rx_backpressure_drops: 0,
             per_shard: results.into_iter().map(|(r, _)| r).collect(),
             egress: Some(scheduler.stats()),
         }

@@ -135,6 +135,21 @@ impl<T> SpscRing<T> {
         self.len() == 0
     }
 
+    /// Whether every burst slot is occupied — the producer-side view of
+    /// backpressure. A full ring is exactly the condition under which
+    /// [`push_burst`](SpscRing::push_burst) returns `false`: a stalled
+    /// consumer (e.g. a worker refusing to drain rx while its tx queue
+    /// is over the
+    /// [`BackpressureConfig::high_watermark`](super::BackpressureConfig::high_watermark))
+    /// surfaces here, and the producer decides whether to spin
+    /// ([`BackpressurePolicy::Block`](super::BackpressurePolicy::Block))
+    /// or shed
+    /// ([`BackpressurePolicy::Drop`](super::BackpressurePolicy::Drop)).
+    /// Conservative off-thread in the same sense as `len`.
+    pub fn is_full(&self) -> bool {
+        self.len() >= self.capacity()
+    }
+
     /// Enqueues `burst` whole, or leaves it untouched and returns
     /// `false` if the ring is full (backpressure; the caller decides
     /// whether to spin or drop). On success `burst` comes back *empty

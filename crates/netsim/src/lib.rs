@@ -18,11 +18,15 @@
 //!   real-router nodes, with BFS routing and per-family credentials.
 //! * [`churn`] — fault injection on the simulator clock: link down/up,
 //!   cold router reboots, and mid-epoch reroute of stranded flows.
+//! * [`flow`] — closed-loop reactive flows: windowed, ack-clocked
+//!   senders with RTO/backoff retransmission and a bounded retry
+//!   budget, the senders the overload scenarios drive.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod churn;
+pub mod flow;
 pub mod multipath;
 pub mod scenario;
 pub mod sim;
@@ -32,11 +36,15 @@ pub use churn::{
     apply_action, run_with_churn, ChurnAction, ChurnEvent, ChurnOutcome, ChurnPlan, ChurnRecord,
     ChurnReport,
 };
+pub use flow::{FlowEvent, FlowEventKind, ReactiveFlow};
 pub use multipath::{Branch, DiamondTopology};
 pub use scenario::{
-    run_churn_scenario, run_latency_scenario, run_multipath_scenario, run_partial_path_scenario,
-    ChurnScenarioOutcome, ChurnSpec, EngineFamily, EngineScenario, LatencyOutcome, LatencySpec,
-    LinearTopology, LinkSpec, MultipathOutcome, PartialPathOutcome,
+    calibrated_per_pkt_ns, run_churn_scenario, run_latency_churn_scenario, run_latency_scenario,
+    run_multipath_scenario, run_overload_churn_scenario, run_overload_scenario,
+    run_partial_path_scenario, ChurnScenarioOutcome, ChurnSpec, EngineFamily, EngineScenario,
+    LatencyChurnOutcome, LatencyOutcome, LatencySpec, LinearTopology, LinkSpec, MultipathOutcome,
+    OverloadChurnOutcome, OverloadChurnSpec, OverloadOutcome, OverloadPoint, OverloadSpec,
+    PartialPathOutcome, ReactiveProfile,
 };
 pub use sim::{
     Class, Flow, FlowId, FlowStats, Node, NodeId, ReplayTap, ServiceModel, SimPacket, Simulator,

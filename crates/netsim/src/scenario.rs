@@ -6,8 +6,20 @@
 //! ([`run_latency_scenario`], [`run_partial_path_scenario`],
 //! [`run_multipath_scenario`]) behind the Fig. 3/4-style per-family
 //! sweeps.
+//!
+//! The overload layer drives closed-loop [`ReactiveFlow`] senders
+//! instead of open-loop CBR injectors: [`run_overload_scenario`] sweeps
+//! offered load through and past a bottleneck's saturation point with
+//! every queue bounded, [`run_overload_churn_scenario`] combines
+//! saturation with a mid-run link failure and a convergence delay before
+//! the reroute pass (retransmit-driven recovery), and
+//! [`run_latency_churn_scenario`] replays the latency experiment under a
+//! [`ChurnPlan`]-scheduled failure. [`calibrated_per_pkt_ns`] feeds the
+//! measured per-engine datapath cost from `BENCH_hotpath.json` into the
+//! service models so each family's sweep pays its own forwarding cost.
 
-use crate::churn::{apply_action, ChurnAction, ChurnReport};
+use crate::churn::{apply_action, run_with_churn, ChurnAction, ChurnPlan, ChurnReport};
+use crate::flow::{FlowEventKind, ReactiveFlow};
 use crate::sim::{Flow, FlowId, FlowStats, NodeId, ServiceModel, Simulator};
 use crate::topo::{AdjId, BackboneSpec, TopologyBuilder};
 use hummingbird_baselines::drkey::{epoch_of, DrKeySecret, EPOCH_SECS};
@@ -89,7 +101,7 @@ impl EngineFamily {
 /// [`DiamondTopology::install_engines`](crate::DiamondTopology::install_engines));
 /// attach matching per-hop credentials to flows with
 /// [`LinearTopology::add_family_cbr_flow`].
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct EngineScenario {
     /// The engine family under test.
     pub family: EngineFamily,
@@ -239,7 +251,7 @@ pub struct LinearTopology {
 }
 
 /// Link parameters for a topology.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct LinkSpec {
     /// Bits per second.
     pub bandwidth_bps: u64,
@@ -578,6 +590,84 @@ impl LinearTopology {
         let entry = self.as_nodes[0];
         self.sim.add_flow(Flow { generator, entry, payload_len, interval_ns, start_ns, stop_ns })
     }
+
+    /// The closed-loop counterpart of
+    /// [`add_family_cbr_flow`](LinearTopology::add_family_cbr_flow): a
+    /// windowed, ack-clocked [`ReactiveFlow`] pacing new packets at
+    /// `rate_kbps` until `total_pkts` distinct sequence numbers are
+    /// acked or abandoned. `credential_kbps` attaches the family's
+    /// per-hop credential on every hop exactly as the CBR variant does.
+    #[allow(clippy::too_many_arguments)]
+    pub fn add_family_reactive_flow(
+        &mut self,
+        family: EngineFamily,
+        src: IsdAs,
+        dst: IsdAs,
+        payload_len: usize,
+        rate_kbps: u64,
+        credential_kbps: Option<u64>,
+        total_pkts: u64,
+        profile: ReactiveProfile,
+        start_ns: u64,
+    ) -> FlowId {
+        let mut generator = self.make_generator(src, dst);
+        if let Some(r) = credential_kbps {
+            let now_s = start_ns / 1_000_000_000;
+            for hop in 0..self.n_ases() {
+                let credential = self.make_family_credential(family, hop, src, r, now_s);
+                generator.attach_reservation(hop, credential).expect("matching interfaces");
+            }
+        }
+        let pacing_ns = (payload_len as u64 * 8).saturating_mul(1_000_000) / rate_kbps.max(1);
+        let entry = self.as_nodes[0];
+        self.sim.add_reactive_flow(ReactiveFlow {
+            generator,
+            entry,
+            payload_len,
+            total_pkts,
+            window: profile.window.max(1),
+            pacing_ns,
+            ack_delay_ns: profile.ack_delay_ns,
+            rto_ns: profile.rto_ns,
+            rto_max_ns: profile.rto_max_ns,
+            max_retransmits: profile.max_retransmits,
+            start_ns,
+        })
+    }
+}
+
+/// Retransmission and window knobs of a closed-loop sender, shared by
+/// the overload runners (the rate-derived knobs — pacing interval and
+/// total packet count — are computed from the offered load).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ReactiveProfile {
+    /// Maximum unacknowledged packets in flight (≥ 1).
+    pub window: usize,
+    /// Modeled reverse-path (ack) delay, ns.
+    pub ack_delay_ns: u64,
+    /// Initial retransmission timeout, ns.
+    pub rto_ns: u64,
+    /// Backoff cap for the per-retry doubling RTO, ns.
+    pub rto_max_ns: u64,
+    /// Retries per packet before it is abandoned.
+    pub max_retransmits: u32,
+}
+
+impl Default for ReactiveProfile {
+    /// Sized for the default 10 Mbps / 1 ms scenario links: a 32-packet
+    /// window, a 1 ms ack path, and a 100 ms initial RTO — above the
+    /// worst full-queue round trip of the default 64 KiB link queues, so
+    /// a deep-but-alive queue does not look like loss — doubling to a
+    /// 800 ms cap over 4 retries.
+    fn default() -> Self {
+        ReactiveProfile {
+            window: 32,
+            ack_delay_ns: 1_000_000,
+            rto_ns: 100_000_000,
+            rto_max_ns: 800_000_000,
+            max_retransmits: 4,
+        }
+    }
 }
 
 /// The fixed cast of the ready-made experiment runners.
@@ -647,6 +737,79 @@ impl LatencySpec {
         self.flood_kbps = flood_kbps;
         self
     }
+
+    /// The same spec with `service_per_pkt_ns` replaced by the measured
+    /// single-core cost of this family's engine from the checked-in
+    /// `BENCH_hotpath.json` trajectory ([`calibrated_per_pkt_ns`]).
+    /// Falls back to the hand-set value — with a logged note — when no
+    /// trajectory file or matching record is found, so offline runs
+    /// keep working.
+    #[must_use]
+    pub fn calibrated(mut self) -> Self {
+        match calibrated_per_pkt_ns(self.scenario.family) {
+            Some(ns) => self.service_per_pkt_ns = ns,
+            None => eprintln!(
+                "BENCH_hotpath.json unavailable; {} latency sweep keeps the hand-set \
+                 {} ns/pkt service cost",
+                self.scenario.family.name(),
+                self.service_per_pkt_ns
+            ),
+        }
+        self
+    }
+}
+
+/// The measured single-core (`"mode": "clone"`, `"cores": 1`) ns/pkt of
+/// `family`'s engine, averaged over the payload sweep of a
+/// `BENCH_hotpath.json` trajectory document — the calibration source for
+/// [`ServiceModel::per_pkt_ns`] so each family's latency/overload sweep
+/// pays its own datapath cost rather than a hand-set constant.
+///
+/// The file is searched in the working directory and up to three parent
+/// directories (bench binaries run from the workspace root, `cargo test`
+/// from the crate root). `None` when no file or no matching record
+/// exists; callers fall back to their hand-set value (see
+/// [`LatencySpec::calibrated`]).
+pub fn calibrated_per_pkt_ns(family: EngineFamily) -> Option<u64> {
+    const CANDIDATES: [&str; 4] = [
+        "BENCH_hotpath.json",
+        "../BENCH_hotpath.json",
+        "../../BENCH_hotpath.json",
+        "../../../BENCH_hotpath.json",
+    ];
+    CANDIDATES
+        .iter()
+        .find_map(|p| std::fs::read_to_string(p).ok())
+        .and_then(|doc| hotpath_clone_1core_ns(&doc, family.name()))
+}
+
+/// Hand-rolled record extraction (no JSON library exists in the offline
+/// build): the mean `ns_per_pkt` over `records` rows matching `engine`
+/// with `"mode": "clone"` and `"cores": 1`, relying on the one-record-
+/// per-line layout the bench writer emits. The `"cores": 1,` needle
+/// keeps its trailing comma so multi-digit core counts never match.
+fn hotpath_clone_1core_ns(doc: &str, engine: &str) -> Option<u64> {
+    let engine_key = format!("\"engine\": \"{engine}\"");
+    let mut sum = 0.0f64;
+    let mut n = 0u32;
+    for line in doc.lines() {
+        if !line.contains(&engine_key)
+            || !line.contains("\"mode\": \"clone\"")
+            || !line.contains("\"cores\": 1,")
+        {
+            continue;
+        }
+        let Some(at) = line.find("\"ns_per_pkt\":") else { continue };
+        let rest = line[at + 13..].trim_start();
+        let end = rest.find([',', '}']).unwrap_or(rest.len());
+        if let Ok(v) = rest[..end].trim().parse::<f64>() {
+            if v.is_finite() && v > 0.0 {
+                sum += v;
+                n += 1;
+            }
+        }
+    }
+    (n > 0).then(|| (sum / f64::from(n)).round() as u64)
 }
 
 /// What a [`run_latency_scenario`] measured.
@@ -676,10 +839,10 @@ pub fn run_latency_scenario(
     let mut topo = LinearTopology::build(spec.n_ases, spec.link, start_ns, cfg);
     topo.install_engines(spec.scenario, cfg);
     if spec.service_per_pkt_ns > 0 {
-        topo.set_service_model(Some(ServiceModel {
-            per_pkt_ns: spec.service_per_pkt_ns,
-            shards: spec.scenario.shards,
-        }));
+        topo.set_service_model(Some(ServiceModel::new(
+            spec.service_per_pkt_ns,
+            spec.scenario.shards,
+        )));
     }
     let sec = 1_000_000_000u64;
     let stop_ns = start_ns + spec.run_s * sec;
@@ -747,10 +910,7 @@ pub fn run_partial_path_scenario(
     topo.sim.set_link_bandwidth(topo.links[1], 10_000_000);
     topo.install_engines(scenario, cfg);
     if service_per_pkt_ns > 0 {
-        topo.set_service_model(Some(ServiceModel {
-            per_pkt_ns: service_per_pkt_ns,
-            shards: scenario.shards,
-        }));
+        topo.set_service_model(Some(ServiceModel::new(service_per_pkt_ns, scenario.shards)));
     }
     let stop_ns = start_ns + run_s * sec;
     // Credential on hop 1 (the middle AS) only.
@@ -987,10 +1147,10 @@ pub fn run_churn_scenario(
     let mut topo = TopologyBuilder::ring_of_pops(&backbone, start_ns, cfg);
     topo.install_engines(spec.scenario, cfg);
     if spec.service_per_pkt_ns > 0 {
-        topo.set_service_model(Some(ServiceModel {
-            per_pkt_ns: spec.service_per_pkt_ns,
-            shards: spec.scenario.shards,
-        }));
+        topo.set_service_model(Some(ServiceModel::new(
+            spec.service_per_pkt_ns,
+            spec.scenario.shards,
+        )));
     }
     let stop_ns = start_ns + spec.run_s * sec;
     let rpp = spec.routers_per_pop;
@@ -1104,5 +1264,554 @@ pub fn run_churn_scenario(
         adjacencies: topo.n_adjacencies(),
         entry_stats: topo.sim.router_stats(topo.router_node(src_router)).expect("entry router"),
         events: topo.sim.events_processed(),
+    }
+}
+
+/// Knobs of an overload sweep: a closed-loop reserved sender and a
+/// closed-loop best-effort sender over the linear chain, with the
+/// best-effort offered load swept through and past the bottleneck
+/// link's saturation point while every queue — link, router service —
+/// is bounded. The sweep is the graceful-degradation experiment: with
+/// bounded queues, overload must show up as loss, retransmission and
+/// pushback (all named counters), never as unbounded delay.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OverloadSpec {
+    /// Engine family + shard deployment every router node runs.
+    pub scenario: EngineScenario,
+    /// Chain length (ASes).
+    pub n_ases: usize,
+    /// Link parameters (the saturation axis: default 10 Mbps).
+    pub link: LinkSpec,
+    /// Reserved (credentialed) flow rate, kbps.
+    pub reserved_kbps: u64,
+    /// Credential (reservation/grant) rate on every hop, kbps.
+    pub credential_kbps: u64,
+    /// Payload bytes per packet (both flows).
+    pub payload_len: usize,
+    /// Best-effort offered loads to sweep, kbps. The default steps run
+    /// from half the bottleneck's leftover capacity to 2.5× the link.
+    pub offered_kbps: Vec<u64>,
+    /// Window/RTO knobs of both closed-loop senders.
+    pub profile: ReactiveProfile,
+    /// Bound on packets held per router ([`ServiceModel::queue_pkts`]).
+    pub router_queue_pkts: usize,
+    /// Per-router, per-core datapath service time, ns (`0` = off).
+    pub service_per_pkt_ns: u64,
+    /// Nominal sending window, seconds — sizes each flow's total packet
+    /// budget; each point then runs until every flow terminates.
+    pub run_s: u64,
+    /// Per-flow cap on total packets (`0` = uncapped) — the CI smoke
+    /// knob (`overload_sweep --pkts`).
+    pub max_pkts_per_flow: u64,
+}
+
+impl OverloadSpec {
+    /// The default acceptance shape: a 3-AS chain of 10 Mbps links, a
+    /// 2 Mbps reserved flow with 3 Mbps credentials, and best-effort
+    /// load swept 4 → 20 Mbps (the ~8 Mbps leftover capacity sits
+    /// between the second and third steps; 16 Mbps is 2× it).
+    pub fn new(scenario: EngineScenario) -> Self {
+        OverloadSpec {
+            scenario,
+            n_ases: 3,
+            // Default links, but with a 16-packet (16 KiB) per-class
+            // queue: shallower than the senders' windows, so overload
+            // actually drops (and the loop retransmits) instead of the
+            // window fitting inside the queue and stalling politely.
+            link: LinkSpec { queue_cap_bytes: 16 * 1024, ..LinkSpec::default() },
+            reserved_kbps: 2_000,
+            credential_kbps: 3_000,
+            payload_len: 1_000,
+            offered_kbps: vec![4_000, 8_000, 16_000, 20_000],
+            profile: ReactiveProfile::default(),
+            router_queue_pkts: 128,
+            service_per_pkt_ns: 300,
+            run_s: 1,
+            max_pkts_per_flow: 0,
+        }
+    }
+
+    /// The same spec with `service_per_pkt_ns` calibrated from
+    /// `BENCH_hotpath.json` ([`calibrated_per_pkt_ns`]), falling back to
+    /// the hand-set value with a logged note — the overload face of
+    /// [`LatencySpec::calibrated`].
+    #[must_use]
+    pub fn calibrated(mut self) -> Self {
+        match calibrated_per_pkt_ns(self.scenario.family) {
+            Some(ns) => self.service_per_pkt_ns = ns,
+            None => eprintln!(
+                "BENCH_hotpath.json unavailable; {} overload sweep keeps the hand-set \
+                 {} ns/pkt service cost",
+                self.scenario.family.name(),
+                self.service_per_pkt_ns
+            ),
+        }
+        self
+    }
+}
+
+/// One swept load point of [`run_overload_scenario`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OverloadPoint {
+    /// Best-effort offered load at this point, kbps.
+    pub offered_kbps: u64,
+    /// The reserved (credentialed) closed-loop flow's counters.
+    pub reserved: FlowStats,
+    /// The best-effort closed-loop flow's counters.
+    pub best_effort: FlowStats,
+    /// Whether the reserved flow terminated (every sequence number
+    /// acked or abandoned) — `false` flags a livelock.
+    pub reserved_done: bool,
+    /// Whether the best-effort flow terminated.
+    pub best_effort_done: bool,
+    /// Simulated time from start to the reserved flow's `Completed`
+    /// event, ns (the run horizon if it never completed) — the
+    /// denominator for goodput-over-completion-time. Past saturation a
+    /// closed-loop flow delivers everything *eventually*; collapse
+    /// shows up as completion time, not delivery ratio.
+    pub reserved_elapsed_ns: u64,
+    /// Same, for the best-effort flow.
+    pub best_effort_elapsed_ns: u64,
+    /// Simulator events processed for this point.
+    pub events: u64,
+}
+
+impl OverloadPoint {
+    /// Goodput over the flow's own completion time, kbps.
+    pub fn reserved_goodput_kbps(&self) -> f64 {
+        goodput_over(self.reserved.delivered_bytes, self.reserved_elapsed_ns)
+    }
+
+    /// Goodput over the flow's own completion time, kbps.
+    pub fn best_effort_goodput_kbps(&self) -> f64 {
+        goodput_over(self.best_effort.delivered_bytes, self.best_effort_elapsed_ns)
+    }
+}
+
+/// `bytes` delivered over `elapsed_ns`, in kbps (`0.0` on an empty window).
+fn goodput_over(bytes: u64, elapsed_ns: u64) -> f64 {
+    if elapsed_ns == 0 {
+        return 0.0;
+    }
+    (bytes as f64 * 8.0) / (elapsed_ns as f64 / 1_000_000.0)
+}
+
+/// What a [`run_overload_scenario`] measured: one [`OverloadPoint`] per
+/// swept offered load, in sweep order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OverloadOutcome {
+    /// The swept points.
+    pub points: Vec<OverloadPoint>,
+}
+
+/// The per-flow total-packet budget for `kbps` offered over `run_s`
+/// seconds of `payload_len`-byte packets, capped at `max_pkts` when
+/// nonzero (the CI smoke knob).
+fn flow_budget(kbps: u64, payload_len: usize, run_s: u64, max_pkts: u64) -> u64 {
+    let pkts =
+        (kbps.saturating_mul(run_s).saturating_mul(125) / (payload_len as u64).max(1)).max(1);
+    if max_pkts > 0 {
+        pkts.min(max_pkts)
+    } else {
+        pkts
+    }
+}
+
+/// Runs the overload sweep for one `spec`: per offered-load step, a
+/// fresh chain with the family engines installed, a *bounded* service
+/// model on every router, a credentialed closed-loop flow at the
+/// reserved rate and a best-effort closed-loop flow at the step's
+/// offered rate. Each point runs until both flows terminate (the
+/// retransmit budget guarantees termination; a generous simulated-time
+/// cap turns a livelock bug into visible `*_done: false` flags instead
+/// of a hung test) plus one drain second so in-flight copies land or
+/// die before the conservation counters are read.
+///
+/// The contrast the sweep pins: past saturation the reservation
+/// families hold the reserved flow's goodput and p99 latency at the
+/// uncontended level while the best-effort flow degrades gracefully —
+/// bounded queues keep its tail latency bounded, and every lost packet
+/// is attributed to a named drop counter.
+pub fn run_overload_scenario(
+    cfg: RouterConfig,
+    spec: &OverloadSpec,
+    start_ns: u64,
+) -> OverloadOutcome {
+    let sec = 1_000_000_000u64;
+    let mut points = Vec::with_capacity(spec.offered_kbps.len());
+    for &offered in &spec.offered_kbps {
+        let mut topo = LinearTopology::build(spec.n_ases, spec.link, start_ns, cfg);
+        topo.install_engines(spec.scenario, cfg);
+        if spec.service_per_pkt_ns > 0 {
+            let mut model = ServiceModel::new(spec.service_per_pkt_ns, spec.scenario.shards);
+            model.queue_pkts = spec.router_queue_pkts;
+            topo.set_service_model(Some(model));
+        }
+        let reserved = topo.add_family_reactive_flow(
+            spec.scenario.family,
+            victim_src(),
+            dest(),
+            spec.payload_len,
+            spec.reserved_kbps,
+            Some(spec.credential_kbps),
+            flow_budget(spec.reserved_kbps, spec.payload_len, spec.run_s, spec.max_pkts_per_flow),
+            spec.profile,
+            start_ns,
+        );
+        let best_effort = topo.add_family_reactive_flow(
+            spec.scenario.family,
+            attacker_src(),
+            dest(),
+            spec.payload_len,
+            offered,
+            None,
+            flow_budget(offered, spec.payload_len, spec.run_s, spec.max_pkts_per_flow),
+            spec.profile,
+            start_ns,
+        );
+        let mut horizon = start_ns + (spec.run_s + 1) * sec;
+        let cap = start_ns + (spec.run_s + 120) * sec;
+        topo.sim.run_until(horizon);
+        while (!topo.sim.reactive_done(reserved) || !topo.sim.reactive_done(best_effort))
+            && horizon < cap
+        {
+            horizon += sec;
+            topo.sim.run_until(horizon);
+        }
+        topo.sim.run_until(horizon + sec);
+        let completion = |flow| {
+            topo.sim
+                .flow_events(flow)
+                .iter()
+                .rev()
+                .find(|e| e.kind == FlowEventKind::Completed)
+                .map_or(horizon + sec - start_ns, |e| e.at_ns - start_ns)
+        };
+        points.push(OverloadPoint {
+            offered_kbps: offered,
+            reserved: topo.sim.stats(reserved),
+            best_effort: topo.sim.stats(best_effort),
+            reserved_done: topo.sim.reactive_done(reserved),
+            best_effort_done: topo.sim.reactive_done(best_effort),
+            reserved_elapsed_ns: completion(reserved),
+            best_effort_elapsed_ns: completion(best_effort),
+            events: topo.sim.events_processed(),
+        });
+    }
+    OverloadOutcome { points }
+}
+
+/// Knobs of the churn+overload combination: both closed-loop flows on a
+/// generated ring-of-PoPs backbone, the best-effort load past the
+/// long-haul saturation point, a link failure on the reserved flow's
+/// path at one third of the run, and a configurable *convergence delay*
+/// before the reroute pass (the BGP-style window in which loss is the
+/// only signal and retransmission timers are what keep state alive).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OverloadChurnSpec {
+    /// Engine family + shard deployment every router node runs.
+    pub scenario: EngineScenario,
+    /// PoPs on the backbone ring (≥ 3).
+    pub pops: usize,
+    /// Routers per PoP (≥ 2 for failover paths to exist).
+    pub routers_per_pop: usize,
+    /// Seed for topology and key material.
+    pub seed: u64,
+    /// How many PoPs the flows' shared path spans.
+    pub span_pops: usize,
+    /// Reserved (credentialed) flow rate, kbps.
+    pub reserved_kbps: u64,
+    /// Credential rate on every hop, kbps.
+    pub credential_kbps: u64,
+    /// Payload bytes per packet.
+    pub payload_len: usize,
+    /// Best-effort offered load, kbps (past the long-haul saturation).
+    pub best_effort_kbps: u64,
+    /// Window/RTO knobs of both closed-loop senders.
+    pub profile: ReactiveProfile,
+    /// Link failures injected on the reserved flow's path at `run_s/3`.
+    pub failures: usize,
+    /// Delay from the failure to the reroute pass, ns — the
+    /// convergence window.
+    pub convergence_delay_ns: u64,
+    /// Bound on packets held per router ([`ServiceModel::queue_pkts`]).
+    pub router_queue_pkts: usize,
+    /// Per-router, per-core datapath service time, ns (`0` = off).
+    pub service_per_pkt_ns: u64,
+    /// Nominal sending window, seconds (sizes the packet budgets).
+    pub run_s: u64,
+    /// Per-flow cap on total packets (`0` = uncapped).
+    pub max_pkts_per_flow: u64,
+}
+
+impl OverloadChurnSpec {
+    /// The default acceptance shape: an 8-PoP × 2-router ring, a 2 Mbps
+    /// reserved flow against 16 Mbps of best effort (1.6× the 10 Mbps
+    /// long-haul links), one on-path link failure with a 50 ms
+    /// convergence delay before the reroute pass.
+    pub fn new(scenario: EngineScenario) -> Self {
+        OverloadChurnSpec {
+            scenario,
+            pops: 8,
+            routers_per_pop: 2,
+            seed: 0x0BAD_CA5E,
+            span_pops: 2,
+            reserved_kbps: 2_000,
+            credential_kbps: 3_000,
+            payload_len: 1_000,
+            best_effort_kbps: 16_000,
+            profile: ReactiveProfile::default(),
+            failures: 1,
+            convergence_delay_ns: 50_000_000,
+            router_queue_pkts: 128,
+            service_per_pkt_ns: 300,
+            run_s: 3,
+            max_pkts_per_flow: 0,
+        }
+    }
+}
+
+/// What a [`run_overload_churn_scenario`] measured. `PartialEq` so two
+/// same-seed runs can be asserted bit-identical wholesale.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OverloadChurnOutcome {
+    /// Reserved-flow counters over the clean window `[start, failure)`.
+    pub reserved_base: FlowStats,
+    /// Reserved-flow delta over the convergence window
+    /// `[failure, reroute)` — where `link_down_drops` shows sends and
+    /// retransmissions dying on the dead path.
+    pub reserved_outage: FlowStats,
+    /// Reserved-flow delta over `[reroute, end]` — the window the
+    /// ≥ 0.9-delivery recovery acceptance is asserted on. Retransmitted
+    /// copies of packets lost during the outage regenerate through the
+    /// rerouted generator and deliver here: retransmit-driven recovery.
+    pub reserved_recovery: FlowStats,
+    /// Reserved-flow counters over the whole run.
+    pub reserved_total: FlowStats,
+    /// Best-effort flow counters over the whole run.
+    pub best_effort_total: FlowStats,
+    /// Whether the reserved flow terminated (`false` flags a livelock).
+    pub reserved_done: bool,
+    /// Whether the best-effort flow terminated.
+    pub best_effort_done: bool,
+    /// The applied fault timeline with per-action effects.
+    pub report: ChurnReport,
+    /// Simulator events processed over the whole run.
+    pub events: u64,
+}
+
+/// Runs the churn+overload combination: build the ring backbone,
+/// install the family engines and a *bounded* service model, start both
+/// closed-loop flows on the same PoP-spanning path, saturate it, then
+/// at one third of the run take the path down, hold the failure for
+/// `convergence_delay_ns` (retransmissions keep firing into the dead
+/// link and die there — the convergence window), reroute every affected
+/// flow onto a surviving path with fresh credentials, and run until
+/// both flows terminate.
+///
+/// The acceptance contrast: after the reroute, reservation families
+/// recover ≥ 0.9 delivery in the recovery window (retransmits of the
+/// convergence-window losses ride the new path's priority class) while
+/// the best-effort flow degrades without collapse — it keeps
+/// terminating, with every loss in a named counter.
+pub fn run_overload_churn_scenario(
+    cfg: RouterConfig,
+    spec: &OverloadChurnSpec,
+    start_ns: u64,
+) -> OverloadChurnOutcome {
+    let sec = 1_000_000_000u64;
+    let backbone = BackboneSpec::new(spec.pops, spec.routers_per_pop, spec.seed);
+    let mut topo = TopologyBuilder::ring_of_pops(&backbone, start_ns, cfg);
+    topo.install_engines(spec.scenario, cfg);
+    if spec.service_per_pkt_ns > 0 {
+        let mut model = ServiceModel::new(spec.service_per_pkt_ns, spec.scenario.shards);
+        model.queue_pkts = spec.router_queue_pkts;
+        topo.set_service_model(Some(model));
+    }
+    let span = spec.span_pops.clamp(1, spec.pops - 1);
+    let (src_router, dst_router) = (0, span * spec.routers_per_pop);
+    let reserved = topo.add_family_reactive_flow(
+        spec.scenario.family,
+        src_router,
+        dst_router,
+        spec.payload_len,
+        spec.reserved_kbps,
+        Some(spec.credential_kbps),
+        flow_budget(spec.reserved_kbps, spec.payload_len, spec.run_s, spec.max_pkts_per_flow),
+        spec.profile,
+        start_ns,
+    );
+    let best_effort = topo.add_family_reactive_flow(
+        spec.scenario.family,
+        src_router,
+        dst_router,
+        spec.payload_len,
+        spec.best_effort_kbps,
+        None,
+        flow_budget(spec.best_effort_kbps, spec.payload_len, spec.run_s, spec.max_pkts_per_flow),
+        spec.profile,
+        start_ns,
+    );
+    // Failure set: the reserved flow's own path adjacencies.
+    let path: Vec<usize> = topo.route_of(reserved).expect("reserved flow routed").to_vec();
+    let fail_adjs: Vec<AdjId> = path
+        .windows(2)
+        .filter_map(|w| topo.adjacency_between(w[0], w[1]))
+        .take(spec.failures.max(1))
+        .collect();
+
+    // Phase 1: clean saturation up to the failure instant.
+    let t_fail = start_ns + spec.run_s * sec / 3;
+    let t_reroute = t_fail + spec.convergence_delay_ns;
+    topo.sim.run_until(t_fail);
+    let reserved_base = topo.sim.stats(reserved);
+    let mut report = ChurnReport::default();
+    for &adj in &fail_adjs {
+        report.records.push(apply_action(&mut topo, ChurnAction::LinkDown(adj)));
+    }
+
+    // Phase 2: the convergence window — sends and retransmissions die
+    // on the dead path until the reroute pass applies.
+    topo.sim.run_until(t_reroute);
+    let reserved_at_reroute = topo.sim.stats(reserved);
+    report.records.push(apply_action(&mut topo, ChurnAction::RerouteAffected));
+
+    // Phase 3: recovery, extended until both flows terminate (bounded
+    // by the retransmit budget; the cap makes a livelock visible as
+    // `*_done: false` instead of a hang) plus a drain second.
+    let stop_ns = start_ns + spec.run_s * sec;
+    let mut horizon = stop_ns + sec;
+    let cap = stop_ns + 120 * sec;
+    topo.sim.run_until(horizon);
+    while (!topo.sim.reactive_done(reserved) || !topo.sim.reactive_done(best_effort))
+        && horizon < cap
+    {
+        horizon += sec;
+        topo.sim.run_until(horizon);
+    }
+    topo.sim.run_until(horizon + sec);
+    let reserved_total = topo.sim.stats(reserved);
+    OverloadChurnOutcome {
+        reserved_base,
+        reserved_outage: reserved_at_reroute.since(&reserved_base),
+        reserved_recovery: reserved_total.since(&reserved_at_reroute),
+        reserved_total,
+        best_effort_total: topo.sim.stats(best_effort),
+        reserved_done: topo.sim.reactive_done(reserved),
+        best_effort_done: topo.sim.reactive_done(best_effort),
+        report,
+        events: topo.sim.events_processed(),
+    }
+}
+
+/// What a [`run_latency_churn_scenario`] measured: the latency
+/// experiment's victim counters split at the failure and reroute
+/// instants. Window accounting follows the [`ChurnPlan`] tie-break: the
+/// failure's own queue drain lands at the end of `base`, the reroute's
+/// counter bump at the end of `outage`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LatencyChurnOutcome {
+    /// Victim counters over the clean window `[start, failure]`.
+    pub base: FlowStats,
+    /// Victim delta over the outage window `(failure, reroute]`.
+    pub outage: FlowStats,
+    /// Victim delta over the recovery window `(reroute, end]` — what
+    /// the per-family recovery bounds are asserted on.
+    pub recovery: FlowStats,
+    /// Victim counters over the whole run.
+    pub total: FlowStats,
+    /// The flood's whole-run counters, when one ran.
+    pub flood_total: Option<FlowStats>,
+    /// The applied fault timeline (all windows concatenated).
+    pub report: ChurnReport,
+}
+
+/// Reruns the Fig. 3/4-style latency experiment under a mid-epoch link
+/// failure scheduled through a [`ChurnPlan`]: the same victim (and
+/// optional flood) as [`run_latency_scenario`], but on a small ring
+/// backbone — the linear chain has no failover path — whose long-haul
+/// links carry the spec's link parameters. At one third of the run the
+/// victim's first on-path adjacency goes down; `reroute_delay_ns` later
+/// the reroute pass re-paths every affected flow with fresh
+/// credentials. The plan is applied in three [`run_with_churn`] windows
+/// so base/outage/recovery counters can be snapshotted at the exact
+/// failure and reroute instants.
+pub fn run_latency_churn_scenario(
+    cfg: RouterConfig,
+    spec: &LatencySpec,
+    seed: u64,
+    reroute_delay_ns: u64,
+    start_ns: u64,
+) -> LatencyChurnOutcome {
+    let sec = 1_000_000_000u64;
+    let rpp = 2usize;
+    let mut backbone = BackboneSpec::new(spec.n_ases.max(3), rpp, seed);
+    backbone.pop_link = spec.link;
+    let mut topo = TopologyBuilder::ring_of_pops(&backbone, start_ns, cfg);
+    topo.install_engines(spec.scenario, cfg);
+    if spec.service_per_pkt_ns > 0 {
+        topo.set_service_model(Some(ServiceModel::new(
+            spec.service_per_pkt_ns,
+            spec.scenario.shards,
+        )));
+    }
+    let stop_ns = start_ns + spec.run_s * sec;
+    let victim = topo.add_family_flow(
+        spec.scenario.family,
+        0,
+        2 * rpp,
+        spec.payload_len,
+        spec.victim_kbps,
+        Some(spec.credential_kbps),
+        start_ns,
+        stop_ns,
+    );
+    let flood = (spec.flood_kbps > 0).then(|| {
+        topo.add_family_flow(
+            spec.scenario.family,
+            0,
+            2 * rpp,
+            spec.payload_len,
+            spec.flood_kbps,
+            None,
+            start_ns,
+            stop_ns,
+        )
+    });
+    let t_fail = start_ns + spec.run_s * sec / 3;
+    let t_reroute = t_fail + reroute_delay_ns;
+    let path = topo.route_of(victim).expect("victim routed").to_vec();
+    let adj = path
+        .windows(2)
+        .find_map(|w| topo.adjacency_between(w[0], w[1]))
+        .expect("victim path has links");
+    let plan = ChurnPlan::new()
+        .at(t_fail, ChurnAction::LinkDown(adj))
+        .at(t_reroute, ChurnAction::RerouteAffected);
+    // The plan restricted to `(lo, hi]` — one snapshot window.
+    let window = |lo: u64, hi: u64| {
+        let mut sub = ChurnPlan::new();
+        for ev in plan.events() {
+            if ev.at_ns > lo && ev.at_ns <= hi {
+                sub.push(ev.at_ns, ev.action);
+            }
+        }
+        sub
+    };
+    let mut report = run_with_churn(&mut topo, &window(0, t_fail), t_fail);
+    let base = topo.sim.stats(victim);
+    report.records.extend(run_with_churn(&mut topo, &window(t_fail, t_reroute), t_reroute).records);
+    let at_reroute = topo.sim.stats(victim);
+    report
+        .records
+        .extend(run_with_churn(&mut topo, &window(t_reroute, u64::MAX), stop_ns + sec).records);
+    let total = topo.sim.stats(victim);
+    LatencyChurnOutcome {
+        base,
+        outage: at_reroute.since(&base),
+        recovery: total.since(&at_reroute),
+        total,
+        flood_total: flood.map(|f| topo.sim.stats(f)),
+        report,
     }
 }

@@ -7,7 +7,8 @@
 //! contested link, so congestion and flooding cannot degrade it, while
 //! overuse is demoted by deterministic policing.
 
-use hummingbird_dataplane::{Datapath, DatapathStats, SourceGenerator, Verdict};
+use crate::flow::{FlowEvent, FlowEventKind, Outstanding, ReactiveFlow, ReactiveState};
+use hummingbird_dataplane::{Datapath, DatapathStats, LatencyHistogram, SourceGenerator, Verdict};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 
@@ -36,6 +37,9 @@ pub struct SimPacket {
     pub flow: FlowId,
     /// Send timestamp (ns).
     pub sent_at: u64,
+    /// Flow-level sequence number (reactive flows ack by it; always 0
+    /// for CBR flows, which have no acknowledgment channel).
+    pub seq: u64,
 }
 
 /// A unidirectional link between two nodes.
@@ -147,6 +151,25 @@ pub struct FlowStats {
     /// ([`Simulator::set_flow_route`]): each reroute after a link
     /// failure increments this once.
     pub reroutes: u64,
+    /// Retransmissions sent (reactive flows only): copies of a sequence
+    /// number beyond its original send. Each is also counted in
+    /// `sent_pkts`/`sent_bytes` — it is a real packet on the wire.
+    pub retransmits: u64,
+    /// Retransmission timers fired (reactive flows only). A timeout
+    /// whose packet is out of budget abandons it instead of resending,
+    /// so `timeouts ≥ retransmits + abandoned`.
+    pub timeouts: u64,
+    /// Send opportunities that found the window full (reactive flows
+    /// only) — the sender-side face of backpressure: the network is
+    /// holding acks, so the source stops offering load.
+    pub backpressure_stalls: u64,
+    /// Packets tail-dropped at a router's bounded service queue
+    /// ([`ServiceModel::queue_pkts`]) — the netsim face of the
+    /// runtime's `TxQueueFull`.
+    pub service_queue_drops: u64,
+    /// End-to-end latency distribution over delivered packets
+    /// (log₂-bucketed; [`FlowStats::p99_latency_ms`] reads it).
+    pub latency: LatencyHistogram,
 }
 
 impl FlowStats {
@@ -176,6 +199,13 @@ impl FlowStats {
         self.delivered_pkts as f64 / self.sent_pkts as f64
     }
 
+    /// p99 end-to-end latency in milliseconds, from the log₂ histogram
+    /// (±2× bucket resolution); `0.0` when nothing was delivered —
+    /// empty populations never panic or read `NaN`.
+    pub fn p99_latency_ms(&self) -> f64 {
+        self.latency.percentile_ns(0.99) as f64 / 1e6
+    }
+
     /// The stats accrued *since* an `earlier` snapshot of the same flow
     /// — how churn experiments isolate a phase (base window, outage,
     /// post-reroute recovery) out of the cumulative counters. All sums
@@ -194,6 +224,11 @@ impl FlowStats {
             reordered_pkts: self.reordered_pkts - earlier.reordered_pkts,
             link_down_drops: self.link_down_drops - earlier.link_down_drops,
             reroutes: self.reroutes,
+            retransmits: self.retransmits - earlier.retransmits,
+            timeouts: self.timeouts - earlier.timeouts,
+            backpressure_stalls: self.backpressure_stalls - earlier.backpressure_stalls,
+            service_queue_drops: self.service_queue_drops - earlier.service_queue_drops,
+            latency: self.latency.since(&earlier.latency),
         }
     }
 }
@@ -214,9 +249,38 @@ pub struct Flow {
     pub stop_ns: u64,
 }
 
+/// How a registered flow drives traffic: the open-loop CBR injector,
+/// the closed-loop reactive state machine, or a replay tap's pseudo-flow
+/// (which only accrues statistics). One slot per [`FlowId`], so flow ids
+/// and stats ids are the same index space no matter in which order flows
+/// and taps are registered.
+enum FlowSlot {
+    Cbr(Flow),
+    Reactive(Box<ReactiveState>),
+    Tap,
+}
+
 enum Event {
     FlowSend {
         flow: FlowId,
+    },
+    /// A reactive flow's next send opportunity (pacing tick).
+    ReactiveSend {
+        flow: FlowId,
+    },
+    /// The sender of a reactive flow sees the ack for `seq` (scheduled
+    /// `ack_delay_ns` after delivery — the modeled reverse path).
+    FlowAck {
+        flow: FlowId,
+        seq: u64,
+    },
+    /// A reactive flow's retransmission timer for `seq` fires. Carries
+    /// the attempt it armed for: a timer made stale by a newer
+    /// retransmission of the same seq is ignored.
+    FlowRto {
+        flow: FlowId,
+        seq: u64,
+        attempt: u32,
     },
     Arrival {
         node: NodeId,
@@ -261,28 +325,59 @@ pub struct ServiceModel {
     pub per_pkt_ns: u64,
     /// Parallel cores (≥ 1): the shard count of the deployed engine.
     pub shards: usize,
+    /// Bound on packets held by the router (in service + waiting), in
+    /// packets; `0` keeps the queue unbounded (the historical shape). A
+    /// packet arriving at a full router is tail-dropped into
+    /// [`FlowStats::service_queue_drops`] — the netsim counterpart of
+    /// the runtime's bounded tx queues, and what turns queueing collapse
+    /// into observable loss instead of unbounded delay.
+    pub queue_pkts: usize,
+}
+
+impl ServiceModel {
+    /// An unbounded model: `per_pkt_ns` service across `shards` cores,
+    /// no queue bound — the pre-overload-control shape.
+    pub fn new(per_pkt_ns: u64, shards: usize) -> Self {
+        ServiceModel { per_pkt_ns, shards, queue_pkts: 0 }
+    }
 }
 
 /// Run-time state of a [`ServiceModel`] on one router node.
 struct RouterService {
     per_pkt_ns: u64,
+    /// Bound on packets held (in service + waiting); 0 = unbounded.
+    queue_pkts: usize,
     /// Per-core busy horizon, ns.
     busy_until: Vec<u64>,
 }
 
 impl RouterService {
+    /// Packets currently held (in service + waiting) at `now`, derived
+    /// from the busy horizons: each core holds
+    /// `ceil(remaining_busy / per_pkt_ns)` packets. Stateless, so churn
+    /// (engine swaps, reroutes) can never desynchronize an occupancy
+    /// counter from the horizons.
+    fn occupancy(&self, now: u64) -> usize {
+        let per = self.per_pkt_ns.max(1);
+        self.busy_until.iter().map(|&b| (b.saturating_sub(now)).div_ceil(per) as usize).sum()
+    }
+
     /// Serves one packet arriving at `now`: the earliest-free core takes
     /// it (first index on ties, so the choice is deterministic) and the
-    /// departure time comes back. Equal service times keep departures in
-    /// arrival order — the FIFO-within-class property the latency tests
-    /// pin.
-    fn serve(&mut self, now: u64) -> u64 {
+    /// departure time comes back — or `None` when the router is at its
+    /// queue bound (the caller tail-drops). Equal service times keep
+    /// departures in arrival order — the FIFO-within-class property the
+    /// latency tests pin.
+    fn try_serve(&mut self, now: u64) -> Option<u64> {
+        if self.queue_pkts > 0 && self.occupancy(now) >= self.queue_pkts {
+            return None;
+        }
         let core = (0..self.busy_until.len())
             .min_by_key(|&i| self.busy_until[i])
             .expect("at least one core");
         let depart = self.busy_until[core].max(now) + self.per_pkt_ns;
         self.busy_until[core] = depart;
-        depart
+        Some(depart)
     }
 }
 
@@ -308,7 +403,7 @@ pub struct ReplayTap {
 pub struct Simulator {
     nodes: Vec<Node>,
     links: Vec<Link>,
-    flows: Vec<Flow>,
+    flows: Vec<FlowSlot>,
     stats: Vec<FlowStats>,
     /// Per flow: latest `sent_at` delivered so far (reorder detection).
     newest_delivered: Vec<u64>,
@@ -355,6 +450,7 @@ impl Simulator {
     pub fn set_router_service(&mut self, node: NodeId, model: Option<ServiceModel>) {
         self.services[node] = model.map(|m| RouterService {
             per_pkt_ns: m.per_pkt_ns,
+            queue_pkts: m.queue_pkts,
             busy_until: vec![0; m.shards.max(1)],
         });
     }
@@ -429,15 +525,33 @@ impl Simulator {
         }
     }
 
-    /// Registers a flow, returning its ID. Send events are scheduled
-    /// lazily, one at a time.
+    /// Registers a CBR (open-loop) flow, returning its ID. Send events
+    /// are scheduled lazily, one at a time.
     pub fn add_flow(&mut self, flow: Flow) -> FlowId {
         let id = self.flows.len();
         let start = flow.start_ns.max(self.now_ns);
-        self.flows.push(flow);
+        self.flows.push(FlowSlot::Cbr(flow));
         self.stats.push(FlowStats::default());
         self.newest_delivered.push(0);
         self.schedule(start, Event::FlowSend { flow: id });
+        id
+    }
+
+    /// Registers a closed-loop [`ReactiveFlow`], returning its ID. The
+    /// flow drives itself: sends are paced and window-limited, delivery
+    /// acks open the window, timeouts retransmit with backoff until the
+    /// per-packet budget runs out, and the flow completes when every
+    /// sequence number is acked or abandoned
+    /// ([`reactive_done`](Simulator::reactive_done)).
+    pub fn add_reactive_flow(&mut self, flow: ReactiveFlow) -> FlowId {
+        let id = self.flows.len();
+        let start = flow.start_ns.max(self.now_ns);
+        let mut state = ReactiveState::new(flow);
+        state.send_scheduled = true;
+        self.flows.push(FlowSlot::Reactive(Box::new(state)));
+        self.stats.push(FlowStats::default());
+        self.newest_delivered.push(0);
+        self.schedule(start, Event::ReactiveSend { flow: id });
         id
     }
 
@@ -450,7 +564,8 @@ impl Simulator {
         copies: u32,
         delay_ns: u64,
     ) -> FlowId {
-        let attacker_flow = self.stats.len();
+        let attacker_flow = self.flows.len();
+        self.flows.push(FlowSlot::Tap);
         self.stats.push(FlowStats::default());
         self.newest_delivered.push(0);
         self.taps.push(ReplayTap { victim, inject_at, copies, delay_ns, attacker_flow });
@@ -473,9 +588,37 @@ impl Simulator {
         self.events_processed
     }
 
-    /// Whether `flow` still has sends ahead of the current sim time.
+    /// Whether `flow` still has sends ahead of the current sim time:
+    /// a CBR flow before its stop time, or a reactive flow that has not
+    /// completed. Taps are never active (they have no sends of their
+    /// own).
     pub fn flow_is_active(&self, flow: FlowId) -> bool {
-        self.flows.get(flow).is_some_and(|f| f.stop_ns > self.now_ns)
+        self.flows.get(flow).is_some_and(|f| match f {
+            FlowSlot::Cbr(f) => f.stop_ns > self.now_ns,
+            FlowSlot::Reactive(st) => !st.done,
+            FlowSlot::Tap => false,
+        })
+    }
+
+    /// Whether a reactive flow has terminated — every sequence number
+    /// acked or abandoned. `true` for CBR flows and taps (they have no
+    /// open-ended retry state to wait on); useful as a blanket
+    /// "nothing is livelocked" check over all flow ids.
+    pub fn reactive_done(&self, flow: FlowId) -> bool {
+        self.flows.get(flow).is_none_or(|f| match f {
+            FlowSlot::Reactive(st) => st.done,
+            FlowSlot::Cbr(_) | FlowSlot::Tap => true,
+        })
+    }
+
+    /// The event timeline of a reactive flow (empty for CBR flows and
+    /// taps): every send, retransmit, ack, timeout, stall, abandonment
+    /// and the completion marker, in simulation order.
+    pub fn flow_events(&self, flow: FlowId) -> &[FlowEvent] {
+        match self.flows.get(flow) {
+            Some(FlowSlot::Reactive(st)) => &st.events,
+            _ => &[],
+        }
     }
 
     /// Reconfigures a flow's path mid-run (churn: reroute after a link
@@ -487,9 +630,19 @@ impl Simulator {
     /// Panics if `flow` is a replay tap's pseudo-flow (taps observe a
     /// victim; they have no path of their own).
     pub fn set_flow_route(&mut self, flow: FlowId, generator: SourceGenerator, entry: NodeId) {
-        let f = self.flows.get_mut(flow).expect("set_flow_route: not a real flow");
-        f.generator = generator;
-        f.entry = entry;
+        match self.flows.get_mut(flow).expect("set_flow_route: unknown flow") {
+            FlowSlot::Cbr(f) => {
+                f.generator = generator;
+                f.entry = entry;
+            }
+            FlowSlot::Reactive(st) => {
+                // Future sends *and retransmissions* regenerate through
+                // the new generator — retransmit-driven recovery.
+                st.cfg.generator = generator;
+                st.cfg.entry = entry;
+            }
+            FlowSlot::Tap => panic!("set_flow_route: not a real flow"),
+        }
         self.stats[flow].reroutes += 1;
     }
 
@@ -571,6 +724,9 @@ impl Simulator {
     fn dispatch(&mut self, event: Event) {
         match event {
             Event::FlowSend { flow } => self.handle_flow_send(flow),
+            Event::ReactiveSend { flow } => self.handle_reactive_send(flow),
+            Event::FlowAck { flow, seq } => self.handle_flow_ack(flow, seq),
+            Event::FlowRto { flow, seq, attempt } => self.handle_flow_rto(flow, seq, attempt),
             Event::Arrival { node, pkt } => self.handle_arrival(node, pkt),
             Event::LinkDone { link } => self.handle_link_done(link),
             Event::Egress { target, pkt, class } => self.handle_egress(target, pkt, class),
@@ -579,18 +735,22 @@ impl Simulator {
 
     fn handle_flow_send(&mut self, flow_id: FlowId) {
         let now = self.now_ns;
-        let flow = &mut self.flows[flow_id];
+        let FlowSlot::Cbr(flow) = &mut self.flows[flow_id] else {
+            return;
+        };
         if now >= flow.stop_ns {
             return;
         }
         let payload = vec![0u8; flow.payload_len];
         let now_ms = now / 1_000_000;
+        let interval = flow.interval_ns;
+        let stop_ns = flow.stop_ns;
+        let entry = flow.entry;
         match flow.generator.generate(&payload, now_ms) {
             Ok(bytes) => {
                 self.stats[flow_id].sent_pkts += 1;
                 self.stats[flow_id].sent_bytes += bytes.len() as u64;
-                let pkt = SimPacket { bytes, flow: flow_id, sent_at: now };
-                let entry = flow.entry;
+                let pkt = SimPacket { bytes, flow: flow_id, sent_at: now, seq: 0 };
                 self.schedule(now, Event::Arrival { node: entry, pkt });
             }
             Err(_) => {
@@ -599,10 +759,165 @@ impl Simulator {
                 self.stats[flow_id].sent_pkts += 1;
             }
         }
-        let interval = self.flows[flow_id].interval_ns;
         let next = now + interval;
-        if next < self.flows[flow_id].stop_ns {
+        if next < stop_ns {
             self.schedule(next, Event::FlowSend { flow: flow_id });
+        }
+    }
+
+    /// A reactive flow's pacing tick: send the next new sequence number
+    /// if the window has room, else stall (the next ack restarts the
+    /// chain). The chain self-perpetuates — each successful new send
+    /// schedules the next opportunity one `pacing_ns` later.
+    fn handle_reactive_send(&mut self, flow_id: FlowId) {
+        let now = self.now_ns;
+        let mut to_schedule: Vec<(u64, Event)> = Vec::new();
+        {
+            let FlowSlot::Reactive(st) = &mut self.flows[flow_id] else {
+                return;
+            };
+            st.send_scheduled = false;
+            if st.done || st.next_seq >= st.cfg.total_pkts {
+                return;
+            }
+            if st.outstanding.len() >= st.cfg.window.max(1) {
+                // Ack-blocked: the closed loop is doing its job. No
+                // reschedule — handle_flow_ack restarts the chain.
+                self.stats[flow_id].backpressure_stalls += 1;
+                st.events.push(FlowEvent { at_ns: now, kind: FlowEventKind::Stalled });
+                return;
+            }
+            let seq = st.next_seq;
+            st.next_seq += 1;
+            st.last_send_ns = now;
+            self.stats[flow_id].sent_pkts += 1;
+            let payload = vec![0u8; st.cfg.payload_len];
+            match st.cfg.generator.generate(&payload, now / 1_000_000) {
+                Ok(bytes) => {
+                    self.stats[flow_id].sent_bytes += bytes.len() as u64;
+                    let pkt = SimPacket { bytes, flow: flow_id, sent_at: now, seq };
+                    to_schedule.push((now, Event::Arrival { node: st.cfg.entry, pkt }));
+                }
+                Err(_) => {
+                    // Generation failure: the packet never left the
+                    // host. It still occupies the window and arms its
+                    // timer — the retry path handles it like any loss
+                    // (by then the reservation may have become active).
+                }
+            }
+            st.outstanding.insert(seq, Outstanding { attempt: 0, rto_ns: st.cfg.rto_ns });
+            st.events.push(FlowEvent { at_ns: now, kind: FlowEventKind::Sent { seq } });
+            to_schedule
+                .push((now + st.cfg.rto_ns, Event::FlowRto { flow: flow_id, seq, attempt: 0 }));
+            if st.next_seq < st.cfg.total_pkts {
+                st.send_scheduled = true;
+                to_schedule
+                    .push((now + st.cfg.pacing_ns.max(1), Event::ReactiveSend { flow: flow_id }));
+            }
+        }
+        for (at, ev) in to_schedule {
+            self.schedule(at, ev);
+        }
+    }
+
+    /// The sender sees an acknowledgment: retire the sequence number,
+    /// open the window, restart a stalled send chain.
+    fn handle_flow_ack(&mut self, flow_id: FlowId, seq: u64) {
+        let now = self.now_ns;
+        let mut to_schedule: Vec<(u64, Event)> = Vec::new();
+        {
+            let FlowSlot::Reactive(st) = &mut self.flows[flow_id] else {
+                return;
+            };
+            if st.done || st.outstanding.remove(&seq).is_none() {
+                // Spurious ack: a retransmission's original copy also
+                // arrived, or the seq was already abandoned.
+                return;
+            }
+            st.acked += 1;
+            st.events.push(FlowEvent { at_ns: now, kind: FlowEventKind::Acked { seq } });
+            Self::after_retire(st, flow_id, now, &mut to_schedule);
+        }
+        for (at, ev) in to_schedule {
+            self.schedule(at, ev);
+        }
+    }
+
+    /// A retransmission timer fires: resend through the flow's *current*
+    /// generator with doubled (capped) RTO, or abandon the sequence
+    /// number once its budget is spent.
+    fn handle_flow_rto(&mut self, flow_id: FlowId, seq: u64, attempt: u32) {
+        let now = self.now_ns;
+        let mut to_schedule: Vec<(u64, Event)> = Vec::new();
+        {
+            let FlowSlot::Reactive(st) = &mut self.flows[flow_id] else {
+                return;
+            };
+            if st.done {
+                return;
+            }
+            let Some(out) = st.outstanding.get_mut(&seq) else {
+                return; // already acked
+            };
+            if out.attempt != attempt {
+                return; // stale timer from a superseded attempt
+            }
+            self.stats[flow_id].timeouts += 1;
+            st.events.push(FlowEvent { at_ns: now, kind: FlowEventKind::Timeout { seq } });
+            if out.attempt >= st.cfg.max_retransmits {
+                st.outstanding.remove(&seq);
+                st.abandoned += 1;
+                st.events.push(FlowEvent { at_ns: now, kind: FlowEventKind::Abandoned { seq } });
+                Self::after_retire(st, flow_id, now, &mut to_schedule);
+            } else {
+                out.attempt += 1;
+                out.rto_ns = out.rto_ns.saturating_mul(2).min(st.cfg.rto_max_ns.max(1));
+                let next_attempt = out.attempt;
+                let next_rto = out.rto_ns;
+                self.stats[flow_id].retransmits += 1;
+                self.stats[flow_id].sent_pkts += 1;
+                let payload = vec![0u8; st.cfg.payload_len];
+                // Regenerate through the *current* generator: a reroute
+                // applied since the original send puts the retry on the
+                // new path.
+                if let Ok(bytes) = st.cfg.generator.generate(&payload, now / 1_000_000) {
+                    self.stats[flow_id].sent_bytes += bytes.len() as u64;
+                    let pkt = SimPacket { bytes, flow: flow_id, sent_at: now, seq };
+                    to_schedule.push((now, Event::Arrival { node: st.cfg.entry, pkt }));
+                }
+                st.events.push(FlowEvent {
+                    at_ns: now,
+                    kind: FlowEventKind::Retransmit { seq, attempt: next_attempt },
+                });
+                to_schedule.push((
+                    now + next_rto,
+                    Event::FlowRto { flow: flow_id, seq, attempt: next_attempt },
+                ));
+            }
+        }
+        for (at, ev) in to_schedule {
+            self.schedule(at, ev);
+        }
+    }
+
+    /// Common tail of ack and abandon: check completion, and restart the
+    /// send chain if it stalled on the window this retirement just
+    /// opened (respecting the pacing floor).
+    fn after_retire(
+        st: &mut ReactiveState,
+        flow_id: FlowId,
+        now: u64,
+        to_schedule: &mut Vec<(u64, Event)>,
+    ) {
+        if st.complete() {
+            st.done = true;
+            st.events.push(FlowEvent { at_ns: now, kind: FlowEventKind::Completed });
+            return;
+        }
+        if !st.send_scheduled && st.next_seq < st.cfg.total_pkts {
+            st.send_scheduled = true;
+            let at = now.max(st.last_send_ns + st.cfg.pacing_ns.max(1));
+            to_schedule.push((at, Event::ReactiveSend { flow: flow_id }));
         }
     }
 
@@ -637,13 +952,21 @@ impl Simulator {
                 st.delivered_pkts += 1;
                 st.delivered_bytes += pkt.bytes.len() as u64;
                 let lat = now - pkt.sent_at;
-                st.latency_sum_ns += lat;
+                st.latency_sum_ns = st.latency_sum_ns.saturating_add(lat);
                 st.latency_max_ns = st.latency_max_ns.max(lat);
+                st.latency.record(lat);
                 let newest = &mut self.newest_delivered[pkt.flow];
                 if st.delivered_pkts > 1 && pkt.sent_at < *newest {
                     st.reordered_pkts += 1;
                 }
                 *newest = (*newest).max(pkt.sent_at);
+                // Closed loop: delivery of a reactive flow's packet
+                // schedules the sender-side ack after the modeled
+                // reverse-path delay.
+                if let FlowSlot::Reactive(rst) = &self.flows[pkt.flow] {
+                    let delay = rst.cfg.ack_delay_ns;
+                    self.schedule(now + delay, Event::FlowAck { flow: pkt.flow, seq: pkt.seq });
+                }
             }
             Node::Router { router, interfaces, local } => {
                 let mut bytes = pkt.bytes;
@@ -668,13 +991,21 @@ impl Simulator {
                             None => self.stats[pkt.flow].router_drops += 1,
                             Some(target) => {
                                 let depart = match &mut self.services[node_id] {
-                                    Some(svc) => svc.serve(now),
-                                    None => now,
+                                    Some(svc) => svc.try_serve(now),
+                                    None => Some(now),
                                 };
-                                if depart <= now {
-                                    self.handle_egress(target, pkt, class);
-                                } else {
-                                    self.schedule(depart, Event::Egress { target, pkt, class });
+                                match depart {
+                                    // The router's bounded queue is
+                                    // full: tail drop, named counter.
+                                    None => {
+                                        self.stats[pkt.flow].service_queue_drops += 1;
+                                    }
+                                    Some(depart) if depart <= now => {
+                                        self.handle_egress(target, pkt, class);
+                                    }
+                                    Some(depart) => {
+                                        self.schedule(depart, Event::Egress { target, pkt, class });
+                                    }
                                 }
                             }
                         }

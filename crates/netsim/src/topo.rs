@@ -25,8 +25,9 @@
 //! so node/link/interface wiring and the DRKey-master derivation rule
 //! live in exactly one place.
 
+use crate::flow::ReactiveFlow;
 use crate::scenario::{deploy_engine, family_credential, family_engine, EngineFamily};
-use crate::scenario::{EngineScenario, LinkSpec};
+use crate::scenario::{EngineScenario, LinkSpec, ReactiveProfile};
 use crate::sim::{Flow, FlowId, LinkId, Node, NodeId, ServiceModel, Simulator};
 use hummingbird_crypto::SecretValue;
 use hummingbird_dataplane::{
@@ -743,6 +744,66 @@ impl TopologyBuilder {
             interval_ns,
             start_ns,
             stop_ns,
+        });
+        self.routes.push(FlowRoute {
+            flow,
+            family,
+            src,
+            dst,
+            src_router,
+            dst_router,
+            credential_kbps,
+            path,
+        });
+        flow
+    }
+
+    /// Adds a closed-loop ([`ReactiveFlow`]) flow from a fresh source
+    /// identity behind `src_router` to `dst_router`'s attached host —
+    /// the reactive counterpart of
+    /// [`add_family_flow`](TopologyBuilder::add_family_flow). The route
+    /// is remembered, so churn re-paths the flow and its
+    /// retransmissions follow the new path.
+    #[allow(clippy::too_many_arguments)]
+    pub fn add_family_reactive_flow(
+        &mut self,
+        family: EngineFamily,
+        src_router: RouterId,
+        dst_router: RouterId,
+        payload_len: usize,
+        rate_kbps: u64,
+        credential_kbps: Option<u64>,
+        total_pkts: u64,
+        profile: ReactiveProfile,
+        start_ns: u64,
+    ) -> FlowId {
+        assert!(self.routers[dst_router].host.is_some(), "destination router has no host");
+        let path = self.shortest_path(src_router, dst_router).expect("graph is connected");
+        self.next_flow_src += 1;
+        let src = IsdAs::new(FLOW_ISD, self.next_flow_src);
+        let dst = self.routers[dst_router].isd_as;
+        let generator = self.build_generator(
+            family,
+            &path,
+            src,
+            dst,
+            credential_kbps,
+            start_ns / 1_000_000_000,
+        );
+        let entry = self.routers[path[0]].node;
+        let pacing_ns = (payload_len as u64 * 8).saturating_mul(1_000_000) / rate_kbps.max(1);
+        let flow = self.sim.add_reactive_flow(ReactiveFlow {
+            generator,
+            entry,
+            payload_len,
+            total_pkts,
+            window: profile.window.max(1),
+            pacing_ns,
+            ack_delay_ns: profile.ack_delay_ns,
+            rto_ns: profile.rto_ns,
+            rto_max_ns: profile.rto_max_ns,
+            max_retransmits: profile.max_retransmits,
+            start_ns,
         });
         self.routes.push(FlowRoute {
             flow,

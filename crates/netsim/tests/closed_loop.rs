@@ -1,0 +1,385 @@
+//! Closed-loop overload control, pinned:
+//!
+//! 1. **Overload sweep** per engine family × {single, 4-shard}: every
+//!    flow terminates (no livelock), conservation is exact (every wire
+//!    copy is delivered or attributed to a named drop counter), the
+//!    reservation families hold the reserved flow's goodput and p99
+//!    latency through 2× saturation while best-effort collapses
+//!    gracefully — bounded queues ⇒ bounded tail latency.
+//! 2. **Determinism**: the whole closed-loop outcome (stats + event
+//!    timelines) is bit-identical across engine shard counts when the
+//!    service model's core count is held fixed.
+//! 3. **Budget exhaustion terminates**: a flow into a blackholed path
+//!    retransmits up to its budget, abandons every packet, and
+//!    completes — no livelock.
+//! 4. **Churn + overload**: after a mid-saturation reroute (with a
+//!    convergence delay), reservation flows recover ≥ 0.9 delivery via
+//!    retransmission while best-effort degrades without collapse.
+//! 5. **Churn in the latency sweep**: per-family recovery bounds on the
+//!    Fig. 3/4 experiment under a scheduled link failure.
+
+use hummingbird_dataplane::RouterConfig;
+use hummingbird_netsim::{
+    run_latency_churn_scenario, run_overload_churn_scenario, run_overload_scenario, EngineFamily,
+    EngineScenario, FlowEventKind, FlowStats, LatencySpec, LinearTopology, LinkSpec,
+    OverloadChurnSpec, OverloadSpec, ReactiveProfile, ServiceModel,
+};
+use hummingbird_wire::IsdAs;
+
+const START_S: u64 = 1_700_000_000;
+const START_NS: u64 = START_S * 1_000_000_000;
+const SEC: u64 = 1_000_000_000;
+
+fn cfg() -> RouterConfig {
+    RouterConfig::default()
+}
+
+fn src() -> IsdAs {
+    IsdAs::new(1, 0xa)
+}
+fn dst() -> IsdAs {
+    IsdAs::new(2, 0xb)
+}
+
+/// Every wire copy a flow sent is either delivered or sits in exactly
+/// one named drop counter — the conservation identity that makes loss
+/// attributable.
+fn assert_conservation(label: &str, s: &FlowStats) {
+    let accounted = s.delivered_pkts
+        + s.router_drops
+        + s.queue_drops
+        + s.link_down_drops
+        + s.service_queue_drops;
+    assert_eq!(
+        s.sent_pkts,
+        accounted,
+        "{label}: conservation (sent {} != delivered {} + router {} + queue {} + link_down {} \
+         + service_queue {})",
+        s.sent_pkts,
+        s.delivered_pkts,
+        s.router_drops,
+        s.queue_drops,
+        s.link_down_drops,
+        s.service_queue_drops
+    );
+}
+
+/// The acceptance sweep: offered load through and past saturation for
+/// every family × {single, 4-shard}. Reservation families hold the
+/// reserved flow's goodput and p99 at the uncontended level; best
+/// effort collapses *gracefully* — goodput saturates at the leftover
+/// capacity, tail latency stays bounded by the queues, every loss lands
+/// in a named counter, and every flow still terminates.
+#[test]
+fn overload_sweep_across_families_and_shards() {
+    for family in EngineFamily::ALL {
+        for shards in [1usize, 4] {
+            let scenario = EngineScenario { family, shards };
+            let out = run_overload_scenario(cfg(), &OverloadSpec::new(scenario), START_NS);
+            let label = format!("{}x{shards}", family.name());
+            assert_eq!(out.points.len(), 4, "{label}: all sweep points present");
+
+            for p in &out.points {
+                let l = format!("{label}@{}", p.offered_kbps);
+                // Termination: the retransmit budget guarantees every
+                // flow completes — a livelock would show here first.
+                assert!(p.reserved_done, "{l}: reserved flow must terminate");
+                assert!(p.best_effort_done, "{l}: best-effort flow must terminate");
+                // Conservation: exact, for both flows, at every point.
+                assert_conservation(&format!("{l} reserved"), &p.reserved);
+                assert_conservation(&format!("{l} best-effort"), &p.best_effort);
+                // Bounded queues ⇒ bounded tails, for everyone, at any load.
+                assert!(
+                    p.reserved.p99_latency_ms() < 50.0,
+                    "{l}: reserved p99 {} ms must stay bounded",
+                    p.reserved.p99_latency_ms()
+                );
+                assert!(
+                    p.best_effort.p99_latency_ms() < 50.0,
+                    "{l}: best-effort p99 {} ms must stay bounded",
+                    p.best_effort.p99_latency_ms()
+                );
+                // Graceful degradation: even past saturation the
+                // best-effort loop keeps the majority of its copies.
+                assert!(
+                    p.best_effort.delivery_ratio() > 0.5,
+                    "{l}: best effort must degrade, not collapse (ratio {})",
+                    p.best_effort.delivery_ratio()
+                );
+            }
+
+            // Below saturation (first point): clean for everyone.
+            let base = &out.points[0];
+            assert!(base.reserved.delivery_ratio() > 0.99, "{label}: clean base");
+            assert_eq!(base.best_effort.retransmits, 0, "{label}: no base retransmits");
+
+            // Past saturation (last point, 2.5× the link): the loss
+            // machinery actually engaged.
+            let sat = &out.points[3];
+            assert!(sat.best_effort.queue_drops > 0, "{label}: overload must drop");
+            assert!(sat.best_effort.retransmits > 0, "{label}: drops must drive retries");
+            assert!(sat.best_effort.backpressure_stalls > 0, "{label}: window must stall");
+
+            if family.has_priority_class() {
+                // Reservation families: the reserved flow never notices.
+                for p in &out.points {
+                    assert!(
+                        p.reserved.delivery_ratio() > 0.95,
+                        "{label}@{}: reservation must protect delivery (ratio {})",
+                        p.offered_kbps,
+                        p.reserved.delivery_ratio()
+                    );
+                    assert!(
+                        p.reserved_elapsed_ns < 2 * SEC,
+                        "{label}@{}: reserved flow must finish on time ({} ns)",
+                        p.offered_kbps,
+                        p.reserved_elapsed_ns
+                    );
+                }
+                let base_p99 = base.reserved.p99_latency_ms();
+                let sat_p99 = sat.reserved.p99_latency_ms();
+                assert!(
+                    sat_p99 < base_p99 * 2.5 + 1.0,
+                    "{label}: reserved p99 must stay flat past saturation \
+                     ({sat_p99:.2} ms vs base {base_p99:.2} ms)"
+                );
+                // Best effort saturates at the leftover capacity: its
+                // completion-time goodput lands well under the offer.
+                assert!(
+                    sat.best_effort_goodput_kbps() < sat.offered_kbps as f64 * 0.6,
+                    "{label}: best effort must saturate ({} kbps of {} offered)",
+                    sat.best_effort_goodput_kbps(),
+                    sat.offered_kbps
+                );
+            } else {
+                // Authentication-only families: the reserved flow
+                // shares the contended queue and degrades with it.
+                assert!(
+                    sat.reserved.delivery_ratio() < 0.9,
+                    "{label}: no priority class, reserved cannot be protected (ratio {})",
+                    sat.reserved.delivery_ratio()
+                );
+            }
+        }
+    }
+}
+
+/// The closed loop is deterministic: with the service model's core
+/// count held fixed, running the identical overload point over a
+/// single-engine deployment and a 4-shard facade produces bit-identical
+/// flow stats *and* bit-identical event timelines.
+#[test]
+fn closed_loop_bit_identical_across_shard_counts() {
+    let run = |shards: usize| {
+        let link = LinkSpec { queue_cap_bytes: 16 * 1024, ..LinkSpec::default() };
+        let mut topo = LinearTopology::build(3, link, START_NS, cfg());
+        topo.install_engines(EngineScenario { family: EngineFamily::Hummingbird, shards }, cfg());
+        // Fixed 2-core service model regardless of engine shards: the
+        // sharding facade must be behavior-preserving.
+        topo.set_service_model(Some(ServiceModel::new(300, 2)));
+        let reserved = topo.add_family_reactive_flow(
+            EngineFamily::Hummingbird,
+            src(),
+            dst(),
+            1000,
+            2_000,
+            Some(3_000),
+            250,
+            ReactiveProfile::default(),
+            START_NS,
+        );
+        let best_effort = topo.add_family_reactive_flow(
+            EngineFamily::Hummingbird,
+            IsdAs::new(3, 0xc),
+            dst(),
+            1000,
+            16_000,
+            None,
+            1000,
+            ReactiveProfile::default(),
+            START_NS,
+        );
+        topo.sim.run_until(START_NS + 10 * SEC);
+        (
+            topo.sim.stats(reserved),
+            topo.sim.stats(best_effort),
+            topo.sim.flow_events(reserved).to_vec(),
+            topo.sim.flow_events(best_effort).to_vec(),
+        )
+    };
+    let single = run(1);
+    let sharded = run(4);
+    assert_eq!(single.0, sharded.0, "reserved stats must be bit-identical");
+    assert_eq!(single.1, sharded.1, "best-effort stats must be bit-identical");
+    assert_eq!(single.2, sharded.2, "reserved timeline must be bit-identical");
+    assert_eq!(single.3, sharded.3, "best-effort timeline must be bit-identical");
+}
+
+/// A reactive flow into a blackholed path terminates on its retransmit
+/// budget: every packet retries exactly `max_retransmits` times, gets
+/// abandoned, and the flow completes — no livelock, nothing delivered,
+/// every wire copy attributed to `link_down_drops`.
+#[test]
+fn retransmit_budget_exhaustion_terminates() {
+    let mut topo = LinearTopology::build(3, LinkSpec::default(), START_NS, cfg());
+    topo.install_engines(EngineScenario { family: EngineFamily::Hummingbird, shards: 1 }, cfg());
+    let profile = ReactiveProfile {
+        window: 32,
+        ack_delay_ns: 1_000_000,
+        rto_ns: 50_000_000,
+        rto_max_ns: 200_000_000,
+        max_retransmits: 3,
+    };
+    let total = 50u64;
+    let flow = topo.add_family_reactive_flow(
+        EngineFamily::Hummingbird,
+        src(),
+        dst(),
+        1000,
+        2_000,
+        Some(3_000),
+        total,
+        profile,
+        START_NS,
+    );
+    // Blackhole the first hop before anything is sent.
+    topo.sim.set_link_up(topo.links[0], false);
+    topo.sim.run_until(START_NS + 60 * SEC);
+
+    assert!(topo.sim.reactive_done(flow), "budget exhaustion must terminate the flow");
+    let s = topo.sim.stats(flow);
+    assert_eq!(s.delivered_pkts, 0, "nothing crosses a dead link");
+    assert_conservation("blackholed", &s);
+    assert_eq!(s.sent_pkts, s.link_down_drops, "every copy died on the dead link");
+    assert_eq!(
+        s.retransmits,
+        total * u64::from(profile.max_retransmits),
+        "every packet retries exactly its budget"
+    );
+    assert!(s.timeouts >= s.retransmits, "every retry was driven by a timeout");
+    let events = topo.sim.flow_events(flow);
+    assert_eq!(
+        events.iter().filter(|e| matches!(e.kind, FlowEventKind::Abandoned { .. })).count(),
+        total as usize,
+        "every packet must be abandoned"
+    );
+    assert!(
+        events.iter().any(|e| e.kind == FlowEventKind::Completed),
+        "the flow must report completion"
+    );
+}
+
+/// Churn under saturation: an on-path link failure mid-overload, a
+/// convergence delay in which retransmissions die into the dead path,
+/// then a reroute. Every family's reserved flow recovers ≥ 0.9 delivery
+/// in the recovery window *via retransmission* (the convergence-window
+/// losses regenerate down the new path), and the saturating best-effort
+/// flow degrades without collapse — it keeps terminating, with every
+/// loss named.
+#[test]
+fn overload_churn_recovers_after_reroute() {
+    for family in EngineFamily::ALL {
+        let scenario = EngineScenario { family, shards: 1 };
+        let out = run_overload_churn_scenario(cfg(), &OverloadChurnSpec::new(scenario), START_NS);
+        let label = family.name();
+
+        assert!(out.reserved_done, "{label}: reserved flow must terminate");
+        assert!(out.best_effort_done, "{label}: best-effort flow must terminate");
+        assert_conservation(&format!("{label} reserved"), &out.reserved_total);
+        assert_conservation(&format!("{label} best-effort"), &out.best_effort_total);
+
+        // The failure bit: sends died on the dead path during the
+        // convergence window, and the reroute pass then moved the flow.
+        assert!(out.reserved_outage.link_down_drops > 0, "{label}: outage must drop");
+        assert!(
+            out.reserved_outage.delivery_ratio() < 0.5,
+            "{label}: convergence window must hurt (ratio {})",
+            out.reserved_outage.delivery_ratio()
+        );
+        assert_eq!(out.reserved_total.reroutes, 1, "{label}: exactly one reroute");
+
+        // Retransmit-driven recovery: the convergence-window losses
+        // come back down the new path, and the recovery window clears
+        // the ≥ 0.9-delivery acceptance bar.
+        assert!(
+            out.reserved_recovery.delivery_ratio() >= 0.9,
+            "{label}: recovery delivery {} must reach 0.9",
+            out.reserved_recovery.delivery_ratio()
+        );
+        assert!(out.reserved_recovery.retransmits > 0, "{label}: recovery rides retransmits");
+        assert!(
+            out.reserved_total.delivery_ratio() > 0.9,
+            "{label}: end-to-end the reservation still held (ratio {})",
+            out.reserved_total.delivery_ratio()
+        );
+
+        // Best effort: degraded (it saw drops and retried), not collapsed.
+        assert!(out.best_effort_total.retransmits > 0, "{label}: best effort retried");
+        assert!(
+            out.best_effort_total.delivery_ratio() > 0.5,
+            "{label}: best effort must not collapse (ratio {})",
+            out.best_effort_total.delivery_ratio()
+        );
+        // Failure + reroute both landed in the report.
+        assert_eq!(out.report.records.len(), 2, "{label}: churn timeline recorded");
+    }
+}
+
+/// The Fig. 3/4 latency experiment under a scheduled mid-run link
+/// failure (satellite: churn in the latency sweeps). Per-family
+/// recovery bounds: without a flood every family recovers delivery and
+/// keeps its recovery latency within 3× of base (the reroute detours
+/// around the ring); under a 3× flood only the reservation families
+/// recover — authentication-only families stay drowned.
+#[test]
+fn latency_sweep_recovers_from_churn() {
+    for family in EngineFamily::ALL {
+        let scenario = EngineScenario { family, shards: 1 };
+        let label = family.name();
+
+        let spec = LatencySpec::new(scenario);
+        let out = run_latency_churn_scenario(cfg(), &spec, 42, 100_000_000, START_NS);
+        assert_eq!(out.report.records.len(), 2, "{label}: failure + reroute recorded");
+        assert!(out.base.delivery_ratio() > 0.99, "{label}: clean base window");
+        assert!(out.outage.link_down_drops > 0, "{label}: outage must drop");
+        assert!(
+            out.outage.delivery_ratio() < 0.5,
+            "{label}: outage must hurt (ratio {})",
+            out.outage.delivery_ratio()
+        );
+        assert!(
+            out.recovery.delivery_ratio() > 0.9,
+            "{label}: recovery delivery {} must reach 0.9",
+            out.recovery.delivery_ratio()
+        );
+        let base_ms = out.base.mean_latency_ms();
+        let recovery_ms = out.recovery.mean_latency_ms();
+        assert!(
+            recovery_ms < base_ms * 3.0 + 1.0,
+            "{label}: recovery latency {recovery_ms:.2} ms must stay within 3x of base \
+             {base_ms:.2} ms (longer detour path, no queueing blowup)"
+        );
+
+        // Under a 3× flood the recovery bound splits by family.
+        let flooded =
+            run_latency_churn_scenario(cfg(), &spec.with_flood(30_000), 42, 100_000_000, START_NS);
+        if family.has_priority_class() {
+            assert!(
+                flooded.recovery.delivery_ratio() > 0.9,
+                "{label}: reservation family must recover under flood (ratio {})",
+                flooded.recovery.delivery_ratio()
+            );
+            assert!(
+                flooded.recovery.mean_latency_ms() < base_ms * 3.0 + 1.0,
+                "{label}: flooded recovery latency {} must stay bounded",
+                flooded.recovery.mean_latency_ms()
+            );
+        } else {
+            assert!(
+                flooded.recovery.delivery_ratio() < 0.5,
+                "{label}: authentication-only family stays drowned (ratio {})",
+                flooded.recovery.delivery_ratio()
+            );
+        }
+    }
+}

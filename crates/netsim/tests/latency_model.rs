@@ -126,7 +126,7 @@ proptest! {
         };
         let mut topo = LinearTopology::build(n_ases, link, START_NS, RouterConfig::default());
         if service_ns > 0 {
-            topo.set_service_model(Some(ServiceModel { per_pkt_ns: service_ns, shards }));
+            topo.set_service_model(Some(ServiceModel::new(service_ns, shards)));
         }
         // 1 Mbps CBR: the packet interval (≥ 2.4 ms) dwarfs both the
         // worst-case serialization (~1.1 ms) and the service time, so no
@@ -188,7 +188,7 @@ proptest! {
 fn per_class_departures_stay_fifo_under_contention() {
     let cfg = RouterConfig::default();
     let mut topo = LinearTopology::build(3, LinkSpec::default(), START_NS, cfg);
-    topo.set_service_model(Some(ServiceModel { per_pkt_ns: 300, shards: 2 }));
+    topo.set_service_model(Some(ServiceModel::new(300, 2)));
     let run_s = 2u64;
     let victim =
         topo.add_cbr_flow(src(), dst(), 1000, 2_000, Some(3_000), START_NS, START_NS + run_s * SEC);
