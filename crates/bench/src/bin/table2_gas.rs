@@ -97,6 +97,7 @@ fn main() {
     let pending = tb.control.pending_requests(account);
     let delivery = hummingbird_control::EncryptedReservation {
         as_id,
+        request,
         sealed: hummingbird_crypto::sealed::seal(&pending[0].1.ephemeral_pk, &[0u8; 48], &mut rng),
     };
     let rx = tb.control.deliver_reservation(account, request, delivery).unwrap();

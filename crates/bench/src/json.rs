@@ -145,6 +145,59 @@
 //! }
 //! ```
 //!
+//! # Control-plane scale schema (`schema = 1`)
+//!
+//! Written by the `control_scale` binary: one seeded run that admits
+//! `reservations` reservations through the issue → redeem → deliver
+//! flow, renews every one through the O(1) renewal fast path, and
+//! batch-clears a round of sealed-bid auctions with the
+//! [`ClearingEngine`](../hummingbird_control/clearing/index.html). The
+//! binary verifies the conservation invariants before writing, so a
+//! checked-in document is also a green light.
+//!
+//! ```json
+//! {
+//!   "schema": 1,
+//!   "bench": "control",
+//!   "seed": 7,                    // deterministic run seed
+//!   "reservations": 1000000,      // reservations admitted and renewed
+//!   "shards": 8,                  // data-plane shards steering ResIDs
+//!   "auctions": 256,              // auctions in the cleared epoch
+//!   "phases": [
+//!     {
+//!       "phase": "admit",         // "admit" | "renew" | "clear"
+//!       "ops": 1000000,           // logical operations (reservations
+//!                                 //   admitted / renewed / auctions
+//!                                 //   settled)
+//!       "txs": 4000000,           // ledger transactions committed
+//!       "wall_ms": 31250.5,       // host wall-clock for the phase
+//!       "ops_per_sec": 32000.1    // ops / wall second (the trend)
+//!     }
+//!   ],
+//!   "state": {
+//!     "ledger_objects": 2000345,  // committed objects after the run
+//!     "ledger_bytes": 312000000,  // committed payload bytes
+//!     "bytes_per_reservation": 312.0, // ledger_bytes / reservations
+//!     "ledger_txs": 6000123,      // transactions committed in total
+//!     "res_id_high_water": 999999,// highest ResID in use on the
+//!                                 //   admission interface
+//!     "shard_skew": 1.0           // max/min active reservations
+//!   },                            //   across shards (1.0 = balanced)
+//!   "invariants": {
+//!     "bandwidth_time_conserved": true, // Σ granted bw×time == Σ issued
+//!     "coin_supply_conserved": true,    // minted == supply + burned gas
+//!     "shard_skew_ok": true,            // shard_skew <= 1.1
+//!     "renewal_keys_ok": true,          // sampled renewals unwrap to the
+//!                                       //   border-router A_K derivation
+//!     "auction_escrows_drained": true   // no MIST stranded in escrow
+//!   }
+//! }
+//! ```
+//!
+//! `wall_ms` / `ops_per_sec` are host-dependent (trend, not truth);
+//! counts, state and invariants are deterministic for a given seed.
+//! Floats degrade to `null` when non-finite, as everywhere else.
+//!
 //! No JSON library exists in the offline build environment, so the writers
 //! are hand-rolled for exactly these shapes; all strings they emit are
 //! engine/family identifiers (lowercase ASCII, no escaping needed).
@@ -488,6 +541,147 @@ pub fn write_overload_json(
     f.write_all(overload_json(pkts_cap, service_calibrated, records, saturation).as_bytes())
 }
 
+/// Head fields of a control-plane scale run (the `BENCH_control.json`
+/// document; schema in the module docs).
+#[derive(Clone, Debug, PartialEq)]
+pub struct ControlMeta {
+    /// Deterministic run seed.
+    pub seed: u64,
+    /// Reservations admitted and renewed.
+    pub reservations: u64,
+    /// Data-plane shards the ResID allocation steers across.
+    pub shards: usize,
+    /// Auctions batch-cleared in the settlement epoch.
+    pub auctions: u64,
+}
+
+/// One timed phase of a control-plane scale run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ControlPhase {
+    /// Phase name: `admit`, `renew` or `clear`.
+    pub phase: &'static str,
+    /// Logical operations (reservations admitted / renewed, auctions
+    /// settled).
+    pub ops: u64,
+    /// Ledger transactions committed during the phase.
+    pub txs: u64,
+    /// Host wall-clock for the phase, milliseconds.
+    pub wall_ms: f64,
+    /// Operations per wall-clock second — the throughput trend.
+    pub ops_per_sec: f64,
+}
+
+/// End-of-run ledger and allocator state.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ControlState {
+    /// Committed objects after the run.
+    pub ledger_objects: u64,
+    /// Committed payload bytes after the run.
+    pub ledger_bytes: u64,
+    /// `ledger_bytes / reservations` — the per-reservation footprint.
+    pub bytes_per_reservation: f64,
+    /// Transactions committed in total.
+    pub ledger_txs: u64,
+    /// Highest ResID in use on the admission interface.
+    pub res_id_high_water: u64,
+    /// Max/min active reservations across shards (1.0 = balanced).
+    pub shard_skew: f64,
+}
+
+/// The hard invariants a control-plane scale run must uphold; the
+/// binary exits nonzero when any is `false`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ControlInvariants {
+    /// Σ granted bandwidth×time equals Σ issued bandwidth×time.
+    pub bandwidth_time_conserved: bool,
+    /// Minted MIST equals remaining supply plus burned gas, exactly.
+    pub coin_supply_conserved: bool,
+    /// `shard_skew` within the 1.1 steering bound.
+    pub shard_skew_ok: bool,
+    /// Sampled renewal deliveries unwrap to the border-router `A_K`.
+    pub renewal_keys_ok: bool,
+    /// No MIST left in any auction escrow after clearing.
+    pub auction_escrows_drained: bool,
+}
+
+impl ControlInvariants {
+    /// Whether every invariant held.
+    pub fn all_ok(&self) -> bool {
+        self.bandwidth_time_conserved
+            && self.coin_supply_conserved
+            && self.shard_skew_ok
+            && self.renewal_keys_ok
+            && self.auction_escrows_drained
+    }
+}
+
+/// Serializes a control-plane scale run to the `BENCH_control.json`
+/// schema.
+pub fn control_json(
+    meta: &ControlMeta,
+    phases: &[ControlPhase],
+    state: &ControlState,
+    invariants: &ControlInvariants,
+) -> String {
+    let mut out = String::with_capacity(512 + phases.len() * 128);
+    out.push_str("{\n");
+    out.push_str("  \"schema\": 1,\n");
+    out.push_str("  \"bench\": \"control\",\n");
+    out.push_str(&format!("  \"seed\": {},\n", meta.seed));
+    out.push_str(&format!("  \"reservations\": {},\n", meta.reservations));
+    out.push_str(&format!("  \"shards\": {},\n", meta.shards));
+    out.push_str(&format!("  \"auctions\": {},\n", meta.auctions));
+    out.push_str("  \"phases\": [");
+    for (i, p) in phases.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        out.push_str(&format!(
+            "    {{\"phase\": \"{}\", \"ops\": {}, \"txs\": {}, \"wall_ms\": {}, \
+             \"ops_per_sec\": {}}}",
+            p.phase,
+            p.ops,
+            p.txs,
+            num(p.wall_ms),
+            num(p.ops_per_sec),
+        ));
+    }
+    out.push_str("\n  ],\n");
+    out.push_str(&format!(
+        "  \"state\": {{\"ledger_objects\": {}, \"ledger_bytes\": {}, \
+         \"bytes_per_reservation\": {}, \"ledger_txs\": {}, \"res_id_high_water\": {}, \
+         \"shard_skew\": {}}},\n",
+        state.ledger_objects,
+        state.ledger_bytes,
+        num(state.bytes_per_reservation),
+        state.ledger_txs,
+        state.res_id_high_water,
+        num(state.shard_skew),
+    ));
+    out.push_str(&format!(
+        "  \"invariants\": {{\"bandwidth_time_conserved\": {}, \"coin_supply_conserved\": {}, \
+         \"shard_skew_ok\": {}, \"renewal_keys_ok\": {}, \"auction_escrows_drained\": {}}}\n",
+        invariants.bandwidth_time_conserved,
+        invariants.coin_supply_conserved,
+        invariants.shard_skew_ok,
+        invariants.renewal_keys_ok,
+        invariants.auction_escrows_drained,
+    ));
+    out.push_str("}\n");
+    out
+}
+
+/// Writes the control-plane document to `path` (truncate + write, like
+/// [`write_hotpath_json`]).
+pub fn write_control_json(
+    path: &str,
+    meta: &ControlMeta,
+    phases: &[ControlPhase],
+    state: &ControlState,
+    invariants: &ControlInvariants,
+) -> std::io::Result<()> {
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(control_json(meta, phases, state, invariants).as_bytes())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -646,5 +840,76 @@ mod tests {
         let empty = overload_json(0, false, &[], &[]);
         assert!(empty.contains("\"records\": [\n  ],"));
         assert!(empty.contains("\"saturation\": [\n  ]"));
+    }
+
+    #[test]
+    fn control_schema_shape_is_stable() {
+        let meta = ControlMeta { seed: 7, reservations: 1_000_000, shards: 8, auctions: 256 };
+        let phases = vec![
+            ControlPhase {
+                phase: "admit",
+                ops: 1_000_000,
+                txs: 4_000_000,
+                wall_ms: 31250.5,
+                ops_per_sec: 32000.0512,
+            },
+            ControlPhase {
+                phase: "renew",
+                ops: 1_000_000,
+                txs: 1_000_128,
+                wall_ms: f64::NAN,
+                ops_per_sec: f64::INFINITY,
+            },
+        ];
+        let state = ControlState {
+            ledger_objects: 2_000_345,
+            ledger_bytes: 312_000_000,
+            bytes_per_reservation: 312.0,
+            ledger_txs: 6_000_123,
+            res_id_high_water: 999_999,
+            shard_skew: 1.0004,
+        };
+        let invariants = ControlInvariants {
+            bandwidth_time_conserved: true,
+            coin_supply_conserved: true,
+            shard_skew_ok: true,
+            renewal_keys_ok: true,
+            auction_escrows_drained: false,
+        };
+        assert!(!invariants.all_ok());
+        let doc = control_json(&meta, &phases, &state, &invariants);
+        assert!(doc.starts_with("{\n  \"schema\": 1,\n  \"bench\": \"control\","));
+        assert!(doc.contains("\"seed\": 7"));
+        assert!(doc.contains("\"reservations\": 1000000"));
+        assert!(doc.contains("\"shards\": 8"));
+        assert!(doc.contains("\"auctions\": 256"));
+        assert!(doc.contains(
+            "{\"phase\": \"admit\", \"ops\": 1000000, \"txs\": 4000000, \
+             \"wall_ms\": 31250.500, \"ops_per_sec\": 32000.051}"
+        ));
+        // Non-finite floats degrade to null.
+        assert!(doc.contains(
+            "{\"phase\": \"renew\", \"ops\": 1000000, \"txs\": 1000128, \
+             \"wall_ms\": null, \"ops_per_sec\": null}"
+        ));
+        assert!(doc.contains(
+            "\"state\": {\"ledger_objects\": 2000345, \"ledger_bytes\": 312000000, \
+             \"bytes_per_reservation\": 312.000, \"ledger_txs\": 6000123, \
+             \"res_id_high_water\": 999999, \"shard_skew\": 1.000}"
+        ));
+        assert!(doc.contains(
+            "\"invariants\": {\"bandwidth_time_conserved\": true, \
+             \"coin_supply_conserved\": true, \"shard_skew_ok\": true, \
+             \"renewal_keys_ok\": true, \"auction_escrows_drained\": false}"
+        ));
+        assert!(!doc.contains("NaN") && !doc.contains("inf"));
+        assert_eq!(doc.matches('{').count(), doc.matches('}').count());
+        assert_eq!(doc.matches('[').count(), doc.matches(']').count());
+        // A run with no phases still serializes.
+        let all_ok = ControlInvariants { auction_escrows_drained: true, ..invariants };
+        assert!(all_ok.all_ok());
+        let empty = control_json(&meta, &[], &state, &all_ok);
+        assert!(empty.contains("\"phases\": [\n  ],"));
+        assert_eq!(empty.matches('{').count(), empty.matches('}').count());
     }
 }

@@ -13,9 +13,10 @@
 pub mod json;
 
 pub use json::{
-    hotpath_json, netsim_json, overload_json, write_hotpath_json, write_netsim_json,
-    write_overload_json, BenchRecord, HotpathMeta, NetsimRecord, OverloadRecord,
-    OverloadSaturation, ScalingCurve, ScalingPoint,
+    control_json, hotpath_json, netsim_json, overload_json, write_control_json, write_hotpath_json,
+    write_netsim_json, write_overload_json, BenchRecord, ControlInvariants, ControlMeta,
+    ControlPhase, ControlState, HotpathMeta, NetsimRecord, OverloadRecord, OverloadSaturation,
+    ScalingCurve, ScalingPoint,
 };
 
 use hummingbird_baselines::drkey::epoch_of;

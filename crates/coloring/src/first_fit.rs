@@ -55,6 +55,31 @@ impl FirstFit {
         }
     }
 
+    /// Extends an active reservation's interval in place to `new_end`
+    /// without changing its color — the renewal fast path. Succeeds iff
+    /// the reservation `(res_id, iv)` is active, `new_end > iv.end`, and
+    /// the extension does not run into the next interval on the same
+    /// color. Only the successor interval needs checking because the
+    /// per-color vectors are non-overlapping and sorted by start.
+    pub fn try_extend(&mut self, res_id: u32, iv: &Interval, new_end: u64) -> bool {
+        if new_end <= iv.end {
+            return false;
+        }
+        let Some(actives) = self.colors.get_mut(res_id as usize) else {
+            return false;
+        };
+        let Some(pos) = actives.iter().position(|a| a == iv) else {
+            return false;
+        };
+        if let Some(next) = actives.get(pos + 1) {
+            if next.start < new_end {
+                return false;
+            }
+        }
+        actives[pos].end = new_end;
+        true
+    }
+
     /// Removes a specific reservation (e.g. cancelled), returning whether
     /// it was present.
     pub fn release(&mut self, res_id: u32, iv: &Interval) -> bool {
@@ -151,6 +176,22 @@ mod tests {
         assert!(ff.release(0, &iv));
         assert!(!ff.release(0, &iv));
         assert_eq!(ff.assign(Interval::new(50, 60)), Some(0));
+    }
+
+    #[test]
+    fn extend_in_place_respects_successor() {
+        let mut ff = FirstFit::new(4);
+        let iv = Interval::new(0, 10);
+        assert_eq!(ff.assign(iv), Some(0));
+        // Color 0 also holds [20, 30): the extension may reach 20, not past.
+        assert_eq!(ff.assign(Interval::new(20, 30)), Some(0));
+        assert!(!ff.try_extend(0, &iv, 10), "new_end must grow the interval");
+        assert!(!ff.try_extend(0, &iv, 25), "cannot run into the successor");
+        assert!(ff.try_extend(0, &iv, 20));
+        assert!(ff.is_valid());
+        // The stored interval changed, so the old handle no longer matches.
+        assert!(!ff.try_extend(0, &iv, 30));
+        assert!(!ff.try_extend(1, &Interval::new(0, 20), 30), "unknown color fails");
     }
 
     #[test]

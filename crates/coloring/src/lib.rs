@@ -9,6 +9,10 @@
 //!
 //! * [`FirstFit`] — the algorithm the paper's client application uses
 //!   (§6.1); near-optimal on practical workloads;
+//! * [`ShardedFirstFit`] — a steering-aware variant that partitions the
+//!   color space into the dataplane's per-shard ResID ranges, always
+//!   allocating from the least-loaded shard, with O(log)/O(1) fast paths
+//!   for million-reservation ingresses;
 //! * [`KiersteadTrotter`] — the optimal 3-competitive online algorithm the
 //!   paper cites for its worst-case `ResIDmax = 3 · TotalBW/MinBW` bound;
 //! * [`color_optimal`] — the offline optimum (sweep line) as a baseline;
@@ -21,11 +25,13 @@ mod first_fit;
 mod interval;
 mod kt;
 mod offline;
+mod sharded;
 
 pub use first_fit::FirstFit;
 pub use interval::{max_overlap, Interval};
 pub use kt::KiersteadTrotter;
 pub use offline::color_optimal;
+pub use sharded::ShardedFirstFit;
 
 /// Competitiveness of the optimal online interval coloring algorithm
 /// (Kierstead-Trotter): `R = 3`.

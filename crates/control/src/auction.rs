@@ -67,6 +67,11 @@ pub struct Auction {
     pub reserve_price: u64,
     /// Current phase.
     pub phase: Phase,
+    /// The settlement epoch this auction belongs to (§5.3's "discrete
+    /// rounds in which the auctions complete"). The [`crate::clearing`]
+    /// engine settles every auction of an epoch in one batched
+    /// transaction; 0 means "unscheduled" (settled individually).
+    pub close_epoch: u64,
 }
 
 impl Auction {
@@ -76,6 +81,7 @@ impl Auction {
         w.bytes(&self.asset.0);
         w.u64(self.reserve_price);
         w.u8(self.phase.encode());
+        w.u64(self.close_epoch);
         w.finish()
     }
 
@@ -86,23 +92,25 @@ impl Auction {
             asset: ObjectId(r.array::<32>()?),
             reserve_price: r.u64()?,
             phase: Phase::decode(r.u8()?)?,
+            close_epoch: r.u64()?,
         };
         r.finish()?;
         Ok(a)
     }
 }
 
-/// On-chain bid state.
+/// On-chain bid state (crate-visible so the clearing engine can settle
+/// batches with the exact same ranking logic).
 #[derive(Clone, Debug, PartialEq, Eq)]
-struct Bid {
-    bidder: Address,
-    commitment: [u8; 32],
-    deposit: u64,
-    revealed_amount: Option<u64>,
+pub(crate) struct Bid {
+    pub(crate) bidder: Address,
+    pub(crate) commitment: [u8; 32],
+    pub(crate) deposit: u64,
+    pub(crate) revealed_amount: Option<u64>,
 }
 
 impl Bid {
-    fn encode(&self) -> Vec<u8> {
+    pub(crate) fn encode(&self) -> Vec<u8> {
         let mut w = Writer::new();
         w.bytes(&self.bidder.0);
         w.bytes(&self.commitment);
@@ -117,7 +125,7 @@ impl Bid {
         w.finish()
     }
 
-    fn decode(bytes: &[u8]) -> Result<Self, DecodeError> {
+    pub(crate) fn decode(bytes: &[u8]) -> Result<Self, DecodeError> {
         let mut r = Reader::new(bytes);
         let bidder = Address(r.array::<32>()?);
         let commitment = r.array::<32>()?;
@@ -130,7 +138,7 @@ impl Bid {
 
 /// The auction escrow account (derived from the auction object ID): bids'
 /// deposits are held here until settlement.
-fn escrow_address(auction: ObjectId) -> Address {
+pub(crate) fn escrow_address(auction: ObjectId) -> Address {
     let mut h = Sha256::new();
     h.update(b"hummingbird-auction-escrow");
     h.update(&auction.0);
@@ -159,8 +167,72 @@ pub struct AuctionOutcome {
     pub revealed_bids: usize,
 }
 
-fn read_auction(ctx: &mut TxContext, id: ObjectId) -> Result<Auction, ExecError> {
-    Ok(Auction::decode(&ctx.read(id, TAG_AUCTION)?)?)
+pub(crate) fn read_auction(ctx: &mut TxContext, id: ObjectId) -> Result<Auction, ExecError> {
+    Ok(Auction::decode(ctx.read_ref(id, TAG_AUCTION)?)?)
+}
+
+/// Settlement contract logic for one auction, usable standalone
+/// ([`ControlPlane::settle_auction`]) or inside an epoch-clearing batch
+/// transaction ([`crate::ClearingEngine::clear_epoch`]), so both paths
+/// produce identical winners, prices, and ledger effects by construction.
+pub(crate) fn settle_auction_inner(
+    ctx: &mut TxContext,
+    auction_id: ObjectId,
+    bid_ids: &[ObjectId],
+) -> Result<AuctionOutcome, ExecError> {
+    let auction = read_auction(ctx, auction_id)?;
+    if auction.phase != Phase::Reveal {
+        return Err(ExecError::Contract("close bidding first".into()));
+    }
+    let escrow = escrow_address(auction_id);
+
+    // Load all bids.
+    let mut bids = Vec::with_capacity(bid_ids.len());
+    for &id in bid_ids {
+        bids.push((id, Bid::decode(ctx.read_ref(id, TAG_BID)?)?));
+    }
+    // Rank revealed bids meeting the reserve; ties break by bid
+    // object ID for determinism.
+    let mut ranked: Vec<(u64, usize)> = bids
+        .iter()
+        .enumerate()
+        .filter_map(|(i, (_, b))| {
+            b.revealed_amount.filter(|&a| a >= auction.reserve_price).map(|a| (a, i))
+        })
+        .collect();
+    ranked.sort_by(|a, b| b.cmp(a));
+    let revealed_bids = ranked.len();
+
+    let outcome = if let Some(&(top, winner_idx)) = ranked.first() {
+        // Vickrey price: second-highest revealed bid or reserve.
+        let price = ranked.get(1).map(|&(a, _)| a).unwrap_or(auction.reserve_price);
+        debug_assert!(price <= top);
+        let winner = bids[winner_idx].1.bidder;
+        // Pay the seller from escrow, refund the winner's change.
+        ctx.pay_from(escrow, auction.seller, price);
+        ctx.pay_from(escrow, winner, bids[winner_idx].1.deposit - price);
+        // Refund every other deposit (revealed or not).
+        for (i, (_, b)) in bids.iter().enumerate() {
+            if i != winner_idx {
+                ctx.pay_from(escrow, b.bidder, b.deposit);
+            }
+        }
+        ctx.transfer(auction.asset, Owner::Address(winner))?;
+        AuctionOutcome { winner: Some((winner, auction.asset)), price, revealed_bids }
+    } else {
+        // No valid bid: refund everyone, return the asset.
+        for (_, b) in &bids {
+            ctx.pay_from(escrow, b.bidder, b.deposit);
+        }
+        ctx.transfer(auction.asset, Owner::Address(auction.seller))?;
+        AuctionOutcome { winner: None, price: 0, revealed_bids }
+    };
+    // Tear down: delete bids and the auction (storage rebates).
+    for (id, _) in &bids {
+        ctx.delete(*id)?;
+    }
+    ctx.delete(auction_id)?;
+    Ok(outcome)
 }
 
 impl ControlPlane {
@@ -171,6 +243,19 @@ impl ControlPlane {
         asset_id: ObjectId,
         reserve_price: u64,
     ) -> CpResult<ObjectId> {
+        self.create_auction_at(seller, asset_id, reserve_price, 0)
+    }
+
+    /// Like [`Self::create_auction`], but stamps the auction with the
+    /// settlement epoch it belongs to so a [`crate::ClearingEngine`] can
+    /// batch-settle it together with every other auction of that epoch.
+    pub fn create_auction_at(
+        &mut self,
+        seller: Address,
+        asset_id: ObjectId,
+        reserve_price: u64,
+        close_epoch: u64,
+    ) -> CpResult<ObjectId> {
         self.exec(seller, move |ctx| {
             read_asset(ctx, asset_id)?; // ownership check
             let auction = Auction {
@@ -178,6 +263,7 @@ impl ControlPlane {
                 asset: asset_id,
                 reserve_price,
                 phase: Phase::Commit,
+                close_epoch,
             };
             let auction_id = ctx.create(Owner::Shared, TAG_AUCTION, auction.encode());
             ctx.transfer(asset_id, Owner::Object(auction_id))?;
@@ -234,7 +320,7 @@ impl ControlPlane {
             if auction.phase != Phase::Reveal {
                 return Err(ExecError::Contract("not in the reveal phase".into()));
             }
-            let mut bid = Bid::decode(&ctx.read(bid_id, TAG_BID)?)?;
+            let mut bid = Bid::decode(ctx.read_ref(bid_id, TAG_BID)?)?;
             if bid.bidder != ctx.sender() {
                 return Err(ExecError::Contract("not your bid".into()));
             }
@@ -261,73 +347,17 @@ impl ControlPlane {
         bid_ids: &[ObjectId],
     ) -> CpResult<AuctionOutcome> {
         let bid_ids = bid_ids.to_vec();
-        self.exec(caller, move |ctx| {
-            let auction = read_auction(ctx, auction_id)?;
-            if auction.phase != Phase::Reveal {
-                return Err(ExecError::Contract("close bidding first".into()));
-            }
-            let escrow = escrow_address(auction_id);
-
-            // Load all bids.
-            let mut bids = Vec::with_capacity(bid_ids.len());
-            for &id in &bid_ids {
-                bids.push((id, Bid::decode(&ctx.read(id, TAG_BID)?)?));
-            }
-            // Rank revealed bids meeting the reserve; ties break by bid
-            // object ID for determinism.
-            let mut ranked: Vec<(u64, usize)> = bids
-                .iter()
-                .enumerate()
-                .filter_map(|(i, (_, b))| {
-                    b.revealed_amount.filter(|&a| a >= auction.reserve_price).map(|a| (a, i))
-                })
-                .collect();
-            ranked.sort_by(|a, b| b.cmp(a));
-            let revealed_bids = ranked.len();
-
-            let outcome = if let Some(&(top, winner_idx)) = ranked.first() {
-                // Vickrey price: second-highest revealed bid or reserve.
-                let price = ranked.get(1).map(|&(a, _)| a).unwrap_or(auction.reserve_price);
-                debug_assert!(price <= top);
-                let winner = bids[winner_idx].1.bidder;
-                // Pay the seller from escrow, refund the winner's change.
-                ctx.pay_from(escrow, auction.seller, price);
-                ctx.pay_from(escrow, winner, bids[winner_idx].1.deposit - price);
-                // Refund every other deposit (revealed or not).
-                for (i, (_, b)) in bids.iter().enumerate() {
-                    if i != winner_idx {
-                        ctx.pay_from(escrow, b.bidder, b.deposit);
-                    }
-                }
-                ctx.transfer(auction.asset, Owner::Address(winner))?;
-                AuctionOutcome { winner: Some((winner, auction.asset)), price, revealed_bids }
-            } else {
-                // No valid bid: refund everyone, return the asset.
-                for (_, b) in &bids {
-                    ctx.pay_from(escrow, b.bidder, b.deposit);
-                }
-                ctx.transfer(auction.asset, Owner::Address(auction.seller))?;
-                AuctionOutcome { winner: None, price: 0, revealed_bids }
-            };
-            // Tear down: delete bids and the auction (storage rebates).
-            for (id, _) in &bids {
-                ctx.delete(*id)?;
-            }
-            ctx.delete(auction_id)?;
-            Ok(outcome)
-        })
+        self.exec(caller, move |ctx| settle_auction_inner(ctx, auction_id, &bid_ids))
     }
 
-    /// Public chain scan: bid objects of an auction.
+    /// Public chain scan: bid objects of an auction, in object-ID order.
+    /// Served from the ledger's owner/type index — O(bids of this
+    /// auction), not O(total objects).
     pub fn auction_bids(&self, auction_id: ObjectId) -> Vec<ObjectId> {
-        let mut out: Vec<ObjectId> = self
-            .ledger
-            .objects()
-            .filter(|e| e.meta.type_tag == TAG_BID && e.meta.owner == Owner::Object(auction_id))
+        self.ledger
+            .objects_owned_by(Owner::Object(auction_id), TAG_BID)
             .map(|e| e.meta.id)
-            .collect();
-        out.sort();
-        out
+            .collect()
     }
 
     /// Public chain scan: the asset escrowed under an auction (checked

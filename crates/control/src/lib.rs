@@ -15,23 +15,31 @@
 //! * [`client`] — the end-host client: purchases, ephemeral keys,
 //!   collecting deliveries into usable reservations.
 //! * [`pki`] — trust anchors and AS registration possession proofs.
+//! * [`clearing`] — epoch-batched auction settlement: one transaction
+//!   clears every auction of a settlement round.
+//! * [`renewal`] — the O(1) renewal fast path: extend a live reservation
+//!   without a market purchase or re-coloring.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod auction;
+pub mod clearing;
 pub mod client;
 pub mod market;
 pub mod pki;
 pub mod plane;
+pub mod renewal;
 pub mod service;
 pub mod types;
 
 pub use auction::{bid_commitment, Auction, AuctionOutcome, Phase};
+pub use clearing::ClearingEngine;
 pub use client::{Client, GrantedReservation};
 pub use market::{HopPurchase, PurchaseSpec};
 pub use plane::{ControlPlane, CpResult};
-pub use service::{AsService, IssuedReservation, ReservationPayload, ServiceError};
+pub use renewal::{renewal_wrap_key, RenewalRequest, RenewedReservation, TAG_RENEWAL, TAG_RENEWED};
+pub use service::{AsService, IssuedReservation, RenewalReport, ReservationPayload, ServiceError};
 pub use types::{
     AuthToken, BandwidthAsset, Direction, EncryptedReservation, Listing, RedeemRequest,
 };
@@ -337,6 +345,69 @@ mod tests {
             .unwrap();
         w.service.process_requests(&mut w.cp, &mut w.rng).unwrap();
         assert_eq!(w.service.res_id_high_water(1).unwrap(), first_high);
+    }
+
+    #[test]
+    fn end_to_end_renewal_fast_path() {
+        let mut w = setup();
+        let mut rng = StdRng::seed_from_u64(13);
+        let (l_in, l_eg) = list_pair(&mut w, 1, 2);
+        let spec = PurchaseSpec { start: 0, end: HOUR, bandwidth_kbps: 4_000 };
+        w.client.buy_and_redeem_path(&mut w.cp, w.market, &[(l_in, l_eg, spec)], &mut rng).unwrap();
+        w.service.process_requests(&mut w.cp, &mut w.rng).unwrap();
+        w.client.collect_deliveries(&w.cp).unwrap();
+        let first = w.client.reservations()[0].clone();
+
+        // Renew twice: each renewal appends one more window, same ResID.
+        let as_acct = w.service.account;
+        for generation in 0..2u32 {
+            w.client
+                .request_renewal(
+                    &mut w.cp,
+                    as_acct,
+                    first.res_info.ingress,
+                    first.res_info.res_id,
+                    generation,
+                    500,
+                )
+                .unwrap();
+            let report = w.service.process_renewals(&mut w.cp, &mut w.rng).unwrap();
+            assert_eq!(report.delivered.len(), 1);
+            assert_eq!(report.rejected, 0);
+            assert_eq!(w.client.collect_renewals(&w.cp).unwrap(), 1);
+        }
+        let all = w.client.reservations();
+        assert_eq!(all.len(), 3);
+        for (i, g) in all.iter().enumerate() {
+            // Same ResID and hop set; consecutive windows.
+            assert_eq!(g.res_info.res_id, first.res_info.res_id);
+            assert_eq!(g.res_info.ingress, first.res_info.ingress);
+            assert_eq!(g.res_info.egress, first.res_info.egress);
+            assert_eq!(g.res_info.res_start as u64, i as u64 * HOUR);
+            // Each window's key matches the border-router derivation.
+            assert_eq!(g.key, w.service.secret_value().derive_key(&g.res_info));
+        }
+
+        // A stale (replayed) generation is rejected and the fee refunded.
+        let balance_before = w.cp.ledger.balance(w.client.account);
+        let rx = w
+            .client
+            .request_renewal(
+                &mut w.cp,
+                as_acct,
+                first.res_info.ingress,
+                first.res_info.res_id,
+                0,
+                500,
+            )
+            .unwrap();
+        let report = w.service.process_renewals(&mut w.cp, &mut w.rng).unwrap();
+        assert_eq!(report.delivered.len(), 0);
+        assert_eq!(report.rejected, 1);
+        // Fee came back; only the request's gas was spent.
+        let spent = i128::from(balance_before) - i128::from(w.cp.ledger.balance(w.client.account));
+        assert_eq!(spent, rx.gas.total_mist(), "fee refunded, only gas spent");
+        assert_eq!(w.client.collect_renewals(&w.cp).unwrap(), 0);
     }
 
     #[test]

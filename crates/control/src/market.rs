@@ -53,7 +53,7 @@ impl ControlPlane {
     /// Registers `sender` as a seller on `market`.
     pub fn register_seller(&mut self, sender: Address, market: ObjectId) -> CpResult<ObjectId> {
         self.exec(sender, move |ctx| {
-            ctx.read(market, TAG_MARKET)?;
+            ctx.read_ref(market, TAG_MARKET)?;
             let mut data = Vec::with_capacity(32);
             data.extend_from_slice(&ctx.sender().0);
             Ok(ctx.create(Owner::Object(market), TAG_SELLER, data))
@@ -70,7 +70,7 @@ impl ControlPlane {
         price_per_kbps_sec: u64,
     ) -> CpResult<ObjectId> {
         self.exec(sender, move |ctx| {
-            ctx.read(market, TAG_MARKET)?;
+            ctx.read_ref(market, TAG_MARKET)?;
             // Reading the asset checks the sender owns it.
             read_asset(ctx, asset_id)?;
             ctx.transfer(asset_id, Owner::Object(market))?;
@@ -118,45 +118,30 @@ impl ControlPlane {
         })
     }
 
-    /// Scans the chain for all listings on `market`, joined with their
-    /// escrowed assets (public state: how clients browse the market).
+    /// All listings on `market`, joined with their escrowed assets
+    /// (public state: how clients browse the market), in object-ID order.
+    /// Served from the ledger's owner/type index — O(listings of this
+    /// market), not O(total objects).
     pub fn listings(&self, market: ObjectId) -> Vec<(ObjectId, Listing, BandwidthAsset)> {
-        let mut out: Vec<(ObjectId, Listing, BandwidthAsset)> = self
-            .ledger
-            .objects()
-            .filter(|e| e.meta.type_tag == TAG_LISTING && e.meta.owner == Owner::Object(market))
+        self.ledger
+            .objects_owned_by(Owner::Object(market), TAG_LISTING)
             .filter_map(|e| {
                 let listing = Listing::decode(&e.data).ok()?;
                 let asset = self.asset(listing.asset)?;
                 Some((e.meta.id, listing, asset))
             })
-            .collect();
-        out.sort_by_key(|(id, _, _)| *id);
-        out
+            .collect()
     }
 
     pub(crate) fn as_accounts_snapshot(&self) -> HashMap<IsdAs, Address> {
-        let mut map = HashMap::new();
-        for (as_id, addr) in self.registered_ases() {
-            map.insert(as_id, addr);
-        }
-        map
+        self.as_accounts.clone()
     }
 
-    /// All registered ASes and their accounts (scanned from auth tokens).
+    /// All registered ASes and their accounts (the registry maintained by
+    /// [`ControlPlane::register_as`]), sorted by AS identifier.
     pub fn registered_ases(&self) -> Vec<(IsdAs, Address)> {
-        let mut out: Vec<(IsdAs, Address)> = self
-            .ledger
-            .objects()
-            .filter(|e| e.meta.type_tag == TAG_AUTH_TOKEN)
-            .filter_map(|e| {
-                let token = AuthToken::decode(&e.data).ok()?;
-                match e.meta.owner {
-                    Owner::Address(a) => Some((token.as_id, a)),
-                    _ => None,
-                }
-            })
-            .collect();
+        let mut out: Vec<(IsdAs, Address)> =
+            self.as_accounts.iter().map(|(as_id, addr)| (*as_id, *addr)).collect();
         out.sort_by_key(|(as_id, _)| *as_id);
         out
     }
@@ -170,8 +155,8 @@ pub(crate) fn buy_inner(
     listing_id: ObjectId,
     spec: PurchaseSpec,
 ) -> Result<ObjectId, ExecError> {
-    ctx.read(market, TAG_MARKET)?;
-    let listing = Listing::decode(&ctx.read(listing_id, TAG_LISTING)?)?;
+    ctx.read_ref(market, TAG_MARKET)?;
+    let listing = Listing::decode(ctx.read_ref(listing_id, TAG_LISTING)?)?;
     let asset = read_asset(ctx, listing.asset)?;
 
     // Validate the requested dimensions.

@@ -31,7 +31,7 @@ pub struct ControlPlane {
     /// Trust anchors for AS registration proofs.
     pub anchors: TrustAnchors,
     gas_coins: HashMap<Address, ObjectId>,
-    as_accounts: HashMap<IsdAs, Address>,
+    pub(crate) as_accounts: HashMap<IsdAs, Address>,
 }
 
 impl Default for ControlPlane {
@@ -72,8 +72,10 @@ impl ControlPlane {
         let receipt = self.ledger.execute(sender, |ctx| {
             let coin = match known_coin {
                 Some(id) => {
-                    let data = ctx.read(id, TAG_GAS_COIN)?;
-                    ctx.write(id, TAG_GAS_COIN, data)?;
+                    // Version-bump the coin without cloning its payload
+                    // through contract code; `touch` charges the same gas
+                    // as the read+write it replaces.
+                    ctx.touch(id, TAG_GAS_COIN)?;
                     id
                 }
                 None => {
@@ -125,7 +127,7 @@ impl ControlPlane {
         asset: BandwidthAsset,
     ) -> CpResult<ObjectId> {
         self.exec(sender, move |ctx| {
-            let token = AuthToken::decode(&ctx.read(token_id, TAG_AUTH_TOKEN)?)?;
+            let token = AuthToken::decode(ctx.read_ref(token_id, TAG_AUTH_TOKEN)?)?;
             if token.as_id != asset.as_id {
                 return Err(ExecError::Contract(
                     "auth token does not match asset AS identifier".into(),
@@ -259,7 +261,10 @@ impl ControlPlane {
         delivery: EncryptedReservation,
     ) -> CpResult<ObjectId> {
         self.exec(sender, move |ctx| {
-            let request = RedeemRequest::decode(&ctx.read(request_id, TAG_REDEEM)?)?;
+            if delivery.request != request_id {
+                return Err(ExecError::Contract("delivery answers a different request".into()));
+            }
+            let request = RedeemRequest::decode(ctx.read_ref(request_id, TAG_REDEEM)?)?;
             // Destroy the wrapped assets: they can no longer be traded.
             ctx.delete(request.ingress_asset)?;
             ctx.delete(request.egress_asset)?;
@@ -268,32 +273,43 @@ impl ControlPlane {
         })
     }
 
+    /// Deletes a batch of consumed objects the sender owns, collecting
+    /// their storage rebates in one transaction. Deliveries and renewal
+    /// deliveries are dead weight once their payload has been decrypted;
+    /// reclaiming them keeps the committed object store — and every
+    /// hash-map probe against it — small at millions of reservations.
+    /// Ownership is enforced per object by the ledger: a sender cannot
+    /// reclaim objects it cannot use.
+    pub fn reclaim(&mut self, sender: Address, ids: Vec<ObjectId>) -> CpResult<usize> {
+        self.exec(sender, move |ctx| {
+            for &id in &ids {
+                ctx.delete(id)?;
+            }
+            Ok(ids.len())
+        })
+    }
+
     // ------------------------------------------------------------------
     // Chain inspection (public state; no gas)
     // ------------------------------------------------------------------
 
-    /// All pending redeem requests owned by `as_account`.
+    /// All pending redeem requests owned by `as_account`, in object-ID
+    /// order. Served from the ledger's owner/type index — O(requests of
+    /// this AS), not O(total objects).
     pub fn pending_requests(&self, as_account: Address) -> Vec<(ObjectId, RedeemRequest)> {
-        let mut out: Vec<(ObjectId, RedeemRequest)> = self
-            .ledger
-            .objects()
-            .filter(|e| e.meta.type_tag == TAG_REDEEM && e.meta.owner == Owner::Address(as_account))
+        self.ledger
+            .objects_owned_by(Owner::Address(as_account), TAG_REDEEM)
             .filter_map(|e| RedeemRequest::decode(&e.data).ok().map(|r| (e.meta.id, r)))
-            .collect();
-        out.sort_by_key(|(id, _)| *id);
-        out
+            .collect()
     }
 
-    /// All encrypted reservation deliveries owned by `addr`.
+    /// All encrypted reservation deliveries owned by `addr`, in object-ID
+    /// order (index-backed, like [`Self::pending_requests`]).
     pub fn deliveries_for(&self, addr: Address) -> Vec<(ObjectId, EncryptedReservation)> {
-        let mut out: Vec<(ObjectId, EncryptedReservation)> = self
-            .ledger
-            .objects()
-            .filter(|e| e.meta.type_tag == TAG_DELIVERY && e.meta.owner == Owner::Address(addr))
+        self.ledger
+            .objects_owned_by(Owner::Address(addr), TAG_DELIVERY)
             .filter_map(|e| EncryptedReservation::decode(&e.data).ok().map(|d| (e.meta.id, d)))
-            .collect();
-        out.sort_by_key(|(id, _)| *id);
-        out
+            .collect()
     }
 
     /// Reads a committed asset by ID (public chain state).
@@ -310,9 +326,10 @@ impl ControlPlane {
 // Inner contract logic shared with the market contract
 // ----------------------------------------------------------------------
 
-/// Reads and decodes a bandwidth asset.
+/// Reads and decodes a bandwidth asset (borrowed read: the payload is
+/// decoded in place, never cloned).
 pub(crate) fn read_asset(ctx: &mut TxContext, id: ObjectId) -> Result<BandwidthAsset, ExecError> {
-    Ok(BandwidthAsset::decode(&ctx.read(id, TAG_ASSET)?)?)
+    Ok(BandwidthAsset::decode(ctx.read_ref(id, TAG_ASSET)?)?)
 }
 
 /// Splits `asset_id` in time at `split_at`; the new `[split_at, expiry)`

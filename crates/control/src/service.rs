@@ -8,17 +8,20 @@
 //! "Market Client Application").
 
 use crate::plane::{ControlPlane, CpResult};
+use crate::renewal::{renewal_wrap_key, RenewalRequest, RenewedReservation, TAG_RENEWED};
 use crate::types::*;
-use hummingbird_coloring::{FirstFit, Interval};
+use hummingbird_coloring::{Interval, ShardedFirstFit};
 use hummingbird_crypto::sealed;
 use hummingbird_crypto::sig::{SecretKey, Signature};
 use hummingbird_crypto::{ResInfo, SecretValue};
+use hummingbird_dataplane::ShardMap;
 use hummingbird_ledger::codec::{DecodeError, Reader, Writer};
-use hummingbird_ledger::{Address, ExecError, ObjectId};
+use hummingbird_ledger::{Address, ExecError, ObjectId, Owner};
 use hummingbird_wire::bwcls;
 use hummingbird_wire::IsdAs;
 use rand::Rng;
 use std::collections::HashMap;
+use std::ops::Range;
 
 /// The decrypted payload of a reservation delivery: the data-plane
 /// parameters plus the authentication key `A_K`.
@@ -109,6 +112,31 @@ pub struct IssuedReservation {
     pub granted_to: Address,
 }
 
+/// Renewal-table entry: everything needed to re-derive and extend a live
+/// reservation without consulting the market or the coloring slow path.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct RenewalEntry {
+    /// Number of renewals served so far; requests must quote it.
+    generation: u32,
+    /// The interval held in the allocator (grows with each renewal).
+    interval: Interval,
+    egress: u16,
+    bw_encoded: u16,
+    /// Window length in seconds; each renewal appends one more window.
+    duration: u16,
+    granted_to: Address,
+}
+
+/// Outcome of one [`AsService::process_renewals`] batch.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RenewalReport {
+    /// Delivery objects created for accepted renewals.
+    pub delivered: Vec<ObjectId>,
+    /// Requests rejected (and refunded): unknown reservation, stale
+    /// generation, wrong requester, or a coloring conflict.
+    pub rejected: usize,
+}
+
 /// The Hummingbird service of one AS.
 pub struct AsService {
     /// The AS this service speaks for.
@@ -119,9 +147,16 @@ pub struct AsService {
     sv: SecretValue,
     /// One ResID allocator per ingress interface (§4.1: IDs are unique per
     /// interface pair; per-ingress unique IDs are "preferred" for
-    /// monitoring, which is what we implement).
-    allocators: HashMap<u16, FirstFit>,
+    /// monitoring, which is what we implement). Sharded so freshly issued
+    /// ResIDs land in the least-loaded data-plane shard.
+    allocators: HashMap<u16, ShardedFirstFit>,
+    /// ResID ranges new allocators are built from; defaults to one range
+    /// `[0, res_id_cap)` until [`Self::align_with_shard_map`] installs the
+    /// dataplane's per-shard partition.
+    shard_ranges: Vec<Range<u32>>,
     res_id_cap: u32,
+    /// Generation-indexed renewal fast path, keyed `(ingress, res_id)`.
+    renewals: HashMap<(u16, u32), RenewalEntry>,
     issued: Vec<IssuedReservation>,
     auth_token: Option<ObjectId>,
 }
@@ -138,10 +173,44 @@ impl AsService {
             cert_key,
             sv: SecretValue::new(sv_key),
             allocators: HashMap::new(),
+            shard_ranges: vec![Range { start: 0, end: res_id_cap }],
             res_id_cap,
+            renewals: HashMap::new(),
             issued: Vec::new(),
             auth_token: None,
         }
+    }
+
+    /// Installs the data-plane's per-shard ResID partition so that new
+    /// reservations are steered to the least-loaded shard. Only affects
+    /// interfaces whose allocator has not been created yet — call before
+    /// serving requests.
+    pub fn align_with_shard_map(&mut self, map: &ShardMap) {
+        self.set_shard_ranges(map.res_id_ranges());
+    }
+
+    /// Installs an explicit ResID partition (see
+    /// [`Self::align_with_shard_map`]). Ranges are clamped to the
+    /// service's `res_id_cap` so the policing-array bound holds per
+    /// interface regardless of the dataplane's slot count.
+    pub fn set_shard_ranges(&mut self, ranges: Vec<Range<u32>>) {
+        let cap = self.res_id_cap;
+        self.shard_ranges = ranges.into_iter().map(|r| r.start.min(cap)..r.end.min(cap)).collect();
+        if self.shard_ranges.is_empty() {
+            self.shard_ranges = vec![Range { start: 0, end: cap }];
+        }
+    }
+
+    /// Per-shard active reservation counts on `ingress` (steering
+    /// diagnostics); empty if the interface has no allocator yet.
+    pub fn shard_loads(&self, ingress: u16) -> Vec<usize> {
+        self.allocators.get(&ingress).map(|a| a.active_per_shard()).unwrap_or_default()
+    }
+
+    /// Max/min active-count ratio across shards on `ingress` (1.0 = perfectly
+    /// balanced). `None` if the interface has no allocator yet.
+    pub fn shard_skew(&self, ingress: u16) -> Option<f64> {
+        self.allocators.get(&ingress).map(|a| a.skew())
     }
 
     /// The secret value shared with this AS's border routers.
@@ -195,14 +264,16 @@ impl AsService {
 
     /// Highest ResID in use on `ingress` (policing-array sizing).
     pub fn res_id_high_water(&self, ingress: u16) -> Option<u32> {
-        self.allocators.get(&ingress).map(|a| a.high_water())
+        self.allocators.get(&ingress).and_then(|a| a.high_water())
     }
 
-    /// Recycles ResIDs of reservations that have expired by `now`.
+    /// Recycles ResIDs of reservations that have expired by `now`, and
+    /// drops their renewal-table entries.
     pub fn expire_reservations(&mut self, now: u64) {
         for alloc in self.allocators.values_mut() {
             alloc.release_expired(now);
         }
+        self.renewals.retain(|_, e| !e.interval.expired_at(now));
     }
 
     /// Serves every pending redeem request addressed to this AS: assigns a
@@ -217,7 +288,7 @@ impl AsService {
         let pending = cp.pending_requests(self.account);
         let mut delivered = Vec::with_capacity(pending.len());
         for (request_id, request) in pending {
-            let delivery = self.build_delivery(&request, rng)?;
+            let delivery = self.build_delivery(request_id, &request, rng)?;
             let receipt = cp.deliver_reservation(self.account, request_id, delivery)?;
             delivered.push(receipt.value);
         }
@@ -227,6 +298,7 @@ impl AsService {
     /// Builds the sealed reservation for one redeem request.
     fn build_delivery<R: Rng + ?Sized>(
         &mut self,
+        request_id: ObjectId,
         request: &RedeemRequest,
         rng: &mut R,
     ) -> Result<EncryptedReservation, ServiceError> {
@@ -239,12 +311,11 @@ impl AsService {
         let bw_encoded =
             bwcls::encode_floor(asset.bandwidth_kbps).ok_or(ServiceError::BandwidthOutOfRange)?;
 
-        let cap = self.res_id_cap;
+        let ranges = &self.shard_ranges;
         let allocator =
-            self.allocators.entry(asset.interface).or_insert_with(|| FirstFit::new(cap));
-        let res_id = allocator
-            .assign(Interval::new(asset.start_time, asset.expiry_time))
-            .ok_or(ServiceError::ResIdsExhausted)?;
+            self.allocators.entry(asset.interface).or_insert_with(|| ShardedFirstFit::new(ranges));
+        let interval = Interval::new(asset.start_time, asset.expiry_time);
+        let res_id = allocator.assign(interval).ok_or(ServiceError::ResIdsExhausted)?;
 
         let res_info = ResInfo {
             ingress: asset.interface,
@@ -258,7 +329,119 @@ impl AsService {
         let payload = ReservationPayload { res_info, key: key.to_bytes() };
         let sealed = sealed::seal(&request.ephemeral_pk, &payload.encode(), rng);
         self.issued.push(IssuedReservation { res_info, granted_to: request.requester });
-        Ok(EncryptedReservation { as_id: self.as_id, sealed })
+        self.renewals.insert(
+            (asset.interface, res_id),
+            RenewalEntry {
+                generation: 0,
+                interval,
+                egress: request.egress_interface,
+                bw_encoded,
+                duration,
+                granted_to: request.requester,
+            },
+        );
+        Ok(EncryptedReservation { as_id: self.as_id, request: request_id, sealed })
+    }
+
+    /// Serves every pending renewal request in **one batched transaction**:
+    /// accepted renewals extend the reservation's interval in place (same
+    /// ResID, same hop set) and cost exactly two object touches each —
+    /// delete the request, create the wrapped delivery; rejected requests
+    /// are refunded their fee. This is the O(1)-per-renewal fast path: no
+    /// market purchase, no asset splits, no re-coloring, no public-key
+    /// crypto (the new `A_K` is wrapped under a ratchet of the previous
+    /// one), and the gas-coin mutation is amortized over the whole batch.
+    pub fn process_renewals<R: Rng + ?Sized>(
+        &mut self,
+        cp: &mut ControlPlane,
+        rng: &mut R,
+    ) -> Result<RenewalReport, ServiceError> {
+        let pending = cp.pending_renewals(self.account);
+        if pending.is_empty() {
+            return Ok(RenewalReport::default());
+        }
+        // Off-chain work first: validate, extend the coloring state, wrap.
+        let mut plan: Vec<(ObjectId, Address, u64, Option<RenewedReservation>)> =
+            Vec::with_capacity(pending.len());
+        for (request_id, req) in pending {
+            let delivery = self.try_renew(&req, rng);
+            plan.push((request_id, req.requester, req.fee, delivery));
+        }
+        let receipt = cp.exec(self.account, move |ctx| {
+            let mut delivered = Vec::new();
+            let mut rejected = 0usize;
+            for (request_id, requester, fee, delivery) in plan {
+                ctx.delete(request_id)?;
+                match delivery {
+                    Some(d) => {
+                        delivered.push(ctx.create(
+                            Owner::Address(requester),
+                            TAG_RENEWED,
+                            d.encode(),
+                        ));
+                    }
+                    None => {
+                        ctx.pay(requester, fee);
+                        rejected += 1;
+                    }
+                }
+            }
+            Ok((delivered, rejected))
+        })?;
+        let (delivered, rejected) = receipt.value;
+        Ok(RenewalReport { delivered, rejected })
+    }
+
+    /// Validates one renewal request and, if acceptable, extends the
+    /// reservation by one more duration window and wraps the new key
+    /// under the previous window's `A_K` ratchet. Returns `None`
+    /// (refund) on any mismatch.
+    fn try_renew<R: Rng + ?Sized>(
+        &mut self,
+        req: &RenewalRequest,
+        rng: &mut R,
+    ) -> Option<RenewedReservation> {
+        let key = (req.ingress, req.res_id);
+        let entry = self.renewals.get(&key)?;
+        if entry.generation != req.generation || entry.granted_to != req.requester {
+            return None;
+        }
+        let old_iv = entry.interval;
+        let new_end = old_iv.end.checked_add(u64::from(entry.duration))?;
+        // The renewed window starts where the current one ends.
+        let res_start: u32 = old_iv.end.try_into().ok()?;
+        let allocator = self.allocators.get_mut(&req.ingress)?;
+        if !allocator.try_extend(req.res_id, &old_iv, new_end) {
+            return None; // successor conflict: fall back to a fresh purchase
+        }
+        let entry = self.renewals.get_mut(&key).expect("entry checked above");
+        entry.interval.end = new_end;
+        entry.generation += 1;
+        let generation = entry.generation;
+        let res_info = ResInfo {
+            ingress: req.ingress,
+            egress: entry.egress,
+            res_id: req.res_id,
+            bw_encoded: entry.bw_encoded,
+            res_start,
+            duration: entry.duration,
+        };
+        // The window being extended always covers
+        // `[old end - duration, old end)`, so its A_K — the shared secret
+        // the wrap key ratchets from — re-derives from SV alone.
+        let prev_info = ResInfo { res_start: res_start - u32::from(entry.duration), ..res_info };
+        let prev_ak = self.sv.derive_key(&prev_info);
+        let wrap = renewal_wrap_key(&prev_ak.to_bytes(), generation);
+        let ak = self.sv.derive_key(&res_info);
+        let payload = ReservationPayload { res_info, key: ak.to_bytes() };
+        let boxed = sealed::seal_with_key(&wrap, &payload.encode(), rng);
+        Some(RenewedReservation {
+            as_id: self.as_id,
+            ingress: req.ingress,
+            res_id: req.res_id,
+            generation,
+            boxed,
+        })
     }
 }
 

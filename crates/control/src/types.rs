@@ -243,6 +243,11 @@ impl RedeemRequest {
 pub struct EncryptedReservation {
     /// The issuing AS.
     pub as_id: IsdAs,
+    /// The redeem request this delivery answers. Public information (the
+    /// request is on chain), but it lets the recipient pick the matching
+    /// ephemeral key directly instead of trial-decrypting against every
+    /// in-flight request.
+    pub request: ObjectId,
     /// Sealed `(ResInfo, A_K)` payload.
     pub sealed: SealedBox,
 }
@@ -253,6 +258,7 @@ impl EncryptedReservation {
         let mut w = Writer::new();
         w.u16(self.as_id.isd);
         w.u64(self.as_id.asn);
+        w.bytes(&self.request.0);
         w.bytes(&self.sealed.ephemeral.to_bytes());
         w.bytes(&self.sealed.nonce);
         w.var_bytes(&self.sealed.ciphertext);
@@ -264,6 +270,7 @@ impl EncryptedReservation {
     pub fn decode(bytes: &[u8]) -> Result<Self, DecodeError> {
         let mut r = Reader::new(bytes);
         let as_id = IsdAs::new(r.u16()?, r.u64()?);
+        let request = ObjectId(r.array::<32>()?);
         let eph = PublicKey::from_bytes(&r.array::<16>()?).ok_or(DecodeError)?;
         let nonce = r.array::<16>()?;
         let ciphertext = r.var_bytes()?;
@@ -271,6 +278,7 @@ impl EncryptedReservation {
         r.finish()?;
         Ok(EncryptedReservation {
             as_id,
+            request,
             sealed: SealedBox { ephemeral: eph, nonce, ciphertext, tag },
         })
     }
@@ -401,7 +409,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(6);
         let sk = SecretKey::generate(&mut rng);
         let sealed = hummingbird_crypto::sealed::seal(&sk.public(), b"payload", &mut rng);
-        let d = EncryptedReservation { as_id: IsdAs::new(4, 44), sealed };
+        let d =
+            EncryptedReservation { as_id: IsdAs::new(4, 44), request: ObjectId([9; 32]), sealed };
         assert_eq!(EncryptedReservation::decode(&d.encode()).unwrap(), d);
     }
 

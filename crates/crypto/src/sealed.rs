@@ -9,8 +9,17 @@
 //! `eph = G^r`, `shared = DH(r, recipient)`, keys = KDF(shared),
 //! ciphertext = stream-XOR (AES-CTR) and tag = HMAC-SHA-256 over
 //! `eph ∥ nonce ∥ ciphertext` (encrypt-then-MAC).
+//!
+//! The module also provides a [`SecretBox`]: AES-CTR with an AES-CMAC
+//! tag (encrypt-then-MAC) under a caller-provided 16-byte key, for flows
+//! where sender and recipient *already* share a secret (e.g. reservation
+//! renewals, which ratchet a wrapping key off the previous window's
+//! `A_K`). All-AES on purpose: the renewal fast path seals one of these
+//! per renewal, and AES rides the same hardware path as the data-plane
+//! key derivation (sub-microsecond) where SHA-256 costs microseconds.
 
 use crate::aes::Aes128;
+use crate::cmac::Cmac;
 use crate::hmac::{ct_eq, hmac_sha256, kdf_expand};
 use crate::sig::{PublicKey, SecretKey};
 use rand::Rng;
@@ -120,11 +129,85 @@ pub fn open(recipient: &SecretKey, boxed: &SealedBox) -> Result<Vec<u8>, SealErr
     Ok(plaintext)
 }
 
+/// A symmetric sealed message: AES-CTR ciphertext with an AES-CMAC tag,
+/// keyed by a pre-shared 16-byte secret instead of an ephemeral DH.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SecretBox {
+    /// Random 16-byte nonce (CTR IV).
+    pub nonce: [u8; 16],
+    /// AES-CTR ciphertext.
+    pub ciphertext: Vec<u8>,
+    /// AES-CMAC tag over `nonce ∥ ciphertext`.
+    pub tag: [u8; 16],
+}
+
+/// Splits the box key into independent encryption and MAC subkeys —
+/// CMAC as the PRF in a counter-mode KDF (NIST SP 800-108).
+fn derive_symmetric_keys(key: &[u8; 16]) -> ([u8; 16], [u8; 16]) {
+    let prf = Cmac::new(key);
+    let enc = prf.mac(b"\x01hummingbird-secret-box");
+    let mac = prf.mac(b"\x02hummingbird-secret-box");
+    (enc, mac)
+}
+
+/// Encrypts `plaintext` under a pre-shared 16-byte key
+/// (encrypt-then-MAC, tag over `nonce ∥ ciphertext`).
+pub fn seal_with_key<R: Rng + ?Sized>(key: &[u8; 16], plaintext: &[u8], rng: &mut R) -> SecretBox {
+    let (enc_key, mac_key) = derive_symmetric_keys(key);
+    let mut nonce = [0u8; 16];
+    rng.fill(&mut nonce);
+    let mut ciphertext = plaintext.to_vec();
+    ctr_xor(&enc_key, &nonce, &mut ciphertext);
+    let mut m = Vec::with_capacity(16 + ciphertext.len());
+    m.extend_from_slice(&nonce);
+    m.extend_from_slice(&ciphertext);
+    let tag = Cmac::new(&mac_key).mac(&m);
+    SecretBox { nonce, ciphertext, tag }
+}
+
+/// Decrypts a [`SecretBox`] with the pre-shared key.
+pub fn open_with_key(key: &[u8; 16], boxed: &SecretBox) -> Result<Vec<u8>, SealError> {
+    let (enc_key, mac_key) = derive_symmetric_keys(key);
+    let mut m = Vec::with_capacity(16 + boxed.ciphertext.len());
+    m.extend_from_slice(&boxed.nonce);
+    m.extend_from_slice(&boxed.ciphertext);
+    let tag = Cmac::new(&mac_key).mac(&m);
+    if !ct_eq(&tag, &boxed.tag) {
+        return Err(SealError::TagMismatch);
+    }
+    let mut plaintext = boxed.ciphertext.clone();
+    ctr_xor(&enc_key, &boxed.nonce, &mut plaintext);
+    Ok(plaintext)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+
+    #[test]
+    fn secretbox_roundtrip_and_tamper() {
+        let mut rng = StdRng::seed_from_u64(16);
+        let key = [0x5Au8; 16];
+        let boxed = seal_with_key(&key, b"renewed A_K payload", &mut rng);
+        assert_eq!(open_with_key(&key, &boxed).unwrap(), b"renewed A_K payload");
+        // Wrong key fails.
+        assert_eq!(open_with_key(&[0u8; 16], &boxed), Err(SealError::TagMismatch));
+        // Tampered ciphertext, nonce, and tag all fail.
+        for f in [
+            |b: &mut SecretBox| b.ciphertext[0] ^= 1,
+            |b: &mut SecretBox| b.nonce[0] ^= 1,
+            |b: &mut SecretBox| b.tag[0] ^= 1,
+        ] {
+            let mut t = boxed.clone();
+            f(&mut t);
+            assert_eq!(open_with_key(&key, &t), Err(SealError::TagMismatch));
+        }
+        // Nonces randomize ciphertexts.
+        let again = seal_with_key(&key, b"renewed A_K payload", &mut rng);
+        assert_ne!(again.ciphertext, boxed.ciphertext);
+    }
 
     #[test]
     fn seal_open_roundtrip() {

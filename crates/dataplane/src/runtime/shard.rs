@@ -108,6 +108,14 @@ impl ShardMap {
         per(shard as u64)..per(shard as u64 + 1)
     }
 
+    /// All per-shard ResID ranges, in shard order. They tile `[0, slots)`
+    /// exactly — this is the hand-off the control plane's steering-aware
+    /// allocator (`ShardedFirstFit` in `hummingbird-coloring`) consumes
+    /// so admission draws ResIDs from the least-loaded shard's range.
+    pub fn res_id_ranges(&self) -> Vec<std::ops::Range<u32>> {
+        (0..self.shards).map(|s| self.res_id_range(s)).collect()
+    }
+
     /// Extracts the flow class steering operates on.
     pub fn classify(&self, pkt: &[u8]) -> FlowClass {
         match stages::parse(pkt) {
@@ -202,6 +210,12 @@ mod tests {
                 }
             }
             assert_eq!(next, 100_000);
+            // The bulk accessor agrees with the per-shard one.
+            let ranges = map.res_id_ranges();
+            assert_eq!(ranges.len(), shards);
+            for (s, r) in ranges.iter().enumerate() {
+                assert_eq!(*r, map.res_id_range(s));
+            }
         }
     }
 

@@ -138,31 +138,33 @@ impl<'l> TxContext<'l> {
         self.committed.get(&id).ok_or(ExecError::ObjectNotFound(id))
     }
 
-    fn check_type(entry: &ObjectEntry, type_tag: &'static str) -> Result<(), ExecError> {
-        if entry.meta.type_tag != type_tag {
+    fn check_type(meta: &ObjectMeta, type_tag: &'static str) -> Result<(), ExecError> {
+        if meta.type_tag != type_tag {
             return Err(ExecError::WrongType {
-                id: entry.meta.id,
+                id: meta.id,
                 expected: type_tag,
-                actual: entry.meta.type_tag,
+                actual: meta.type_tag,
             });
         }
         Ok(())
     }
 
-    /// Checks the sender (or an accessed parent) is allowed to use `entry`
-    /// mutably, updating the fast-path/consensus flag.
-    fn check_usable(&mut self, entry: &ObjectEntry) -> Result<(), ExecError> {
-        let ok = match entry.meta.owner {
+    /// Checks the sender (or an accessed parent) is allowed to use the
+    /// object mutably, updating the fast-path/consensus flag. Takes only
+    /// the metadata so callers never have to clone object payloads to
+    /// run the checks.
+    fn check_usable(&mut self, meta: &ObjectMeta) -> Result<(), ExecError> {
+        let ok = match meta.owner {
             Owner::Address(a) if a == self.sender => true,
-            Owner::Address(_) => return Err(ExecError::NotOwner(entry.meta.id)),
+            Owner::Address(_) => return Err(ExecError::NotOwner(meta.id)),
             Owner::Shared => {
                 self.touched_shared = true;
                 true
             }
-            Owner::Immutable => return Err(ExecError::NotOwner(entry.meta.id)),
+            Owner::Immutable => return Err(ExecError::NotOwner(meta.id)),
             Owner::Object(parent) => {
                 if !self.accessed_parents.contains(&parent) {
-                    return Err(ExecError::ParentNotAccessed(entry.meta.id));
+                    return Err(ExecError::ParentNotAccessed(meta.id));
                 }
                 true
             }
@@ -170,7 +172,7 @@ impl<'l> TxContext<'l> {
         debug_assert!(ok);
         // Any successfully used object can act as parent for its children
         // later in the same transaction (wrapped assets, dynamic fields).
-        self.accessed_parents.insert(entry.meta.id);
+        self.accessed_parents.insert(meta.id);
         Ok(())
     }
 
@@ -186,13 +188,23 @@ impl<'l> TxContext<'l> {
 
     /// Reads an object's contents, enforcing ownership/consensus rules.
     pub fn read(&mut self, id: ObjectId, type_tag: &'static str) -> Result<Vec<u8>, ExecError> {
+        self.read_ref(id, type_tag).map(|data| data.to_vec())
+    }
+
+    /// Borrowed read: like [`TxContext::read`], but returns a reference
+    /// into the staged/committed store instead of copying the payload
+    /// out. Hot query paths (asset decodes, bid loads) use this so a
+    /// read costs one small metadata clone, not a payload allocation.
+    pub fn read_ref(&mut self, id: ObjectId, type_tag: &'static str) -> Result<&[u8], ExecError> {
         self.charge(UNITS_PER_OP);
-        let entry = self.lookup(id)?.clone();
-        Self::check_type(&entry, type_tag)?;
-        if !matches!(entry.meta.owner, Owner::Immutable) {
-            self.check_usable(&entry)?;
+        // Clone only the (small, fixed-size) metadata so the ownership
+        // checks can take `&mut self` without holding a store borrow.
+        let meta = self.lookup(id)?.meta.clone();
+        Self::check_type(&meta, type_tag)?;
+        if !matches!(meta.owner, Owner::Immutable) {
+            self.check_usable(&meta)?;
         }
-        Ok(entry.data)
+        Ok(&self.lookup(id)?.data)
     }
 
     /// Overwrites an object's contents, bumping its version.
@@ -204,9 +216,25 @@ impl<'l> TxContext<'l> {
     ) -> Result<(), ExecError> {
         self.charge(UNITS_PER_OP);
         let mut entry = self.lookup(id)?.clone();
-        Self::check_type(&entry, type_tag)?;
-        self.check_usable(&entry)?;
+        Self::check_type(&entry.meta, type_tag)?;
+        self.check_usable(&entry.meta)?;
         entry.data = data;
+        entry.meta.version += 1;
+        self.staged.insert(id, Some(entry));
+        Ok(())
+    }
+
+    /// Uses an object without reading or replacing its contents: runs the
+    /// full ownership/type checks and bumps the version, staging the
+    /// existing payload unchanged. This is the gas-coin mutation every
+    /// control-plane call makes; it charges the same units as the
+    /// read-then-write round trip it replaces (so Table 1/2 gas totals
+    /// are unchanged) while cloning the payload once instead of twice.
+    pub fn touch(&mut self, id: ObjectId, type_tag: &'static str) -> Result<(), ExecError> {
+        self.charge(2 * UNITS_PER_OP);
+        let mut entry = self.lookup(id)?.clone();
+        Self::check_type(&entry.meta, type_tag)?;
+        self.check_usable(&entry.meta)?;
         entry.meta.version += 1;
         self.staged.insert(id, Some(entry));
         Ok(())
@@ -216,7 +244,7 @@ impl<'l> TxContext<'l> {
     pub fn transfer(&mut self, id: ObjectId, new_owner: Owner) -> Result<(), ExecError> {
         self.charge(UNITS_PER_OP);
         let mut entry = self.lookup(id)?.clone();
-        self.check_usable(&entry)?;
+        self.check_usable(&entry.meta)?;
         entry.meta.owner = new_owner;
         entry.meta.version += 1;
         self.staged.insert(id, Some(entry));
@@ -244,8 +272,8 @@ impl<'l> TxContext<'l> {
     /// Deletes an object, crediting the storage rebate at commit.
     pub fn delete(&mut self, id: ObjectId) -> Result<(), ExecError> {
         self.charge(UNITS_PER_OP);
-        let entry = self.lookup(id)?.clone();
-        self.check_usable(&entry)?;
+        let meta = self.lookup(id)?.meta.clone();
+        self.check_usable(&meta)?;
         self.staged.insert(id, None);
         Ok(())
     }

@@ -65,7 +65,7 @@ impl std::fmt::Debug for ObjectId {
 }
 
 /// Who may use an object in a transaction.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Owner {
     /// Exclusively owned: only this address can use the object; such
     /// transactions ride the fast path.

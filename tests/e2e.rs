@@ -85,6 +85,7 @@ fn purchase_needs_consensus_delivery_rides_fast_path() {
     let (req_id, req) = pending[0].clone();
     let delivery = hummingbird_control::EncryptedReservation {
         as_id: Testbed::as_id(0),
+        request: req_id,
         sealed: hummingbird_crypto::sealed::seal(&req.ephemeral_pk, b"test", &mut rng),
     };
     let rx = tb.control.deliver_reservation(tb.services[0].account, req_id, delivery).unwrap();
