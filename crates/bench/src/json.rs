@@ -198,6 +198,58 @@
 //! counts, state and invariants are deterministic for a given seed.
 //! Floats degrade to `null` when non-finite, as everywhere else.
 //!
+//! # Testbed schema (`schema = 1`)
+//!
+//! Written by the `testbed_e2e` binary: real UDP datagrams over loopback
+//! through a gateway → border-router chain → sink deployment
+//! (`hummingbird_testbed`), per engine family × traffic mix. The binary
+//! verifies exact packet conservation (globally, per class and per flow)
+//! and zero parse failures for every run before writing, so a checked-in
+//! document is also a green light.
+//!
+//! ```json
+//! {
+//!   "schema": 1,
+//!   "bench": "testbed",
+//!   "routers": 3,                 // border routers in the chain
+//!   "shards": 1,                  // engine shards per router
+//!   "pkts_per_run": 1000000,      // datagrams the gateway sends per run
+//!   "payload_b": 200,             // L4 payload bytes per packet
+//!   "window": 64,                 // credit window per link, frames
+//!   "wait": "backoff",            // sender wait strategy (as hotpath)
+//!   "records": [
+//!     {
+//!       "family": "hummingbird",  // EngineFamily name
+//!       "mix": "cbr",             // TrafficMix name
+//!       "sent": 1000000,          // gateway datagrams
+//!       "delivered": 1000000,     // sink datagrams
+//!       "engine_drops": 0,        // engine-verdict drops on the chain
+//!       "parse_drops": 0,         // structurally invalid datagrams
+//!       "wall_ms": 9210.4,        // sink first-delivery → FIN window
+//!       "conserved": true,        // sent == delivered + drops, exactly,
+//!                                 //   globally and per flow/class
+//!       "classes": [
+//!         {
+//!           "class": "reserved",  // "reserved" | "best_effort"
+//!           "sent": 500000,
+//!           "delivered": 500000,
+//!           "engine_drops": 0,
+//!           "goodput_mbps": 78.1, // delivered payload bits / wall time
+//!           "p50_us": 127.0,      // end-to-end latency percentiles
+//!           "p95_us": 255.0,      //   (log2-bucketed upper bounds,
+//!           "p99_us": 511.0,      //   microseconds)
+//!           "p999_us": 1023.0
+//!         }
+//!       ]
+//!     }
+//!   ]
+//! }
+//! ```
+//!
+//! `wall_ms` / `goodput_mbps` / `p*_us` are host-dependent (trend, not
+//! truth); the counts and `conserved` are exact. Floats degrade to
+//! `null` when non-finite, as everywhere else.
+//!
 //! No JSON library exists in the offline build environment, so the writers
 //! are hand-rolled for exactly these shapes; all strings they emit are
 //! engine/family identifiers (lowercase ASCII, no escaping needed).
@@ -682,6 +734,133 @@ pub fn write_control_json(
     f.write_all(control_json(meta, phases, state, invariants).as_bytes())
 }
 
+/// Run-wide configuration stamped into the testbed document head.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TestbedMeta {
+    /// Border routers in the chain.
+    pub routers: usize,
+    /// Engine shards per router.
+    pub shards: usize,
+    /// Datagrams the gateway sends per run.
+    pub pkts_per_run: u64,
+    /// L4 payload bytes per packet.
+    pub payload_b: usize,
+    /// Credit window per link, in data frames.
+    pub window: usize,
+    /// Sender wait strategy: `busy`, `yield:<n>`, or `backoff`.
+    pub wait: String,
+}
+
+/// One traffic class of one testbed run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TestbedClass {
+    /// `reserved` or `best_effort`.
+    pub class: &'static str,
+    /// Gateway datagrams in this class.
+    pub sent: u64,
+    /// Sink datagrams in this class.
+    pub delivered: u64,
+    /// Engine-verdict drops along the chain.
+    pub engine_drops: u64,
+    /// Delivered payload rate over the sink window, Mbit/s.
+    pub goodput_mbps: f64,
+    /// End-to-end latency percentiles, microseconds (log2-bucketed
+    /// upper bounds from the dataplane `LatencyHistogram`).
+    pub p50_us: f64,
+    /// 95th percentile, microseconds.
+    pub p95_us: f64,
+    /// 99th percentile, microseconds.
+    pub p99_us: f64,
+    /// 99.9th percentile, microseconds.
+    pub p999_us: f64,
+}
+
+/// One (family, mix) testbed run (the `BENCH_testbed.json` record;
+/// schema in the module docs).
+#[derive(Clone, Debug, PartialEq)]
+pub struct TestbedRecord {
+    /// Engine family name (`EngineFamily::name`).
+    pub family: &'static str,
+    /// Traffic mix name (`TrafficMix::name`).
+    pub mix: &'static str,
+    /// Gateway datagrams sent.
+    pub sent: u64,
+    /// Sink datagrams delivered.
+    pub delivered: u64,
+    /// Engine-verdict drops along the chain.
+    pub engine_drops: u64,
+    /// Structurally invalid datagrams (must be 0 on a green run).
+    pub parse_drops: u64,
+    /// Sink measurement window (first delivery → FIN), milliseconds.
+    pub wall_ms: f64,
+    /// Exact conservation held globally and per flow/class.
+    pub conserved: bool,
+    /// Per-class breakdown: reserved, then best_effort.
+    pub classes: Vec<TestbedClass>,
+}
+
+/// Serializes `records` to the `BENCH_testbed.json` schema.
+pub fn testbed_json(meta: &TestbedMeta, records: &[TestbedRecord]) -> String {
+    let mut out = String::with_capacity(512 + records.len() * 512);
+    out.push_str("{\n");
+    out.push_str("  \"schema\": 1,\n");
+    out.push_str("  \"bench\": \"testbed\",\n");
+    out.push_str(&format!("  \"routers\": {},\n", meta.routers));
+    out.push_str(&format!("  \"shards\": {},\n", meta.shards));
+    out.push_str(&format!("  \"pkts_per_run\": {},\n", meta.pkts_per_run));
+    out.push_str(&format!("  \"payload_b\": {},\n", meta.payload_b));
+    out.push_str(&format!("  \"window\": {},\n", meta.window));
+    out.push_str(&format!("  \"wait\": \"{}\",\n", meta.wait));
+    out.push_str("  \"records\": [");
+    for (i, r) in records.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        out.push_str(&format!(
+            "    {{\"family\": \"{}\", \"mix\": \"{}\", \"sent\": {}, \"delivered\": {}, \
+             \"engine_drops\": {}, \"parse_drops\": {}, \"wall_ms\": {}, \"conserved\": {}, \
+             \"classes\": [",
+            r.family,
+            r.mix,
+            r.sent,
+            r.delivered,
+            r.engine_drops,
+            r.parse_drops,
+            num(r.wall_ms),
+            r.conserved,
+        ));
+        for (j, c) in r.classes.iter().enumerate() {
+            out.push_str(if j == 0 { "\n" } else { ",\n" });
+            out.push_str(&format!(
+                "      {{\"class\": \"{}\", \"sent\": {}, \"delivered\": {}, \
+                 \"engine_drops\": {}, \"goodput_mbps\": {}, \"p50_us\": {}, \"p95_us\": {}, \
+                 \"p99_us\": {}, \"p999_us\": {}}}",
+                c.class,
+                c.sent,
+                c.delivered,
+                c.engine_drops,
+                num(c.goodput_mbps),
+                num(c.p50_us),
+                num(c.p95_us),
+                num(c.p99_us),
+                num(c.p999_us),
+            ));
+        }
+        out.push_str("\n    ]}");
+    }
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+/// Writes the testbed document to `path` (truncate + write, like
+/// [`write_hotpath_json`]).
+pub fn write_testbed_json(
+    path: &str,
+    meta: &TestbedMeta,
+    records: &[TestbedRecord],
+) -> std::io::Result<()> {
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(testbed_json(meta, records).as_bytes())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -694,6 +873,21 @@ mod tests {
             rx_queues: "multi",
             batch: 32,
         }
+    }
+
+    #[test]
+    fn float_writer_rejects_non_finite_values() {
+        // Every float in every schema funnels through `num`: non-finite
+        // values must never reach the document as raw `NaN`/`inf` (which
+        // is invalid JSON) — they degrade to `null`, which consumers
+        // reject explicitly.
+        assert_eq!(num(f64::NAN), "null");
+        assert_eq!(num(f64::INFINITY), "null");
+        assert_eq!(num(f64::NEG_INFINITY), "null");
+        // Finite values serialize as plain decimals.
+        assert_eq!(num(0.0), "0.000");
+        assert_eq!(num(308.25), "308.250");
+        assert_eq!(num(-1.5), "-1.500");
     }
 
     #[test]
@@ -910,6 +1104,77 @@ mod tests {
         assert!(all_ok.all_ok());
         let empty = control_json(&meta, &[], &state, &all_ok);
         assert!(empty.contains("\"phases\": [\n  ],"));
+        assert_eq!(empty.matches('{').count(), empty.matches('}').count());
+    }
+
+    #[test]
+    fn testbed_schema_shape_is_stable() {
+        let meta = TestbedMeta {
+            routers: 3,
+            shards: 1,
+            pkts_per_run: 1_000_000,
+            payload_b: 200,
+            window: 64,
+            wait: "backoff".to_string(),
+        };
+        let records = [TestbedRecord {
+            family: "hummingbird",
+            mix: "cbr",
+            sent: 1_000_000,
+            delivered: 1_000_000,
+            engine_drops: 0,
+            parse_drops: 0,
+            wall_ms: 9210.4189,
+            conserved: true,
+            classes: vec![
+                TestbedClass {
+                    class: "reserved",
+                    sent: 500_000,
+                    delivered: 500_000,
+                    engine_drops: 0,
+                    goodput_mbps: 78.0912,
+                    p50_us: 127.0,
+                    p95_us: 255.0,
+                    p99_us: 511.0,
+                    p999_us: f64::NAN,
+                },
+                TestbedClass {
+                    class: "best_effort",
+                    sent: 500_000,
+                    delivered: 500_000,
+                    engine_drops: 0,
+                    goodput_mbps: 77.5,
+                    p50_us: 127.0,
+                    p95_us: 255.0,
+                    p99_us: 511.0,
+                    p999_us: 1023.0,
+                },
+            ],
+        }];
+        let doc = testbed_json(&meta, &records);
+        assert!(doc.starts_with("{\n  \"schema\": 1,\n  \"bench\": \"testbed\","));
+        assert!(doc.contains("\"routers\": 3"));
+        assert!(doc.contains("\"pkts_per_run\": 1000000"));
+        assert!(doc.contains("\"window\": 64"));
+        assert!(doc.contains("\"wait\": \"backoff\""));
+        assert!(doc.contains(
+            "{\"family\": \"hummingbird\", \"mix\": \"cbr\", \"sent\": 1000000, \
+             \"delivered\": 1000000, \"engine_drops\": 0, \"parse_drops\": 0, \
+             \"wall_ms\": 9210.419, \"conserved\": true, \"classes\": ["
+        ));
+        assert!(doc.contains(
+            "{\"class\": \"reserved\", \"sent\": 500000, \"delivered\": 500000, \
+             \"engine_drops\": 0, \"goodput_mbps\": 78.091, \"p50_us\": 127.000, \
+             \"p95_us\": 255.000, \"p99_us\": 511.000, \"p999_us\": null}"
+        ));
+        assert!(doc.contains("\"class\": \"best_effort\""));
+        // Non-finite floats degrade to null; booleans are bare.
+        assert!(!doc.contains("NaN") && !doc.contains("inf"));
+        assert_eq!(doc.matches('{').count(), doc.matches('}').count());
+        assert_eq!(doc.matches('[').count(), doc.matches(']').count());
+        // An empty run set still serializes.
+        let empty = testbed_json(&meta, &[]);
+        assert!(empty.contains("\"records\": [\n  ]"));
         assert_eq!(empty.matches('{').count(), empty.matches('}').count());
     }
 }

@@ -13,10 +13,11 @@
 pub mod json;
 
 pub use json::{
-    control_json, hotpath_json, netsim_json, overload_json, write_control_json, write_hotpath_json,
-    write_netsim_json, write_overload_json, BenchRecord, ControlInvariants, ControlMeta,
-    ControlPhase, ControlState, HotpathMeta, NetsimRecord, OverloadRecord, OverloadSaturation,
-    ScalingCurve, ScalingPoint,
+    control_json, hotpath_json, netsim_json, overload_json, testbed_json, write_control_json,
+    write_hotpath_json, write_netsim_json, write_overload_json, write_testbed_json, BenchRecord,
+    ControlInvariants, ControlMeta, ControlPhase, ControlState, HotpathMeta, NetsimRecord,
+    OverloadRecord, OverloadSaturation, ScalingCurve, ScalingPoint, TestbedClass, TestbedMeta,
+    TestbedRecord,
 };
 
 use hummingbird_baselines::drkey::epoch_of;
@@ -154,23 +155,42 @@ pub fn engines_from_args(default: &[EngineKind]) -> Vec<EngineKind> {
     }
 }
 
-/// The value of `--<name> <v>` / `--<name>=<v>` in the process
-/// arguments, if present.
-fn flag_value(name: &str) -> Option<String> {
+/// The value of `--<name> <v>` / `--<name>=<v>` in `args`: `Ok(None)`
+/// when the flag is absent (the caller's default applies), `Err` when
+/// the flag appears as the last token with no value — a malformed
+/// command line that must fail loudly, never silently fall back to the
+/// default.
+fn flag_value_in(args: &[String], name: &str) -> Result<Option<String>, String> {
     let long = format!("--{name}");
     let prefixed = format!("--{name}=");
-    let args: Vec<String> = std::env::args().collect();
     let mut i = 0;
     while i < args.len() {
-        if args[i] == long && i + 1 < args.len() {
-            return Some(args[i + 1].clone());
+        if args[i] == long {
+            return match args.get(i + 1) {
+                Some(v) => Ok(Some(v.clone())),
+                None => Err(format!("--{name} requires a value (--{name} <v> or --{name}=<v>)")),
+            };
         }
         if let Some(v) = args[i].strip_prefix(&prefixed) {
-            return Some(v.to_owned());
+            return Ok(Some(v.to_owned()));
         }
         i += 1;
     }
-    None
+    Ok(None)
+}
+
+/// The value of `--<name> <v>` / `--<name>=<v>` in the process
+/// arguments, if present. Exits with a usage message when the flag
+/// dangles with no value.
+pub fn flag_value(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    match flag_value_in(&args, name) {
+        Ok(v) => v,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    }
 }
 
 /// Parses `--<name> <v>` as a `u64` from the process arguments;
@@ -569,10 +589,13 @@ pub fn row(cells: &[String], widths: &[usize]) -> String {
         .join("  ")
 }
 
-/// Percentile of a sorted slice.
+/// Percentile of a sorted slice. Empty populations answer `0` — the
+/// same convention as `FlowStats` and the egress `LatencyHistogram`,
+/// and finite by construction so the hand-rolled JSON writers never see
+/// a `NaN` from this path.
 pub fn percentile(sorted: &[f64], p: f64) -> f64 {
     if sorted.is_empty() {
-        return f64::NAN;
+        return 0.0;
     }
     let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
     sorted[idx]
@@ -610,6 +633,43 @@ impl Summary {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn argv(tokens: &[&str]) -> Vec<String> {
+        tokens.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn trailing_valued_flag_errors_instead_of_defaulting() {
+        // `--pkts` as the last token is a malformed command line: it must
+        // surface as an error, not silently fall through to the default.
+        assert!(
+            flag_value_in(&argv(&["bench", "--pkts"]), "pkts").is_err(),
+            "a dangling --pkts must not fall back to the default"
+        );
+        // The well-formed spellings still parse.
+        assert_eq!(
+            flag_value_in(&argv(&["bench", "--pkts", "500"]), "pkts").unwrap().as_deref(),
+            Some("500")
+        );
+        assert_eq!(
+            flag_value_in(&argv(&["bench", "--pkts=500"]), "pkts").unwrap().as_deref(),
+            Some("500")
+        );
+        // Absent flag: the default applies.
+        assert_eq!(flag_value_in(&argv(&["bench", "--cores", "2"]), "pkts").unwrap(), None);
+    }
+
+    #[test]
+    fn percentile_of_empty_is_zero() {
+        // The empty-population convention everywhere else (FlowStats,
+        // LatencyHistogram) is 0 — NaN here would leak invalid JSON
+        // through the hand-rolled writers.
+        assert_eq!(percentile(&[], 0.5), 0.0);
+        assert_eq!(percentile(&[], 1.0), 0.0);
+        // Non-empty percentiles are unchanged.
+        assert_eq!(percentile(&[1.0, 2.0, 3.0], 1.0), 3.0);
+        assert_eq!(percentile(&[1.0, 2.0, 3.0], 0.0), 1.0);
+    }
 
     #[test]
     fn fixture_packets_verify_at_the_router() {

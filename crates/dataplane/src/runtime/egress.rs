@@ -129,27 +129,54 @@ pub struct TxPacket {
     pub seq: u64,
 }
 
-/// A log₂-bucketed latency histogram: 32 power-of-two buckets cover
-/// 1 ns … ~2 s, enough for any residence or end-to-end latency this
-/// model produces, in 264 bytes of `Copy` state.
+/// A log₂-bucketed latency histogram: [`Self::BUCKETS`] power-of-two
+/// buckets cover the full `u64` nanosecond range — real-socket runs see
+/// multi-second scheduler stalls, which a 32-bucket (~2.1 s cap)
+/// histogram used to silently flatten — in 520 bytes of `Copy` state.
 ///
 /// The percentile query answers with the *upper bound* of the bucket the
 /// rank falls in (resolution ±2×) — the honest precision of a fixed-size
 /// histogram, and exactly what the overload acceptance needs: "p99
-/// stays bounded" is a factor-of-two claim, not a nanosecond one.
+/// stays bounded" is a factor-of-two claim, not a nanosecond one. The
+/// top bucket has no finite upper bound and answers `u64::MAX`.
 /// Empty populations answer `0`, never panic or `NaN`.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct LatencyHistogram {
     count: u64,
-    buckets: [u64; 32],
+    buckets: [u64; Self::BUCKETS],
+}
+
+impl Default for LatencyHistogram {
+    // Manual: std derives `Default` for arrays only up to 32 elements.
+    fn default() -> Self {
+        LatencyHistogram { count: 0, buckets: [0; Self::BUCKETS] }
+    }
 }
 
 impl LatencyHistogram {
+    /// Bucket count: one per bit of a `u64` sample, so `bucket_of` never
+    /// clamps a representable latency into a smaller bucket.
+    pub const BUCKETS: usize = 64;
+
     fn bucket_of(ns: u64) -> usize {
         if ns == 0 {
             0
         } else {
-            ((64 - ns.leading_zeros()) as usize).min(31)
+            ((64 - ns.leading_zeros()) as usize).min(Self::BUCKETS - 1)
+        }
+    }
+
+    /// Upper bound of bucket `i`, derived from the bucket count: the
+    /// shift is guarded so the top bucket (and anything past it) answers
+    /// `u64::MAX` instead of overflowing `1u64 << 64` or inventing a
+    /// spurious cap.
+    fn bucket_upper_ns(i: usize) -> u64 {
+        if i == 0 {
+            0
+        } else if i >= Self::BUCKETS - 1 {
+            u64::MAX
+        } else {
+            (1u64 << i) - 1
         }
     }
 
@@ -177,10 +204,10 @@ impl LatencyHistogram {
         for (i, &n) in self.buckets.iter().enumerate() {
             seen += n;
             if seen > rank {
-                return if i == 0 { 0 } else { (1u64 << i) - 1 };
+                return Self::bucket_upper_ns(i);
             }
         }
-        (1u64 << 31) - 1
+        Self::bucket_upper_ns(Self::BUCKETS - 1)
     }
 
     /// Folds another histogram into this one (saturating).
@@ -658,18 +685,34 @@ mod tests {
         assert_eq!(h.percentile_ns(0.50), 1023);
         // p99+ reaches the outlier's bucket.
         assert_eq!(h.percentile_ns(1.0), (1u64 << 20) - 1);
-        // Zero samples land in the zero bucket; huge ones clamp to the top.
+        // Zero samples land in the zero bucket; huge ones land in the
+        // unbounded top bucket, which answers u64::MAX.
         let mut h = LatencyHistogram::default();
         h.record(0);
         assert_eq!(h.percentile_ns(0.5), 0);
         h.record(u64::MAX);
-        assert_eq!(h.percentile_ns(1.0), (1u64 << 31) - 1);
+        assert_eq!(h.percentile_ns(1.0), u64::MAX);
         // Windowed subtraction removes the earlier samples.
         let mut later = h;
         later.record(900);
         let delta = later.since(&h);
         assert_eq!(delta.count(), 1);
         assert_eq!(delta.percentile_ns(0.5), 1023);
+    }
+
+    #[test]
+    fn histogram_resolves_multi_second_tails() {
+        // A 5 s scheduler stall (real sockets under load) must not be
+        // silently capped at the ~2.1 s of a 32-bucket histogram.
+        let mut h = LatencyHistogram::default();
+        h.record(5_000_000_000);
+        let p100 = h.percentile_ns(1.0);
+        assert!(p100 >= 5_000_000_000, "5 s sample answered {p100} ns");
+        // The top bucket is unbounded above: it answers u64::MAX rather
+        // than pretending a ~2.1 s upper bound.
+        let mut h = LatencyHistogram::default();
+        h.record(u64::MAX);
+        assert_eq!(h.percentile_ns(1.0), u64::MAX);
     }
 
     #[test]

@@ -70,9 +70,21 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
+    /// Nearest-rank percentile — the `(len - 1) * p` form
+    /// `hummingbird_bench::percentile` uses, in bounds for any
+    /// `p` in `[0, 1]` (the naive `p * len` form indexes one past the
+    /// end at `p = 1.0`).
     fn percentile(mut xs: Vec<f64>, p: f64) -> f64 {
         xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        xs[(p * xs.len() as f64) as usize]
+        xs[((xs.len() - 1) as f64 * p).round() as usize]
+    }
+
+    #[test]
+    fn percentile_boundary_p1_is_max_sample() {
+        // p = 1.0 must answer the maximum, not index one past the end.
+        assert_eq!(percentile(vec![3.0, 1.0, 2.0], 1.0), 3.0);
+        assert_eq!(percentile(vec![5.0], 1.0), 5.0);
+        assert_eq!(percentile(vec![3.0, 1.0, 2.0], 0.0), 1.0);
     }
 
     #[test]

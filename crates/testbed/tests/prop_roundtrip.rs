@@ -1,0 +1,149 @@
+//! Wire-format properties of the datagrams the testbed actually sends.
+//!
+//! The testbed's conservation accounting rests on two wire-level
+//! guarantees, checked here as properties over every engine family,
+//! both path kinds (flyover-credentialed and plain best-effort), and a
+//! sweep of payload sizes and chain lengths:
+//!
+//! 1. **Roundtrip** — a gateway-serialized datagram reparses through
+//!    `PacketView::new_checked`, its declared length matches the
+//!    datagram length exactly (the testbed's truncation check), its
+//!    measurement payload survives untouched, and an owned
+//!    [`Packet::parse`] → `to_bytes` cycle is byte-identical.
+//! 2. **Robustness** — truncating a datagram at *any* boundary is
+//!    always detected (checked parse fails, or the declared/actual
+//!    length check fires, or the measurement header is gone), and
+//!    corrupting any single byte never panics the parse path: the frame
+//!    is either cleanly rejected or structurally intact for the engine
+//!    to veto — exactly the `parse drop, never panic` contract the
+//!    socket routers rely on.
+
+use hummingbird_dataplane::RouterConfig;
+use hummingbird_netsim::{EngineFamily, LinearTopology, LinkSpec};
+use hummingbird_testbed::{PayloadHeader, PAYLOAD_HDR_LEN, RESERVED_BW_KBPS};
+use hummingbird_wire::{IsdAs, Packet, PacketView};
+use proptest::prelude::*;
+
+const EPOCH_S: u64 = 1_700_000_000;
+const EPOCH_MS: u64 = EPOCH_S * 1000;
+const EPOCH_NS: u64 = EPOCH_S * 1_000_000_000;
+
+/// One testbed-shaped datagram: a packet from the shared topology's
+/// generator, flyover-credentialed at every hop when `flyover`, with the
+/// measurement header at the front of the payload.
+fn testbed_packet(
+    family: EngineFamily,
+    flyover: bool,
+    routers: usize,
+    payload_len: usize,
+    flow_id: u32,
+    seq: u64,
+) -> Vec<u8> {
+    let mut topo =
+        LinearTopology::build(routers, LinkSpec::default(), EPOCH_NS, RouterConfig::default());
+    let src = IsdAs::new(1, 0x100 + u64::from(flow_id));
+    let mut gen = topo.make_generator(src, IsdAs::new(2, 0xB));
+    if flyover {
+        for hop in 0..routers {
+            let cred = topo.make_family_credential(family, hop, src, RESERVED_BW_KBPS, EPOCH_S);
+            gen.attach_reservation(hop, cred).expect("hop interfaces match");
+        }
+    }
+    let mut payload = vec![0u8; payload_len];
+    PayloadHeader { flow_id, seq, stamp_ns: seq.wrapping_mul(977) }.write(&mut payload);
+    gen.generate(&payload, EPOCH_MS).expect("generate")
+}
+
+/// The socket routers' structural validation: checked view, declared
+/// length == datagram length, readable measurement header.
+fn frame_parses(pkt: &[u8]) -> bool {
+    match PacketView::new_checked(pkt) {
+        Err(_) => false,
+        Ok(view) => {
+            view.wire_len().map(|l| l == pkt.len()).unwrap_or(false)
+                && view.payload().map(|p| PayloadHeader::read(p).is_some()).unwrap_or(false)
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every family × {flyover, plain} serializes datagrams that reparse
+    /// byte-identically, with the measurement payload intact.
+    #[test]
+    fn testbed_datagrams_roundtrip_byte_identically(
+        family_ix in 0usize..4,
+        flyover in any::<bool>(),
+        routers in 1usize..4,
+        payload_extra in 0usize..400,
+        flow_id in 0u32..1000,
+        seq in 0u64..1_000_000,
+    ) {
+        let family = EngineFamily::ALL[family_ix];
+        let payload_len = PAYLOAD_HDR_LEN + payload_extra;
+        let pkt = testbed_packet(family, flyover, routers, payload_len, flow_id, seq);
+
+        // The router-side validation accepts the untouched datagram.
+        prop_assert!(frame_parses(&pkt), "{}: fresh datagram must validate", family.name());
+
+        // Checked view: declared length is exact, payload untouched.
+        let view = PacketView::new_checked(pkt.as_slice()).expect("checked");
+        prop_assert_eq!(view.wire_len().expect("wire_len"), pkt.len());
+        let payload = view.payload().expect("payload");
+        prop_assert_eq!(payload.len(), payload_len);
+        let hdr = PayloadHeader::read(payload).expect("measurement header");
+        prop_assert_eq!(hdr.flow_id, flow_id);
+        prop_assert_eq!(hdr.seq, seq);
+
+        // Owned parse → re-serialize is byte-identical.
+        let owned = Packet::parse(&pkt).expect("owned parse");
+        prop_assert_eq!(owned.to_bytes().expect("re-serialize"), pkt);
+    }
+
+    /// Truncation at any boundary is detected; corrupting any one byte
+    /// never panics the parse path.
+    #[test]
+    fn truncation_is_detected_and_corruption_never_panics(
+        family_ix in 0usize..4,
+        flyover in any::<bool>(),
+        payload_extra in 0usize..200,
+        cut_frac in 0.0f64..1.0,
+        corrupt_frac in 0.0f64..1.0,
+        corrupt_bits in 1u8..=255,
+    ) {
+        let family = EngineFamily::ALL[family_ix];
+        let pkt = testbed_packet(
+            family,
+            flyover,
+            2,
+            PAYLOAD_HDR_LEN + payload_extra,
+            7,
+            42,
+        );
+
+        // Any proper prefix fails structural validation (truncated
+        // headers fail `new_checked`; a truncated payload fails the
+        // declared-length or measurement-header check).
+        let cut = (pkt.len() as f64 * cut_frac) as usize;
+        prop_assert!(cut < pkt.len());
+        prop_assert!(
+            !frame_parses(&pkt[..cut]),
+            "{}: truncation to {} of {} bytes must be detected",
+            family.name(), cut, pkt.len()
+        );
+
+        // A single corrupted byte must never panic: either the frame is
+        // rejected here, or it stays structurally valid and the engine's
+        // MAC/timestamp checks get their turn. Both outcomes keep every
+        // datagram accounted for.
+        let mut corrupted = pkt.clone();
+        let at = (pkt.len() as f64 * corrupt_frac) as usize % pkt.len();
+        corrupted[at] ^= corrupt_bits;
+        let _ = frame_parses(&corrupted);
+
+        // Garbage that is not a packet at all is rejected, not panicked on.
+        prop_assert!(!frame_parses(&[]));
+        prop_assert!(!frame_parses(&[corrupt_bits]));
+    }
+}

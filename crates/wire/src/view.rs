@@ -126,6 +126,17 @@ impl<T: AsRef<[u8]>> PacketView<T> {
         let len = usize::from(self.common()?.payload_len);
         self.buffer.as_ref().get(start..start + len).ok_or(WireError::Truncated)
     }
+
+    /// Total on-wire length the headers declare: `4·hdr_len +
+    /// payload_len`. [`PacketView::new_checked`] validates the headers
+    /// but not the payload tail, so a receiver handed whole datagrams
+    /// (the real-socket testbed) compares this against the datagram
+    /// length to count payload truncation as a parse drop instead of
+    /// failing later in [`PacketView::payload`].
+    pub fn wire_len(&self) -> Result<usize> {
+        let common = self.common()?;
+        Ok(4 * usize::from(common.hdr_len) + usize::from(common.payload_len))
+    }
 }
 
 impl<T: AsRef<[u8]> + AsMut<[u8]>> PacketView<T> {
@@ -220,6 +231,19 @@ mod tests {
             }
         }
         assert!(PacketView::new_checked(&bytes[..10]).is_err());
+    }
+
+    #[test]
+    fn wire_len_matches_serialized_length_and_spots_truncation() {
+        let bytes = sample_packet();
+        let view = PacketView::new_checked(bytes.as_slice()).unwrap();
+        assert_eq!(view.wire_len().unwrap(), bytes.len());
+        // A payload-truncated datagram still passes the header checks but
+        // declares more bytes than it carries — the receiver's cue.
+        let short = &bytes[..bytes.len() - 10];
+        let view = PacketView::new_checked(short).unwrap();
+        assert!(view.wire_len().unwrap() > short.len());
+        assert!(view.payload().is_err());
     }
 
     #[test]
